@@ -1,0 +1,91 @@
+"""EVAL-BASELINE — the paper's mechanism vs saga-style restore (ref [4]).
+
+Sagas restore the transaction program's full state from the savepoint
+image; the paper argues (§3.2, §4.1) this is wrong for mobile agents
+because compensation produces *new* information (fresh coin serials,
+fees, credit notes) that must survive in the weakly reversible space.
+
+Scorecard: on the digital-cash shopping scenario, the paper's
+mechanism leaves a spendable purse and a visible fee; the saga baseline
+resurrects retired serials (fatal double-spend on next use) and inflates
+every savepoint with the WRO image.
+"""
+
+import pytest
+
+from repro import AgentStatus, RollbackMode
+from repro.bench import format_table
+
+from tests.test_baseline_saga import CoinShopper, build_world
+
+
+def run_mode(mode, seed=17):
+    world = build_world(seed=seed)
+    agent = CoinShopper(f"bench-shopper-{mode.value}-{seed}")
+    record = world.launch(agent, at="home", method="fund", mode=mode)
+    world.run(max_events=500_000)
+    return world, record
+
+
+def test_eval_baseline_scorecard(benchmark, record_table):
+    def scenario():
+        rows = []
+        world_b, record_b = run_mode(RollbackMode.BASIC)
+        assert record_b.status is AgentStatus.FINISHED
+        rows.append([
+            "paper mechanism", record_b.status.value,
+            record_b.result["second_spend"],
+            record_b.result["purse_value"],
+            record_b.result["fees_paid"],
+        ])
+        world_s, record_s = run_mode(RollbackMode.SAGA)
+        assert record_s.status is AgentStatus.FAILED
+        assert "double spend" in record_s.failure
+        rows.append([
+            "saga restore [4]", record_s.status.value,
+            "double-spend crash", "-", "invisible",
+        ])
+        return rows
+
+    rows = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    table = format_table(
+        ["mechanism", "agent outcome", "post-rollback spend",
+         "purse value", "fee visible"],
+        rows,
+        title="EVAL-BASELINE: correctness scorecard on the digital-cash "
+              "scenario")
+    record_table("baseline_scorecard", table)
+
+
+def test_eval_baseline_savepoint_overhead(benchmark, record_table):
+    """The saga baseline's savepoints carry the WRO image too."""
+    from repro.log.rollback_log import RollbackLog
+    from repro.tx.manager import Transaction
+
+    def scenario():
+        world = build_world()
+        rows = []
+        for wro_bytes in (1_000, 10_000, 100_000):
+            agent = CoinShopper(f"sizer-{wro_bytes}")
+            agent.wro["ballast"] = b"w" * wro_bytes
+            agent.set_control("home", "fund")
+            paper_log = RollbackLog()
+            world.step_protocol._write_savepoint(
+                paper_log, agent, ("sp", False),
+                Transaction("step", "home"), include_wro=False)
+            saga_log = RollbackLog()
+            world.step_protocol._write_savepoint(
+                saga_log, agent, ("sp", False),
+                Transaction("step", "home"), include_wro=True)
+            rows.append([wro_bytes, paper_log.size_bytes(),
+                         saga_log.size_bytes()])
+        assert rows[-1][2] > rows[-1][1] + 90_000
+        return rows
+
+    rows = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    table = format_table(
+        ["WRO size (B)", "paper savepoint bytes", "saga savepoint bytes"],
+        rows,
+        title="EVAL-BASELINE: savepoint size overhead of imaging the "
+              "weakly reversible objects")
+    record_table("baseline_savepoint_overhead", table)

@@ -1,0 +1,89 @@
+"""EVAL-FT — rollback completes under non-lasting crashes (§4.3).
+
+"Assuming that node crashes and network crashes are only temporary and
+further assuming that the network provides reliable data transfer, the
+algorithm ensures that all steps which have to be rolled back are
+eventually rolled back and finally, the state of the strongly
+reversible objects is restored as well."
+
+The bench sweeps a Poisson outage rate and reports: completion (always
+true), the final agent state digest (always identical to the clean
+run), crash counts, transaction aborts, and latency inflation.
+"""
+
+import pytest
+
+from repro import AgentStatus, RollbackMode
+from repro.bench import format_table, make_tour_plan, run_tour
+from repro.bench.harness import build_tour_world
+
+N_NODES = 4
+N_STEPS = 6
+
+
+def run_with_outages(rate, seed=9, mode=RollbackMode.BASIC):
+    nodes = [f"n{i}" for i in range(N_NODES)]
+    plan = make_tour_plan(nodes, N_STEPS, mixed_fraction=0.5,
+                          rollback_depth=N_STEPS - 1)
+    world = build_tour_world(N_NODES, seed=seed)
+    if rate > 0:
+        world.failures.random_outages(
+            [f"n{i}" for i in range(N_NODES)], horizon=20.0,
+            rate_per_s=rate, mean_downtime=0.3)
+    result = run_tour(plan, N_NODES, mode=mode, seed=seed, world=world,
+                      max_events=3_000_000)
+    return world, result
+
+
+def test_eval_ft_outage_sweep(benchmark, record_table):
+    def sweep():
+        rows = []
+        _, clean = run_with_outages(0.0)
+        reference = clean.result
+        for rate in (0.0, 0.2, 0.5, 1.0):
+            world, result = run_with_outages(rate)
+            assert result.status is AgentStatus.FINISHED
+            assert result.result == reference  # same final agent state
+            assert result.rollbacks == 1
+            rows.append([
+                rate,
+                world.failures.crashes_injected,
+                world.metrics.count("crash.tx_aborted"),
+                world.metrics.count("2pc.aborts"),
+                round(result.rollback_latency, 3),
+                round(result.finished_at, 3),
+            ])
+        latencies = [row[5] for row in rows]
+        assert latencies[-1] >= latencies[0]
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["outage rate (/s/node)", "crashes", "tx aborted by crash",
+         "2pc aborts", "rollback latency (s)", "completion time (s)"],
+        rows,
+        title="EVAL-FT: rollback completes under non-lasting crashes; "
+              "only latency degrades")
+    record_table("fault_tolerance", table)
+
+
+def test_eval_ft_seed_sweep(benchmark, record_table):
+    """Many seeds, fixed rate: completion is not luck."""
+
+    def sweep():
+        completed = 0
+        total = 8
+        worst = 0.0
+        for seed in range(total):
+            world, result = run_with_outages(0.6, seed=seed + 100)
+            assert result.status is AgentStatus.FINISHED
+            completed += 1
+            worst = max(worst, result.finished_at)
+        return [[total, completed, round(worst, 3)]]
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["runs", "completed", "worst completion time (s)"],
+        rows, title="EVAL-FT: completion across 8 seeds at 0.6 outages/s")
+    record_table("fault_tolerance_seeds", table)
+    assert rows[0][0] == rows[0][1]

@@ -1,0 +1,56 @@
+"""FIG1 — the execution model of Figure 1.
+
+Figure 1 shows steps i..i+3: each step reads the agent state A_i from
+stable storage, executes inside step transaction T_i against resource
+state R_i -> R_i', and writes A_{i+1} durably on the next node.  The
+bench regenerates that pipeline, checks its structural properties, and
+measures forward-execution cost as the tour length grows.
+"""
+
+import pytest
+
+from repro import AgentStatus, RollbackMode
+from repro.bench import format_table, make_tour_plan, run_tour
+from repro.bench.workloads import TourPlan
+
+
+def run_pipeline(n_steps: int, seed: int = 1):
+    nodes = [f"n{i}" for i in range(min(n_steps, 6))]
+    base = make_tour_plan(nodes, n_steps)
+    plan = TourPlan(steps=base.steps, decision_node=base.decision_node,
+                    rollback_to=None)  # pure forward execution
+    return run_tour(plan, len(nodes), mode=RollbackMode.BASIC, seed=seed)
+
+
+def test_fig1_pipeline_structure(benchmark, record_table):
+    """Regenerate Figure 1's scenario; series over tour length."""
+
+    def sweep():
+        rows = []
+        for n_steps in (2, 4, 8, 16):
+            result = run_pipeline(n_steps)
+            assert result.status is AgentStatus.FINISHED
+            # one step transaction per step plus the decision step
+            assert result.steps_committed == n_steps + 1
+            assert result.rollbacks == 0
+            rows.append([n_steps, result.steps_committed,
+                         result.step_transfers, result.step_transfer_bytes,
+                         round(result.sim_time, 4)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["steps", "step txs", "agent transfers", "bytes moved",
+         "virtual time (s)"],
+        rows,
+        title="FIG1: forward execution pipeline (exactly-once protocol)")
+    record_table("fig1_execution", table)
+
+
+def test_fig1_forward_execution_cost(benchmark):
+    """Wall-clock cost of simulating an 8-step tour."""
+    result = benchmark.pedantic(lambda: run_pipeline(8), rounds=5,
+                                iterations=1)
+    assert result.status is AgentStatus.FINISHED
+    benchmark.extra_info["virtual_time_s"] = result.sim_time
+    benchmark.extra_info["step_txs"] = result.steps_committed

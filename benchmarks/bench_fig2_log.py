@@ -1,0 +1,86 @@
+"""FIG2 — the rollback log structure of Figure 2.
+
+Figure 2 shows the log extract ``... SP_k BOS_n OE_n,1 .. OE_n,p EOS_n
+BOS_n+1 ...`` and specifies that compensation executes the operation
+entries in reverse order OE_n,p .. OE_n,1.  The bench regenerates the
+exact structure for varying p, verifies the reverse-order property, and
+measures log operation cost and serialized entry sizes.
+"""
+
+import pytest
+
+from repro.log.entries import (
+    BeginOfStepEntry,
+    EndOfStepEntry,
+    OperationEntry,
+    OperationKind,
+    SavepointEntry,
+)
+from repro.log.rollback_log import RollbackLog
+from repro.bench import format_table
+from repro.storage.serialization import size_of
+
+
+def build_figure2(p: int) -> RollbackLog:
+    log = RollbackLog()
+    log.append(SavepointEntry(sp_id="sp-k", mode="state",
+                              payload={"vector": list(range(8))}))
+    log.append(BeginOfStepEntry(node="N", step_index=7))
+    for i in range(1, p + 1):
+        log.append(OperationEntry(op_kind=OperationKind.RESOURCE,
+                                  op_name="bench.undo_transfer",
+                                  params={"src": "a", "dst": "b",
+                                          "amount": i},
+                                  node="N", resource="bank"))
+    log.append(EndOfStepEntry(node="N", step_index=7))
+    log.append(BeginOfStepEntry(node="M", step_index=8))
+    log.append(EndOfStepEntry(node="M", step_index=8))
+    return log
+
+
+def test_fig2_structure_and_reverse_order(benchmark, record_table):
+    def sweep():
+        rows = []
+        for p in (1, 2, 4, 8, 16):
+            log = build_figure2(p)
+            log.validate()
+            kinds = [e.kind.value for e in log.entries()]
+            assert kinds == (["SP", "BOS"] + ["OE"] * p
+                             + ["EOS", "BOS", "EOS"])
+            # Pop back to the BOS of step n: operation entries must
+            # surface in reverse order OE_n,p .. OE_n,1.
+            for _ in range(2):  # EOS_{n+1}, BOS_{n+1}
+                log.pop()
+            log.pop()  # EOS_n
+            amounts = []
+            entry = log.pop()
+            while isinstance(entry, OperationEntry):
+                amounts.append(entry.params["amount"])
+                entry = log.pop()
+            assert amounts == list(range(p, 0, -1))
+            fresh = build_figure2(p)
+            rows.append([p, len(fresh.entries()), fresh.size_bytes(),
+                         size_of(fresh.entries()[2])])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["ops per step (p)", "log entries", "log bytes",
+         "one OE bytes"],
+        rows, title="FIG2: rollback log structure and sizes")
+    record_table("fig2_log", table)
+
+
+def test_fig2_append_pop_throughput(benchmark):
+    """Raw log operation cost (append + pop of 1000 entries)."""
+
+    def work():
+        log = RollbackLog()
+        for i in range(500):
+            log.append(BeginOfStepEntry(node="N", step_index=i))
+            log.append(EndOfStepEntry(node="N", step_index=i))
+        while len(log):
+            log.pop()
+        return log
+
+    benchmark(work)

@@ -1,0 +1,59 @@
+"""FIG4 — cost of the basic rollback algorithm (Figures 4a/4b).
+
+The basic mechanism drives the agent back along its path: one
+compensation transaction (and, when the previous step ran elsewhere,
+one agent transfer) per rolled-back step.  The bench sweeps the
+rollback depth and reports transfers, compensation transactions, bytes
+moved and rollback latency — the linear-in-depth cost profile the
+optimized algorithm attacks.
+"""
+
+import pytest
+
+from repro import AgentStatus, RollbackMode
+from repro.bench import format_table, make_tour_plan, run_tour
+
+N_NODES = 6
+N_STEPS = 9
+
+
+def run_depth(depth: int, seed: int = 4):
+    nodes = [f"n{i}" for i in range(N_NODES)]
+    plan = make_tour_plan(nodes, N_STEPS, mixed_fraction=0.5,
+                          savepoint_every=1, rollback_depth=depth)
+    return run_tour(plan, N_NODES, mode=RollbackMode.BASIC, seed=seed)
+
+
+def test_fig4_cost_vs_depth(benchmark, record_table):
+    def sweep():
+        rows = []
+        for depth in (1, 2, 4, 6, 8):
+            result = run_depth(depth)
+            assert result.status is AgentStatus.FINISHED
+            assert result.compensation_txs == depth
+            rows.append([depth, result.compensation_txs,
+                         result.compensation_transfers,
+                         result.compensation_transfer_bytes,
+                         round(result.rollback_latency, 4)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["rolled-back steps", "compensation txs", "agent transfers",
+         "transfer bytes", "rollback latency (s)"],
+        rows,
+        title="FIG4: basic rollback cost grows linearly with depth")
+    record_table("fig4_basic", table)
+    # Linearity of transfers in depth (every step ran on another node).
+    transfers = [r[2] for r in rows]
+    assert transfers == sorted(transfers)
+    assert transfers[-1] >= 7
+
+
+def test_fig4_rollback_cost(benchmark):
+    """Wall-clock cost of a depth-6 basic rollback scenario."""
+    result = benchmark.pedantic(lambda: run_depth(6), rounds=5,
+                                iterations=1)
+    assert result.status is AgentStatus.FINISHED
+    benchmark.extra_info["rollback_latency_s"] = result.rollback_latency
+    benchmark.extra_info["compensation_txs"] = result.compensation_txs

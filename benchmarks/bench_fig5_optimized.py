@@ -1,0 +1,111 @@
+"""FIG5 / EVAL-TRANSFERS — the optimized rollback algorithm (§4.4.1).
+
+The paper's claim: with typed operation entries the agent has to be
+transferred during rollback *only* for steps containing a mixed
+compensation entry; resource compensation entries are shipped to the
+resource node instead, and execute concurrently with the local agent
+compensation entries.
+
+The bench sweeps the fraction of steps with a mixed entry and compares
+basic vs optimized on: agent transfers, bytes on the wire, RCE-list
+messages, and rollback latency.  A second table shows the byte savings
+grow with agent state size (the heavier the agent, the more shipping
+entries beats shipping the agent).
+"""
+
+import pytest
+
+from repro import AgentStatus, RollbackMode
+from repro.bench import format_table, make_tour_plan, run_tour
+
+N_NODES = 6
+N_STEPS = 9
+
+
+def run_mode(mode, mixed_fraction, seed=5, ballast=0):
+    nodes = [f"n{i}" for i in range(N_NODES)]
+    plan = make_tour_plan(nodes, N_STEPS, mixed_fraction=mixed_fraction,
+                          ace_fraction=0.2 if mixed_fraction <= 0.8 else 0.0,
+                          rollback_depth=N_STEPS - 1,
+                          sro_ballast=ballast)
+    return run_tour(plan, N_NODES, mode=mode, seed=seed)
+
+
+def test_fig5_transfers_vs_mixed_fraction(benchmark, record_table):
+    def sweep():
+        rows = []
+        for tenth in (0, 2, 5, 8, 10):
+            fraction = tenth / 10.0
+            basic = run_mode(RollbackMode.BASIC, fraction)
+            optimized = run_mode(RollbackMode.OPTIMIZED, fraction)
+            assert basic.status is AgentStatus.FINISHED
+            assert optimized.status is AgentStatus.FINISHED
+            assert basic.result == optimized.result
+            rows.append([
+                fraction,
+                basic.compensation_transfers,
+                optimized.compensation_transfers,
+                optimized.rce_ship_messages,
+                basic.compensation_transfer_bytes,
+                (optimized.compensation_transfer_bytes
+                 + optimized.rce_ship_bytes),
+                round(basic.rollback_latency, 4),
+                round(optimized.rollback_latency, 4),
+            ])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["mixed frac", "transfers basic", "transfers opt",
+         "RCE ships", "bytes basic", "bytes opt",
+         "latency basic", "latency opt"],
+        rows,
+        title="FIG5/EVAL-TRANSFERS: agent transfers during rollback, "
+              "basic vs optimized")
+    record_table("fig5_optimized", table)
+    # Shape checks: basic is flat at depth; optimized grows from 0 to
+    # basic as the mixed fraction goes 0 -> 1.
+    basic_transfers = {row[1] for row in rows}
+    assert len(basic_transfers) == 1
+    opt_transfers = [row[2] for row in rows]
+    assert opt_transfers[0] == 0
+    assert opt_transfers == sorted(opt_transfers)
+    assert opt_transfers[-1] == rows[-1][1]
+
+
+def test_fig5_bytes_vs_agent_size(benchmark, record_table):
+    def sweep():
+        rows = []
+        for ballast in (0, 10_000, 50_000, 200_000):
+            basic = run_mode(RollbackMode.BASIC, 0.0, ballast=ballast)
+            optimized = run_mode(RollbackMode.OPTIMIZED, 0.0,
+                                 ballast=ballast)
+            bytes_basic = basic.compensation_transfer_bytes
+            bytes_opt = (optimized.compensation_transfer_bytes
+                         + optimized.rce_ship_bytes)
+            rows.append([ballast, bytes_basic, bytes_opt,
+                         round(bytes_basic / max(1, bytes_opt), 1),
+                         round(basic.rollback_latency
+                               / max(1e-9, optimized.rollback_latency), 2)])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["agent ballast (B)", "rollback bytes basic", "rollback bytes opt",
+         "byte ratio", "latency ratio"],
+        rows,
+        title="FIG5/EVAL-TRANSFERS: byte and latency savings grow with "
+              "agent state size (no mixed entries)")
+    record_table("fig5_bytes_vs_size", table)
+    ratios = [row[3] for row in rows]
+    assert ratios == sorted(ratios)
+    assert ratios[-1] > 20
+
+
+def test_fig5_optimized_rollback_cost(benchmark):
+    result = benchmark.pedantic(
+        lambda: run_mode(RollbackMode.OPTIMIZED, 0.2), rounds=5,
+        iterations=1)
+    assert result.status is AgentStatus.FINISHED
+    benchmark.extra_info["rollback_latency_s"] = result.rollback_latency
+    benchmark.extra_info["rce_ships"] = result.rce_ship_messages

@@ -1,0 +1,146 @@
+"""FIG6 / EVAL-LOGSIZE(a) — the itinerary of Figure 6.
+
+Reproduces the paper's exact itinerary::
+
+    I { SI1{s1,s2,s3}, SI2{s7,s8}, SI3{ s6, SI4{s5,s4}, SI5{s9,s10} } }
+
+and its Section 4.4.2 walkthrough: the agent starts with SI3 (executes
+s6, then SI4's s5), decides to roll back during s4 — either SI4 only or
+the enclosing SI3 — with only *two* savepoints in the log (one for SI3,
+one for SI4).  The bench also verifies the log-hygiene semantics: SI4's
+savepoint is discarded when SI4 completes, and completing a top-level
+sub-itinerary discards the whole log.
+"""
+
+import pytest
+
+from repro import (
+    AgentStatus,
+    Itinerary,
+    ItineraryAgent,
+    StepEntry,
+    SubItinerary,
+    World,
+    agent_compensation,
+)
+from repro.bench import format_table
+
+
+@agent_compensation("fig6.tick")
+def fig6_tick(wro, params, ctx):
+    wro["ticks"] = wro.get("ticks", 0) + 1
+
+
+class Fig6Agent(ItineraryAgent):
+    """Executes the Figure-6 itinerary; s4 triggers the rollback."""
+
+    def __init__(self, itinerary, agent_id, rollback_levels, node_of):
+        super().__init__(itinerary, agent_id)
+        self.rollback_levels = rollback_levels
+
+    def do_step(self, ctx):
+        self.sro.setdefault("trace", []).append(self.step_count)
+        ctx.log_agent_compensation("fig6.tick", {})
+
+    def s4(self, ctx):
+        self.do_step(ctx)
+        if self.wro.get("ticks", 0) == 0:
+            self.rollback_scope(ctx, levels=self.rollback_levels)
+
+    def __getattr__(self, name):
+        # s1, s2, ... all behave like do_step; defined dynamically so
+        # the itinerary reads exactly like the paper's figure.
+        if name.startswith("s") and name[1:].isdigit():
+            return self.do_step
+        raise AttributeError(name)
+
+    def itinerary_result(self):
+        return {"trace": list(self.sro.get("trace", [])),
+                "ticks": self.wro.get("ticks", 0)}
+
+
+def figure6_itinerary(node_of):
+    si1 = SubItinerary("SI1", [StepEntry("s1", node_of("s1")),
+                               StepEntry("s2", node_of("s2")),
+                               StepEntry("s3", node_of("s3"))])
+    si2 = SubItinerary("SI2", [StepEntry("s7", node_of("s7")),
+                               StepEntry("s8", node_of("s8"))])
+    si4 = SubItinerary("SI4", [StepEntry("s5", node_of("s5")),
+                               StepEntry("s4", node_of("s4"))])
+    si5 = SubItinerary("SI5", [StepEntry("s9", node_of("s9")),
+                               StepEntry("s10", node_of("s10"))])
+    si3 = SubItinerary("SI3", [StepEntry("s6", node_of("s6")), si4, si5])
+    # The paper's scenario begins with SI3; order of the main itinerary
+    # entries is partial — we execute SI3 first as in the text.
+    return Itinerary().add(si3).add(si1).add(si2)
+
+
+def node_of(step: str) -> str:
+    """Place step s<k> on host h<k mod 4>."""
+    return f"h{int(step[1:]) % 4}"
+
+
+def run_fig6(rollback_levels, seed=6):
+    world = World(seed=seed)
+    for i in range(4):
+        world.add_node(f"h{i}")
+    agent = Fig6Agent(figure6_itinerary(node_of),
+                      f"fig6-{rollback_levels}-{seed}", rollback_levels,
+                      node_of)
+    record = world.launch_itinerary(agent)
+    world.run(max_events=1_000_000)
+    return world, record
+
+
+def test_fig6_rollback_si4_vs_si3(benchmark, record_table):
+    def scenario():
+        rows = []
+        # levels=0: roll back SI4 only (abort s4, compensate s5).
+        world0, record0 = run_fig6(0)
+        assert record0.status is AgentStatus.FINISHED, record0.failure
+        assert record0.result["ticks"] == 1  # only s5 compensated
+        rows.append(["rollback SI4 (levels=0)", 1,
+                     record0.rollbacks_completed,
+                     world0.metrics.count("savepoints.written"),
+                     world0.metrics.count("log.truncations")])
+        # levels=1: roll back SI3 as well (additionally compensate s6).
+        world1, record1 = run_fig6(1)
+        assert record1.status is AgentStatus.FINISHED, record1.failure
+        assert record1.result["ticks"] == 2  # s5 AND s6 compensated
+        rows.append(["rollback SI3 (levels=1)", 2,
+                     record1.rollbacks_completed,
+                     world1.metrics.count("savepoints.written"),
+                     world1.metrics.count("log.truncations")])
+        # Three top-level sub-itineraries => three log truncations.
+        assert world0.metrics.count("log.truncations") == 3
+        return rows
+
+    rows = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    table = format_table(
+        ["scenario", "steps compensated", "rollbacks",
+         "savepoints written", "log truncations"],
+        rows,
+        title="FIG6: rollback scopes on the paper's sample itinerary")
+    record_table("fig6_itinerary", table)
+
+
+def test_fig6_savepoint_economy(benchmark, record_table):
+    """Section 4.4.2: only one savepoint per *currently executing*
+    sub-itinerary chain is needed — far fewer than one per step."""
+
+    def scenario():
+        world, record = run_fig6(0)
+        steps_executed = record.steps_committed
+        savepoints = world.metrics.count("savepoints.written")
+        return [[steps_executed, savepoints,
+                 world.metrics.count("log.truncations")]]
+
+    rows = benchmark.pedantic(scenario, rounds=1, iterations=1)
+    table = format_table(
+        ["steps executed", "savepoints written", "log truncations"],
+        rows,
+        title="FIG6: savepoint economy (itinerary-managed savepoints "
+              "vs one-per-step)")
+    record_table("fig6_savepoints", table)
+    # Far fewer savepoints than steps.
+    assert rows[0][1] < rows[0][0]

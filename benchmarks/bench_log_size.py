@@ -1,0 +1,145 @@
+"""EVAL-LOGSIZE — migration payload reduction from itinerary integration.
+
+Section 4.4.2's motivation: "attaching the rollback log to the agent
+introduces some overhead to the migration because the log has to be
+transferred additionally to the agent state".  Two reductions are
+offered: fewer savepoint entries, and discarding rollback information
+at sub-task boundaries.
+
+The bench runs the same 12-step job three ways and reports the total
+bytes moved by migrations and the final log size:
+
+* ``flat``      — one monolithic task, savepoint after every step;
+* ``flat-1sp``  — one monolithic task, single savepoint at the start;
+* ``itinerary`` — 4 top-level sub-itineraries of 3 steps each (the log
+  is truncated at each boundary; savepoints managed automatically).
+"""
+
+import pytest
+
+from repro import (
+    AgentStatus,
+    Itinerary,
+    ItineraryAgent,
+    StepEntry,
+    SubItinerary,
+    World,
+    agent_compensation,
+)
+from repro.bench import format_table, make_tour_plan, run_tour
+from repro.bench.harness import build_tour_world
+from repro.agent.packages import RollbackMode
+
+N_NODES = 4
+N_STEPS = 12
+BALLAST = 8_000
+
+
+@agent_compensation("logsize.tick")
+def logsize_tick(wro, params, ctx):
+    wro["ticks"] = wro.get("ticks", 0) + 1
+
+
+class SegmentedAgent(ItineraryAgent):
+    """12 steps in 4 top-level segments; same SRO payload as the tour."""
+
+    def __init__(self, itinerary, agent_id):
+        super().__init__(itinerary, agent_id)
+        self.sro["ballast"] = b"s" * BALLAST
+
+    def work(self, ctx):
+        self.sro.setdefault("done", []).append(self.step_count)
+        ctx.log_agent_compensation("logsize.tick", {})
+
+    def itinerary_result(self):
+        return {"done": len(self.sro.get("done", []))}
+
+
+def run_flat(savepoint_every, seed=7):
+    nodes = [f"n{i}" for i in range(N_NODES)]
+    plan = make_tour_plan(nodes, N_STEPS, ace_fraction=1.0,
+                          savepoint_every=savepoint_every,
+                          rollback_depth=1, rollback_times=0,
+                          sro_ballast=BALLAST)
+    world = build_tour_world(N_NODES, seed=seed)
+    result = run_tour(plan, N_NODES, seed=seed, world=world)
+    return world, result
+
+
+def run_itinerary(seed=7):
+    world = World(seed=seed)
+    for i in range(N_NODES):
+        world.add_node(f"n{i}")
+    itinerary = Itinerary()
+    for segment in range(4):
+        entries = [StepEntry("work", f"n{(segment * 3 + i) % N_NODES}")
+                   for i in range(3)]
+        itinerary.add(SubItinerary(f"segment-{segment}", entries))
+    agent = SegmentedAgent(itinerary, f"segmented-{seed}")
+    record = world.launch_itinerary(agent)
+    world.run(max_events=1_000_000)
+    return world, record
+
+
+def test_logsize_itinerary_vs_flat(benchmark, record_table):
+    def sweep():
+        rows = []
+        world_a, flat_every = run_flat(savepoint_every=1)
+        assert flat_every.status is AgentStatus.FINISHED
+        rows.append(["flat, savepoint per step",
+                     world_a.metrics.count("savepoints.written"),
+                     world_a.metrics.total_bytes("agent.transfers.step"),
+                     0])
+        world_b, flat_one = run_flat(savepoint_every=None)
+        assert flat_one.status is AgentStatus.FINISHED
+        rows.append(["flat, one savepoint",
+                     world_b.metrics.count("savepoints.written"),
+                     world_b.metrics.total_bytes("agent.transfers.step"),
+                     0])
+        world_c, segmented = run_itinerary()
+        assert segmented.status is AgentStatus.FINISHED
+        rows.append(["itinerary (4 segments)",
+                     world_c.metrics.count("savepoints.written"),
+                     world_c.metrics.total_bytes("agent.transfers.step"),
+                     world_c.metrics.count("log.truncations")])
+        # The itinerary run must move fewer bytes than the
+        # savepoint-per-step run.
+        assert rows[2][2] < rows[0][2]
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["configuration", "savepoints", "migration bytes",
+         "log truncations"],
+        rows,
+        title="EVAL-LOGSIZE: migration payload, flat vs itinerary-managed "
+              f"log ({N_STEPS} steps, {BALLAST}B SRO payload)")
+    record_table("logsize_itinerary", table)
+
+
+def test_logsize_growth_without_truncation(benchmark, record_table):
+    """Per-migration payload grows linearly when nothing is discarded."""
+
+    def sweep():
+        rows = []
+        for steps in (4, 8, 16, 24):
+            nodes = [f"n{i}" for i in range(N_NODES)]
+            plan = make_tour_plan(nodes, steps, ace_fraction=1.0,
+                                  savepoint_every=1, rollback_depth=1,
+                                  rollback_times=0, sro_ballast=BALLAST)
+            world = build_tour_world(N_NODES, seed=8)
+            result = run_tour(plan, N_NODES, seed=8, world=world)
+            assert result.status is AgentStatus.FINISHED
+            total = world.metrics.total_bytes("agent.transfers.step")
+            rows.append([steps, total, total // max(1, steps)])
+        growth = [row[2] for row in rows]
+        assert growth == sorted(growth)  # average payload keeps growing
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["steps", "total migration bytes", "avg bytes per migration"],
+        rows,
+        title="EVAL-LOGSIZE: unbounded log growth without itinerary "
+              "truncation (savepoint per step)")
+    record_table("logsize_growth", table)

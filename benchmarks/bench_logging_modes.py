@@ -1,0 +1,97 @@
+"""EVAL-LOGGING — state vs transition logging for SRO images (§4.2).
+
+"This can be done either by writing a complete image of the objects
+into the log (state logging) or by writing differences of the object
+states between adjacent savepoints (transition logging)."
+
+The bench measures the trade-off: savepoint bytes in the log (transition
+wins when little changes between savepoints; state wins when everything
+changes) and SRO reconstruction cost (state is O(1) per restore,
+transition folds the diff chain).
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.log.entries import BeginOfStepEntry, EndOfStepEntry, SavepointEntry
+from repro.log.modes import LoggingMode, sro_diff
+from repro.log.rollback_log import RollbackLog
+from repro.storage.serialization import snapshot
+
+
+def make_states(n_savepoints, total_keys, changed_per_step,
+                value_bytes=2_000):
+    """SRO evolution: ``changed_per_step`` of ``total_keys`` mutate."""
+    states = []
+    state = {f"k{i}": b"v" * value_bytes + bytes([i % 256])
+             for i in range(total_keys)}
+    for step in range(n_savepoints):
+        state = dict(state)
+        for j in range(changed_per_step):
+            key = f"k{(step * changed_per_step + j) % total_keys}"
+            state[key] = bytes(bytearray(b"c" * value_bytes)) + bytes(
+                [step % 256, j % 256])
+        states.append(snapshot(state))
+    return states
+
+
+def build_log(states, mode):
+    log = RollbackLog(mode)
+    previous = None
+    for i, state in enumerate(states):
+        if mode is LoggingMode.STATE or previous is None:
+            payload = snapshot(state)
+        else:
+            payload = sro_diff(previous, state)
+        log.append(SavepointEntry(sp_id=f"sp-{i}", mode=mode.value,
+                                  payload=payload))
+        log.append(BeginOfStepEntry(node="n", step_index=i))
+        log.append(EndOfStepEntry(node="n", step_index=i))
+        previous = state
+    return log
+
+
+def test_eval_logging_size_tradeoff(benchmark, record_table):
+    def sweep():
+        rows = []
+        total_keys = 10
+        for changed in (0, 1, 3, 10):
+            states = make_states(8, total_keys, changed)
+            state_log = build_log(states, LoggingMode.STATE)
+            transition_log = build_log(states, LoggingMode.TRANSITION)
+            # Both reconstruct identically.
+            for i in (0, 4, 7):
+                assert (state_log.reconstruct_sro(f"sp-{i}")
+                        == transition_log.reconstruct_sro(f"sp-{i}"))
+            rows.append([f"{changed}/{total_keys}",
+                         state_log.size_bytes(),
+                         transition_log.size_bytes(),
+                         round(state_log.size_bytes()
+                               / transition_log.size_bytes(), 2)])
+        # Transition logging wins big for small change rates and loses
+        # its edge as the whole state churns.
+        ratios = [row[3] for row in rows]
+        assert ratios[0] > 4
+        assert ratios == sorted(ratios, reverse=True)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["keys changed per savepoint", "state-log bytes",
+         "transition-log bytes", "state/transition ratio"],
+        rows,
+        title="EVAL-LOGGING: savepoint bytes, state vs transition "
+              "logging (8 savepoints, 10 keys x 2KB)")
+    record_table("logging_modes_size", table)
+
+
+def test_eval_logging_restore_cost_state(benchmark):
+    states = make_states(12, 10, 1)
+    log = build_log(states, LoggingMode.STATE)
+    benchmark(lambda: log.reconstruct_sro("sp-11"))
+
+
+def test_eval_logging_restore_cost_transition(benchmark):
+    states = make_states(12, 10, 1)
+    log = build_log(states, LoggingMode.TRANSITION)
+    benchmark(lambda: log.reconstruct_sro("sp-11"))

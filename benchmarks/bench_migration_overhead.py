@@ -1,0 +1,105 @@
+"""EVAL-MIGRATION — log overhead on every migration (§4.4.2 motivation).
+
+"Attaching the rollback log to the agent introduces some overhead to
+the migration because the log has to be transferred additionally to the
+agent state."  The bench separates the migration payload into agent
+state vs rollback log share, across compensation-logging intensity and
+network speeds.
+"""
+
+import pytest
+
+from repro import AgentStatus, RollbackMode
+from repro.bench import format_table, make_tour_plan, run_tour
+from repro.bench.harness import build_tour_world
+from repro.bench.workloads import TourAgent, TourPlan
+from repro.sim.timing import NetworkParams
+from repro.storage.serialization import size_of
+
+N_NODES = 4
+
+
+def measure_payload_split(n_steps, seed=42):
+    """Capture the (agent, log) sizes of the last forward migration."""
+    nodes = [f"n{i}" for i in range(N_NODES)]
+    base = make_tour_plan(nodes, n_steps, mixed_fraction=0.3,
+                          ace_fraction=0.3, savepoint_every=2,
+                          sro_ballast=2_000)
+    plan = TourPlan(steps=base.steps, decision_node=base.decision_node,
+                    rollback_to=None, sro_ballast=2_000)
+    world = build_tour_world(N_NODES, seed=seed)
+    agent = TourAgent(f"split-{n_steps}-{seed}", plan)
+    record = world.launch(agent, at=plan.steps[0].node, method="run")
+    sizes = {}
+    protocol = world.step_protocol
+    original = protocol.ship
+
+    def spy(node, tx, package, dest_name):
+        agent_copy, log_copy = package.unpack()
+        sizes["agent"] = size_of(agent_copy)
+        sizes["log"] = log_copy.size_bytes()
+        sizes["package"] = package.size_bytes
+        original(node, tx, package, dest_name)
+
+    protocol.ship = spy
+    world.run(max_events=1_000_000)
+    protocol.ship = original
+    assert record.status is AgentStatus.FINISHED
+    return sizes
+
+
+def test_eval_migration_log_share(benchmark, record_table):
+    def sweep():
+        rows = []
+        for n_steps in (2, 6, 12, 20):
+            sizes = measure_payload_split(n_steps)
+            share = sizes["log"] / sizes["package"]
+            rows.append([n_steps, sizes["agent"], sizes["log"],
+                         sizes["package"], round(100 * share, 1)])
+        shares = [row[4] for row in rows]
+        assert shares == sorted(shares)  # log share grows with history
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["steps so far", "agent bytes", "log bytes", "package bytes",
+         "log share (%)"],
+        rows,
+        title="EVAL-MIGRATION: rollback log share of the migration "
+              "payload (savepoint every 2 steps)")
+    record_table("migration_log_share", table)
+
+
+def test_eval_migration_network_sensitivity(benchmark, record_table):
+    """Completion time vs network speed: the log overhead costs real
+    time on slow links — the economic case for Section 4.4.2."""
+
+    def sweep():
+        rows = []
+        nodes = [f"n{i}" for i in range(N_NODES)]
+        plan = make_tour_plan(nodes, 10, ace_fraction=1.0,
+                              savepoint_every=1, rollback_depth=1,
+                              rollback_times=0, sro_ballast=4_000)
+        for label, bandwidth in (("modem 56k", 7_000.0),
+                                 ("ISDN 128k", 16_000.0),
+                                 ("LAN 10M", 1_250_000.0),
+                                 ("LAN 100M", 12_500_000.0)):
+            world = build_tour_world(
+                N_NODES, seed=43,
+                net_params=NetworkParams(
+                    bandwidth_bytes_per_s=bandwidth))
+            result = run_tour(plan, N_NODES, seed=43, world=world)
+            assert result.status is AgentStatus.FINISHED
+            rows.append([label, int(bandwidth),
+                         round(result.sim_time, 3)])
+        times = [row[2] for row in rows]
+        assert times == sorted(times, reverse=True)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["link", "bytes/s", "completion time (s)"],
+        rows,
+        title="EVAL-MIGRATION: completion time vs link speed "
+              "(10 steps, savepoint per step)")
+    record_table("migration_network", table)

@@ -1,0 +1,78 @@
+"""EVAL-PREDICT — static cost prediction vs measured rollback cost.
+
+:func:`repro.core.inspector.predict_rollback` mechanises the paper's
+Section 4.4.1 analysis (which steps force agent transfers, which ship
+RCE lists).  This bench validates prediction == measurement across the
+mixed-fraction sweep — the ablation showing the EOS mixed-flag carries
+exactly the information the optimized algorithm needs.
+"""
+
+import pytest
+
+from repro import AgentStatus, RollbackMode
+from repro.bench import format_table, make_tour_plan
+from repro.bench.harness import build_tour_world
+from repro.bench.workloads import TourAgent
+from repro.core.inspector import predict_rollback
+
+N_NODES = 5
+N_STEPS = 7
+
+
+def run_with_spy(mixed_fraction, mode, seed=41):
+    nodes = [f"n{i}" for i in range(N_NODES)]
+    plan = make_tour_plan(nodes, N_STEPS, mixed_fraction=mixed_fraction,
+                          rollback_depth=N_STEPS - 1)
+    world = build_tour_world(N_NODES, seed=seed)
+    agent = TourAgent(f"spy-{mode.value}-{mixed_fraction}-{seed}", plan)
+    record = world.launch(agent, at=plan.steps[0].node, method="run",
+                          mode=mode)
+    captured = {}
+    driver = world.rollback_driver(mode)
+    original = driver.start_rollback
+
+    def spy(node, item, sp_id):
+        _, log = item.payload.unpack()
+        captured["log"] = log
+        captured["node"] = node.name
+        original(node, item, sp_id)
+
+    driver.start_rollback = spy
+    world.run(max_events=1_000_000)
+    driver.start_rollback = original
+    assert record.status is AgentStatus.FINISHED
+    prediction = predict_rollback(captured["log"], plan.rollback_to,
+                                  captured["node"], mode)
+    return world, prediction
+
+
+def test_eval_prediction_matches_measurement(benchmark, record_table):
+    def sweep():
+        rows = []
+        for mode in (RollbackMode.BASIC, RollbackMode.OPTIMIZED):
+            for tenth in (0, 3, 6, 10):
+                world, prediction = run_with_spy(tenth / 10.0, mode)
+                measured_transfers = world.metrics.count(
+                    "agent.transfers.compensation")
+                measured_txs = world.metrics.count(
+                    "compensation.tx_committed")
+                measured_ships = world.metrics.count(
+                    "net.messages.rce-list")
+                assert prediction.agent_transfers == measured_transfers
+                assert prediction.compensation_txs == measured_txs
+                if mode is RollbackMode.OPTIMIZED:
+                    assert prediction.rce_ships == measured_ships
+                rows.append([mode.value, tenth / 10.0,
+                             prediction.agent_transfers,
+                             measured_transfers,
+                             prediction.rce_ships, measured_ships])
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["mode", "mixed frac", "predicted transfers",
+         "measured transfers", "predicted ships", "measured ships"],
+        rows,
+        title="EVAL-PREDICT: static analysis (inspector) vs measured "
+              "rollback cost")
+    record_table("prediction", table)

@@ -1,0 +1,66 @@
+"""EVAL-RPC — the RPC-vs-migration decision model (ref [16], §4.4.1).
+
+"A performance model similar to that introduced in [16] can be used to
+determine if the agent or the resource compensation objects should be
+transferred to the node where the resources reside or if RPC should be
+used to access the resources."
+
+The bench tabulates the model's decision across interaction counts and
+agent sizes, locates the crossover, and validates the decisions against
+measured costs in the simulator's network model.
+"""
+
+import pytest
+
+from repro.bench import format_table
+from repro.core.decision import AccessPlan, DecisionModel
+from repro.sim.timing import NetworkParams
+
+
+def test_eval_rpc_decision_matrix(benchmark, record_table):
+    model = DecisionModel(network=NetworkParams())
+
+    def sweep():
+        rows = []
+        for agent_bytes in (2_000, 20_000, 200_000):
+            for interactions in (1, 5, 20, 100):
+                rpc = model.rpc_cost(interactions, 256, 1_024)
+                migrate = model.migration_cost(agent_bytes)
+                plan = model.choose(interactions, 256, 1_024, agent_bytes)
+                rows.append([agent_bytes, interactions,
+                             round(rpc * 1_000, 3),
+                             round(migrate * 1_000, 3), plan.value])
+                # The decision must match the cheaper measured cost.
+                expected = (AccessPlan.RPC if rpc <= migrate
+                            else AccessPlan.MIGRATE)
+                assert plan is expected
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["agent bytes", "interactions", "rpc cost (ms)",
+         "migrate cost (ms)", "decision"],
+        rows, title="EVAL-RPC: decision matrix (request 256B, reply 1KB)")
+    record_table("rpc_decision_matrix", table)
+
+
+def test_eval_rpc_crossover_curve(benchmark, record_table):
+    model = DecisionModel(network=NetworkParams())
+
+    def sweep():
+        rows = []
+        for agent_kb in (1, 4, 16, 64, 256):
+            crossover = model.crossover_interactions(
+                256, 1_024, agent_kb * 1_024)
+            rows.append([agent_kb, round(crossover, 1)])
+        values = [row[1] for row in rows]
+        assert values == sorted(values)  # heavier agent → later crossover
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["agent size (KB)", "crossover interactions (RPC→migrate)"],
+        rows,
+        title="EVAL-RPC: migration pays off beyond this many "
+              "interactions")
+    record_table("rpc_crossover", table)

@@ -1,0 +1,60 @@
+"""EVAL-SAVEPOINTS — forward-execution cost of savepoint granularity.
+
+Section 4.4.2: "savepoint entries are written when an agent savepoint
+is established.  This can be influenced by the application developer by
+giving up the possibility to roll back an arbitrary number of steps".
+
+The bench sweeps savepoint frequency on a fixed tour and reports the
+forward-execution price (migration bytes, completion time) against the
+rollback granularity bought (worst-case steps that must be compensated
+to reach the nearest savepoint).
+"""
+
+import pytest
+
+from repro import AgentStatus
+from repro.bench import format_table, make_tour_plan, run_tour
+from repro.bench.harness import build_tour_world
+from repro.bench.workloads import TourPlan
+
+N_NODES = 4
+N_STEPS = 12
+BALLAST = 4_000
+
+
+def run_granularity(savepoint_every, seed=50):
+    nodes = [f"n{i}" for i in range(N_NODES)]
+    base = make_tour_plan(nodes, N_STEPS, ace_fraction=1.0,
+                          savepoint_every=savepoint_every,
+                          sro_ballast=BALLAST)
+    plan = TourPlan(steps=base.steps, decision_node=base.decision_node,
+                    rollback_to=None, sro_ballast=BALLAST)
+    world = build_tour_world(N_NODES, seed=seed)
+    result = run_tour(plan, N_NODES, seed=seed, world=world)
+    assert result.status is AgentStatus.FINISHED
+    return world, result
+
+
+def test_eval_savepoint_granularity(benchmark, record_table):
+    def sweep():
+        rows = []
+        for every in (1, 2, 4, 12):
+            world, result = run_granularity(every)
+            savepoints = world.metrics.count("savepoints.written")
+            bytes_moved = world.metrics.total_bytes("agent.transfers.step")
+            # Worst-case rollback granularity: steps between savepoints.
+            granularity = every
+            rows.append([f"every {every}", savepoints, granularity,
+                         bytes_moved, round(result.finished_at, 3)])
+        costs = [row[3] for row in rows]
+        assert costs == sorted(costs, reverse=True)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["savepoint policy", "savepoints", "worst rollback granularity",
+         "migration bytes", "completion (s)"],
+        rows,
+        title="EVAL-SAVEPOINTS: forward cost vs rollback granularity "
+              f"({N_STEPS} steps, {BALLAST}B SRO)")
+    record_table("savepoint_overhead", table)

@@ -1,0 +1,31 @@
+"""Shared bench plumbing.
+
+Every bench regenerates one figure/table of the paper (or one claim of
+the promised performance evaluation).  Beyond the wall-clock numbers
+pytest-benchmark collects, each bench emits the paper-style ASCII table
+to stdout *and* to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md
+can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+
+
+@pytest.fixture
+def record_table():
+    """Write a result table to benchmarks/results/ and echo it."""
+
+    def _record(name: str, text: str) -> pathlib.Path:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+        return path
+
+    return _record

@@ -1,0 +1,150 @@
+"""Active messaging — retractable progress reports.
+
+The paper's introduction names active messaging among the application
+areas needing exactly-once agents.  A monitoring agent tours a server
+fleet, posting findings to a message board on the operations hub.  When
+it discovers its earlier readings were taken with a mis-calibrated
+probe, it rolls back the whole measurement pass: the unread postings
+are *retracted* by the compensating operations, and the re-executed
+pass posts corrected readings.
+
+A second part shows the compensation window closing: once the operator
+has read a message, retraction fails (information escaped), so the
+rollback can no longer cross that posting.
+
+Run:  python examples/active_messaging.py
+"""
+
+from repro import (
+    AgentStatus,
+    DataStore,
+    MessageBoard,
+    MobileAgent,
+    RollbackMode,
+    World,
+    agent_compensation,
+    resource_compensation,
+)
+from repro.node.runtime import RetryPolicy
+from repro.tx.manager import Transaction
+
+
+@resource_compensation("monitor.retract_report")
+def retract_report(board, params, ctx):
+    board.retract(params["message_id"])
+
+
+@agent_compensation("monitor.recalibrate")
+def recalibrate(wro, params, ctx):
+    wro["calibration"] = "fixed"
+    wro["retracted_reports"] = wro.get("retracted_reports", 0) + 1
+
+
+class MonitorAgent(MobileAgent):
+    """Measures each server, reports to the hub, sanity-checks last."""
+
+    SERVERS = ("web-1", "web-2")
+
+    def begin(self, ctx):
+        ctx.savepoint("pass-start")
+        ctx.goto("web-1", "measure")
+
+    def measure(self, ctx):
+        store = ctx.resource("telemetry")
+        raw = store.get("load")["value"]
+        if self.wro.get("calibration") != "fixed":
+            raw = raw * 10  # the mis-calibrated probe inflates readings
+        self.sro.setdefault("readings", []).append((ctx.node_name, raw))
+        ctx.goto("hub", "report")
+
+    def report(self, ctx):
+        board = ctx.resource("board")
+        node, value = self.sro["readings"][-1]
+        message_id = board.post("load-reports",
+                                {"server": node, "load": value},
+                                sender=self.agent_id)
+        ctx.log_resource_compensation("monitor.retract_report",
+                                      {"message_id": message_id},
+                                      resource="board")
+        ctx.log_agent_compensation("monitor.recalibrate", {})
+        visited = [n for n, _ in self.sro["readings"]]
+        remaining = [s for s in self.SERVERS if s not in visited]
+        if remaining:
+            ctx.goto(remaining[0], "measure")
+        else:
+            ctx.goto("hub", "sanity_check")
+
+    def sanity_check(self, ctx):
+        suspicious = [r for r in self.sro["readings"] if r[1] > 100]
+        if suspicious and self.wro.get("calibration") != "fixed":
+            # Readings are impossible: roll the whole pass back.  The
+            # compensations retract the unread reports and note the
+            # recalibration in the weakly reversible space.
+            ctx.rollback("pass-start")
+        ctx.finish({
+            "readings": list(self.sro["readings"]),
+            "calibration": self.wro.get("calibration", "factory"),
+            "retracted": self.wro.get("retracted_reports", 0),
+        })
+
+
+def build_world():
+    world = World(seed=99,
+                  retry_policy=RetryPolicy(max_attempts=5, backoff=0.02))
+    world.add_nodes("hub", "web-1", "web-2")
+    board = MessageBoard("board")
+    world.node("hub").add_resource(board)
+    for name, load in (("web-1", 42), ("web-2", 57)):
+        store = DataStore("telemetry")
+        store.seed(("rec", "load"), {"value": load})
+        world.node(name).add_resource(store)
+    return world, board
+
+
+def part1_retract_and_remeasure():
+    world, board = build_world()
+    agent = MonitorAgent("monitor-1")
+    record = world.launch(agent, at="hub", method="begin",
+                          mode=RollbackMode.OPTIMIZED)
+    world.run()
+    result = record.result
+    print("--- part 1: bad pass retracted, clean pass posted ---")
+    print("status:    ", record.status.value)
+    print("readings:  ", result["readings"])
+    print("board now: ", board.message_count("load-reports"), "reports")
+    print("retracted: ", result["retracted"])
+    assert record.status is AgentStatus.FINISHED
+    assert result["calibration"] == "fixed"
+    assert [value for _, value in result["readings"]] == [42, 57]
+    assert board.message_count("load-reports") == 2  # only clean reports
+    assert result["retracted"] == 2
+    print("OK: the mis-calibrated pass left no trace on the board.")
+
+
+def part2_read_messages_cannot_be_retracted():
+    world, board = build_world()
+    agent = MonitorAgent("monitor-2")
+    record = world.launch(agent, at="hub", method="begin",
+                          mode=RollbackMode.OPTIMIZED)
+
+    # The operator reads the board while the agent is still touring —
+    # after that, retraction of the read reports is impossible.
+    def operator_reads():
+        t = Transaction("operator", "hub")
+        board.read_topic(t, "load-reports", reader="operator")
+        t.commit()
+
+    world.sim.schedule(0.16, operator_reads)
+    world.run()
+    print()
+    print("--- part 2: read reports close the compensation window ---")
+    print("status: ", record.status.value)
+    print("failure:", record.failure)
+    assert record.status is AgentStatus.FAILED
+    assert "already read" in record.failure
+    print("OK: rollback correctly refused — the information escaped.")
+
+
+if __name__ == "__main__":
+    part1_retract_and_remeasure()
+    part2_read_messages_cannot_be_retracted()

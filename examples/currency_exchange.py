@@ -1,0 +1,147 @@
+"""Currency exchange — why mixed compensation entries exist.
+
+Section 4.4.1's example: an agent changes USD into EUR at an exchange.
+Compensating the conversion needs (a) the EUR coins in the agent's
+weakly reversible purse, (b) the place where the returned USD must go
+(also the purse), and (c) the exchange resource — so the agent must be
+co-located with the resource: a *mixed* compensation entry.
+
+The example runs the same scenario twice, with the basic and the
+optimized rollback mechanism, and shows that even the optimized
+mechanism must transfer the agent to the exchange node for this step —
+while a sibling step that only moved money between accounts (pure
+resource compensation) costs no transfer under the optimized mechanism.
+
+Run:  python examples/currency_exchange.py
+"""
+
+from repro import (
+    Bank,
+    CurrencyExchange,
+    Mint,
+    MobileAgent,
+    RollbackMode,
+    World,
+    mixed_compensation,
+    resource_compensation,
+)
+from repro.resources.cash import purse_value
+
+
+@resource_compensation("fx.undo_transfer")
+def undo_transfer(bank, params, ctx):
+    bank.transfer(params["dst"], params["src"], params["amount"],
+                  compensating=True)
+
+
+@mixed_compensation("fx.change_back")
+def change_back(wro, exchange, params, ctx):
+    """Change the EUR in the purse back into USD (new serials!)."""
+    eur_coins = [c for c in wro.get("purse", []) if c.currency == "EUR"]
+    other = [c for c in wro.get("purse", []) if c.currency != "EUR"]
+    usd_coins = exchange.convert(eur_coins, "USD")
+    wro["purse"] = other + usd_coins
+    wro["conversions_undone"] = wro.get("conversions_undone", 0) + 1
+
+
+class Changer(MobileAgent):
+    def fund(self, ctx):
+        bank = ctx.resource("bank")
+        mint = ctx.resource("mint-usd")
+        bank.withdraw("traveller", 200)
+        mint.fund(200)
+        self.wro["purse"] = mint.issue(200, 1)
+        ctx.savepoint("funded")
+        ctx.goto("branch", "move_money")
+
+    def move_money(self, ctx):
+        # A step whose compensation is a pure resource compensation
+        # entry: under the optimized mechanism the agent never returns
+        # here during rollback.
+        bank = ctx.resource("branch-bank")
+        bank.transfer("ops", "reserve", 50)
+        ctx.log_resource_compensation(
+            "fx.undo_transfer",
+            {"src": "ops", "dst": "reserve", "amount": 50},
+            resource="branch-bank")
+        ctx.goto("exchange", "change_money")
+
+    def change_money(self, ctx):
+        if self.wro.get("conversions_undone"):
+            ctx.goto("home", "reconsider")  # second pass: skip
+            return
+        exchange = ctx.resource("exchange")
+        usd = [c for c in self.wro["purse"] if c.currency == "USD"]
+        rest = [c for c in self.wro["purse"] if c.currency != "USD"]
+        eur = exchange.convert(usd, "EUR")
+        self.wro["purse"] = rest + eur
+        ctx.log_mixed_compensation("fx.change_back", {},
+                                   resource="exchange")
+        ctx.goto("home", "reconsider")
+
+    def reconsider(self, ctx):
+        if not self.wro.get("conversions_undone"):
+            ctx.rollback("funded")
+        ctx.finish({
+            "purse_currencies": sorted({c.currency
+                                        for c in self.wro["purse"]}),
+            "purse_value": purse_value(self.wro["purse"], "USD"),
+            "serials": sorted(c.serial for c in self.wro["purse"]),
+        })
+
+
+def build_world(seed):
+    world = World(seed=seed)
+    world.add_nodes("home", "branch", "exchange")
+    bank = Bank("bank")
+    bank.seed_account("traveller", 1000)
+    world.node("home").add_resource(bank)
+    mint_usd = Mint("mint-usd", "USD")
+    world.node("home").add_resource(mint_usd)
+    branch_bank = Bank("branch-bank")
+    branch_bank.seed_account("ops", 500)
+    branch_bank.seed_account("reserve", 500)
+    world.node("branch").add_resource(branch_bank)
+    mint_eur = Mint("mint-eur", "EUR")
+    mint_eur.seed("float", 10_000)  # exchange reserves
+    exchange = CurrencyExchange("exchange",
+                                {"USD": mint_usd, "EUR": mint_eur})
+    exchange.set_rate("USD", "EUR", 9, 10)  # 1 USD = 0.9 EUR
+    world.node("exchange").add_resource(exchange)
+    world.node("exchange").share_resource(mint_usd)
+    world.node("exchange").share_resource(mint_eur)
+    return world
+
+
+def run(mode):
+    world = build_world(seed=11)
+    record = world.launch(Changer(f"changer-{mode.value}"), at="home",
+                          method="fund", mode=mode)
+    world.run()
+    return world, record
+
+
+def main():
+    for mode in (RollbackMode.BASIC, RollbackMode.OPTIMIZED):
+        world, record = run(mode)
+        transfers = world.metrics.count("agent.transfers.compensation")
+        ships = world.metrics.count("net.messages.rce-list")
+        print(f"[{mode.value:9s}] status={record.status.value} "
+              f"purse={record.result['purse_value']} USD "
+              f"agent-transfers-for-rollback={transfers} "
+              f"rce-lists-shipped={ships}")
+        assert record.result["purse_currencies"] == ["USD"]
+        if mode is RollbackMode.BASIC:
+            # Basic: agent visits exchange AND branch on the way back.
+            assert transfers == 2, transfers
+        else:
+            # Optimized: agent goes to the exchange (mixed entry) but
+            # the branch transfer is compensated by a shipped RCE list.
+            assert transfers == 1, transfers
+            assert ships == 1, ships
+    print("OK: mixed compensation forces exactly the transfers the "
+          "paper predicts.")
+
+
+if __name__ == "__main__":
+    main()

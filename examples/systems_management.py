@@ -1,0 +1,157 @@
+"""Systems management with hierarchical itineraries (Section 4.4.2).
+
+A software-rollout agent works through a Figure-6-shaped itinerary: the
+main itinerary holds independent top-level sub-tasks (inventory,
+rollout, wrap-up); the rollout sub-task nests a per-cluster install
+sub-itinerary.  A failed verification rolls back *only* the install
+sub-itinerary (the nested scope, ``levels=0``); a second failure
+escalates and rolls back the whole rollout sub-task (the enclosing
+scope, ``levels=1``).
+
+The example also exercises the two log-hygiene rules: a sub-itinerary's
+savepoint is discarded as soon as it completes, and completing a
+top-level sub-task discards the entire rollback log (one truncation per
+top-level sub-task).
+
+Note the *only* way the resumed agent learns that a rollback happened:
+a compensating operation writes it into the weakly reversible space
+(``rollout.note_rollback``).  Everything mutated by the step that
+initiated the rollback is aborted with its step transaction.
+
+Run:  python examples/systems_management.py
+"""
+
+from repro import (
+    DataStore,
+    Itinerary,
+    ItineraryAgent,
+    RollbackMode,
+    StepEntry,
+    SubItinerary,
+    World,
+    agent_compensation,
+    resource_compensation,
+)
+
+
+@resource_compensation("rollout.uninstall")
+def uninstall(store, params, ctx):
+    """Compensate an install: remove the deployed version record."""
+    store.remove(params["record"])
+
+
+@agent_compensation("rollout.note_rollback")
+def note_rollback(wro, params, ctx):
+    """Tell the resumed agent a rollback happened (WRO channel)."""
+    wro["rollbacks_seen"] = wro.get("rollbacks_seen", 0) + 1
+    wro["installed"] = []
+
+
+class RolloutAgent(ItineraryAgent):
+    """Inventory the fleet, then roll the new version out."""
+
+    # -- sub-task 1: inventory (pure information gathering) -----------------
+
+    def scan(self, ctx):
+        store = ctx.resource("config")
+        version = store.get("version")["version"]
+        self.sro.setdefault("inventory", []).append(
+            (ctx.node_name, version))
+
+    # -- sub-task 2: rollout ---------------------------------------------------
+
+    def prepare(self, ctx):
+        self.sro["target_version"] = "2.0"
+
+    def install(self, ctx):
+        store = ctx.resource("config")
+        record = f"deploy-{ctx.node_name}-{self.step_count}"
+        store.insert(record, {"version": self.sro["target_version"]})
+        ctx.log_resource_compensation("rollout.uninstall",
+                                      {"record": record},
+                                      resource="config")
+        self.wro.setdefault("installed", []).append(record)
+        ctx.log_agent_compensation("rollout.note_rollback", {})
+
+    def verify(self, ctx):
+        # note_rollback runs once per compensated install, so each
+        # rollback of the two-web cluster adds 2 to the counter.
+        seen = self.wro.get("rollbacks_seen", 0)
+        if seen == 0:
+            self.rollback_scope(ctx, levels=0)   # retry the cluster
+        if seen == 2:
+            self.rollback_scope(ctx, levels=1)   # escalate: whole rollout
+        self.wro["verified"] = True
+
+    # -- sub-task 3: wrap-up ------------------------------------------------------
+
+    def wrap_up(self, ctx):
+        self.wro["report"] = {
+            "inventory": list(self.sro.get("inventory", [])),
+            "installed": list(self.wro.get("installed", [])),
+            "rollbacks_seen": self.wro.get("rollbacks_seen", 0),
+            "verified": self.wro.get("verified", False),
+        }
+
+    def itinerary_result(self):
+        return self.wro.get("report")
+
+
+def build_itinerary():
+    inventory = SubItinerary("inventory", [
+        StepEntry("scan", "web-1"),
+        StepEntry("scan", "web-2"),
+    ])
+    install_cluster = SubItinerary("install-cluster", [
+        StepEntry("install", "web-1"),
+        StepEntry("install", "web-2"),
+        StepEntry("verify", "monitor"),
+    ])
+    rollout = SubItinerary("rollout", [
+        StepEntry("prepare", "control"),
+        install_cluster,
+    ])
+    wrap = SubItinerary("wrap-up", [StepEntry("wrap_up", "control")])
+    return Itinerary().add(inventory).add(rollout).add(wrap)
+
+
+def main():
+    world = World(seed=23)
+    for name in ("control", "monitor", "web-1", "web-2"):
+        node = world.add_node(name)
+        store = DataStore("config")
+        store.seed(("rec", "version"), {"version": "1.0"})
+        store.seed("count", 1)
+        node.add_resource(store)
+
+    agent = RolloutAgent(build_itinerary(), "rollout-agent")
+    record = world.launch_itinerary(agent, mode=RollbackMode.OPTIMIZED)
+    world.run()
+
+    report = record.result
+    print("status:          ", record.status.value)
+    print("report:          ", report)
+    print("rollbacks done:  ", record.rollbacks_completed)
+    print("log truncations: ", world.metrics.count("log.truncations"))
+    assert record.status.value == "finished", record.failure
+    # One nested rollback + one escalation, each compensating both
+    # installs => 4 note_rollback executions.
+    assert record.rollbacks_completed == 2, record.rollbacks_completed
+    assert report["rollbacks_seen"] == 4, report
+    assert report["verified"] is True
+    # The final (third) attempt deployed exactly one record per web
+    # (plus the seeded version record).
+    for web in ("web-1", "web-2"):
+        store = world.node(web).get_resource("config")
+        deploys = [k for k in store.keys()
+                   if isinstance(k, tuple) and k[0] == "rec"
+                   and k[1] != "version"]
+        assert len(deploys) == 1, (web, deploys)
+    # One log truncation per completed top-level sub-task.
+    assert world.metrics.count("log.truncations") == 3
+    print("OK: nested scope rolled back, enclosing scope escalated, "
+          "final attempt deployed cleanly.")
+
+
+if __name__ == "__main__":
+    main()

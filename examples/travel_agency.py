@@ -1,0 +1,162 @@
+"""Travel booking with alternatives — flexible itineraries + rollback.
+
+A trip-booking agent uses the itinerary DSL with preconditions as the
+alternatives mechanism (ref [14]): it books a flight and a hotel inside
+one "booking" sub-task; if the combination busts the budget, the agent
+rolls back the whole booking sub-task, and on the retry the
+preconditions steer it to the budget airline and guesthouse instead.
+
+Everything the agent pays moves through real bank transfers with
+registered resource compensations, so the rollback measurably refunds
+the first attempt.
+
+Run:  python examples/travel_agency.py
+"""
+
+from repro import (
+    Bank,
+    ItineraryAgent,
+    RollbackMode,
+    World,
+    agent_compensation,
+    resource_compensation,
+)
+from repro.itinerary import parse_itinerary
+
+PRICES = {
+    "premium-air": 700,
+    "budget-air": 280,
+    "grand-hotel": 450,
+    "guesthouse": 150,
+}
+
+
+@resource_compensation("travel.refund")
+def travel_refund(bank, params, ctx):
+    bank.transfer(params["merchant"], "traveller", params["amount"],
+                  compensating=True)
+
+
+@agent_compensation("travel.cancel_booking")
+def travel_cancel_booking(wro, params, ctx):
+    bookings = dict(wro.get("bookings", {}))
+    bookings.pop(params["kind"], None)
+    wro["bookings"] = bookings
+    wro["cancellations"] = wro.get("cancellations", 0) + 1
+
+
+ITINERARY = """
+I{ research{ scout/info },
+   booking{ book_flight/airline  ?prefer_premium,
+            book_flight/discount ?prefer_budget,
+            book_hotel/hotel     ?prefer_premium,
+            book_hotel/hostel    ?prefer_budget,
+            check_budget/home },
+   confirm{ confirm_trip/home } }
+"""
+
+
+class TravelAgent(ItineraryAgent):
+    """Books a trip within budget, falling back after a rollback."""
+
+    def __init__(self, agent_id, budget):
+        super().__init__(parse_itinerary(ITINERARY), agent_id)
+        self.sro["budget"] = budget
+
+    # -- preconditions (the alternatives mechanism) ----------------------
+
+    def prefer_premium(self):
+        return not self.wro.get("cancellations")
+
+    def prefer_budget(self):
+        return bool(self.wro.get("cancellations"))
+
+    # -- steps -------------------------------------------------------------
+
+    def scout(self, ctx):
+        self.sro["options"] = dict(PRICES)
+
+    def _book(self, ctx, kind, offer):
+        price = self.sro["options"][offer]
+        bank = ctx.resource("bank")
+        bank.transfer("traveller", offer, price)
+        ctx.log_resource_compensation(
+            "travel.refund", {"merchant": offer, "amount": price},
+            resource="bank")
+        bookings = dict(self.wro.get("bookings", {}))
+        bookings[kind] = {"offer": offer, "price": price}
+        self.wro["bookings"] = bookings
+        ctx.log_agent_compensation("travel.cancel_booking",
+                                   {"kind": kind})
+
+    def book_flight(self, ctx):
+        offer = {"airline": "premium-air",
+                 "discount": "budget-air"}[ctx.node_name]
+        self._book(ctx, "flight", offer)
+
+    def book_hotel(self, ctx):
+        offer = {"hotel": "grand-hotel",
+                 "hostel": "guesthouse"}[ctx.node_name]
+        self._book(ctx, "hotel", offer)
+
+    def check_budget(self, ctx):
+        spent = sum(b["price"] for b in self.wro["bookings"].values())
+        if spent > self.sro["budget"]:
+            # Bust: roll back the whole booking sub-task.  The refunds
+            # and cancellations arrive through the compensations; the
+            # preconditions then flip to the budget alternatives.
+            self.rollback_scope(ctx, levels=0)
+
+    def confirm_trip(self, ctx):
+        self.wro["confirmed"] = True
+
+    def itinerary_result(self):
+        return {
+            "bookings": self.wro.get("bookings", {}),
+            "cancellations": self.wro.get("cancellations", 0),
+            "confirmed": self.wro.get("confirmed", False),
+        }
+
+
+def main():
+    world = World(seed=77)
+    world.add_nodes("home", "info", "airline", "discount", "hotel",
+                    "hostel")
+    bank = Bank("bank")
+    bank.seed_account("traveller", 1_500)
+    for merchant in PRICES:
+        bank.seed_account(merchant, 0)
+    # One clearing bank reachable from every sales node.
+    for node in ("airline", "discount", "hotel", "hostel"):
+        world.node(node).share_resource(bank)
+    world.node("home").add_resource(bank)
+
+    agent = TravelAgent("traveller-1", budget=500)
+    record = world.launch_itinerary(agent, mode=RollbackMode.OPTIMIZED)
+    world.run()
+
+    result = record.result
+    print("status:        ", record.status.value)
+    print("bookings:      ", result["bookings"])
+    print("cancellations: ", result["cancellations"])
+    print("rollbacks:     ", record.rollbacks_completed)
+    print("traveller left:", bank.peek("traveller")["balance"])
+    print("premium-air:   ", bank.peek("premium-air")["balance"],
+          "(refunded)")
+    print("budget-air:    ", bank.peek("budget-air")["balance"])
+
+    assert record.status.value == "finished", record.failure
+    assert result["confirmed"] is True
+    assert result["cancellations"] == 2  # flight + hotel cancelled once
+    assert result["bookings"]["flight"]["offer"] == "budget-air"
+    assert result["bookings"]["hotel"]["offer"] == "guesthouse"
+    # First attempt fully refunded; only the budget trip was paid.
+    assert bank.peek("premium-air")["balance"] == 0
+    assert bank.peek("grand-hotel")["balance"] == 0
+    assert bank.peek("traveller")["balance"] == 1_500 - 280 - 150
+    print("OK: budget alternatives booked after the rollback refunded "
+          "the premium attempt.")
+
+
+if __name__ == "__main__":
+    main()

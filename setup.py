@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has no ``wheel`` package (offline), so PEP 660 editable
+installs cannot build editable wheels; this shim lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` path.  All metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro — reproduction of Straßer & Rothermel (ICDCS 2000),
+"System Mechanisms for Partial Rollback of Mobile Agent Execution".
+
+Quick start::
+
+    from repro import World, MobileAgent
+
+    class Probe(MobileAgent):
+        def hop(self, ctx):
+            self.sro.setdefault("visited", []).append(ctx.node_name)
+            if len(self.sro["visited"]) < 3:
+                ctx.savepoint(f"after-{ctx.node_name}")
+                ctx.goto("n2" if ctx.node_name == "n1" else "n1", "hop")
+            else:
+                ctx.finish(self.sro["visited"])
+
+    world = World(seed=1)
+    world.add_nodes("n1", "n2")
+    record = world.launch(Probe("probe"), at="n1", method="hop")
+    world.run()
+    print(record.result)
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+reproduced figures/evaluation.
+"""
+
+from repro.agent import MobileAgent, StepContext
+from repro.agent.packages import PackageKind, Protocol, RollbackMode
+from repro.compensation import (
+    agent_compensation,
+    mixed_compensation,
+    resource_compensation,
+)
+from repro.errors import (
+    CompensationFailed,
+    NotCompensatable,
+    ReproError,
+    RollbackRequest,
+)
+from repro.itinerary import Itinerary, ItineraryAgent, StepEntry, SubItinerary
+from repro.log import LoggingMode, RollbackLog
+from repro.node import AgentRecord, AgentStatus, Node, World
+from repro.resources import (
+    AuctionHouse,
+    Bank,
+    Coin,
+    CurrencyExchange,
+    DataStore,
+    EconomyAuditor,
+    InfoDirectory,
+    MessageBoard,
+    Mint,
+    Shop,
+)
+from repro.sim import CrashPlan, TimingModel
+from repro.sim.timing import NetworkParams
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "World",
+    "Node",
+    "AgentRecord",
+    "AgentStatus",
+    "MobileAgent",
+    "StepContext",
+    "ItineraryAgent",
+    "Itinerary",
+    "SubItinerary",
+    "StepEntry",
+    "RollbackMode",
+    "Protocol",
+    "PackageKind",
+    "LoggingMode",
+    "RollbackLog",
+    "resource_compensation",
+    "agent_compensation",
+    "mixed_compensation",
+    "Bank",
+    "Mint",
+    "Coin",
+    "Shop",
+    "CurrencyExchange",
+    "InfoDirectory",
+    "DataStore",
+    "MessageBoard",
+    "AuctionHouse",
+    "EconomyAuditor",
+    "TimingModel",
+    "NetworkParams",
+    "CrashPlan",
+    "ReproError",
+    "RollbackRequest",
+    "CompensationFailed",
+    "NotCompensatable",
+    "__version__",
+]

@@ -1,0 +1,34 @@
+"""Mobile agent model (paper, Section 2).
+
+Agents are autonomous objects performing a job on behalf of their
+owner.  The set of actions an agent performs on a single node is a
+*step*, implemented as a single method of the agent object.  Between
+steps the agent — code reference plus all private data — is captured
+(pickled) and parked in the next node's durable input queue.
+
+The private data space is split per Section 4.1:
+
+* ``agent.sro`` — **strongly reversible objects**: restored by the
+  system from before-images in the rollback log; never touched by
+  compensating operations.
+* ``agent.wro`` — **weakly reversible objects**: restored by
+  developer-supplied compensating operations (registered through the
+  :class:`~repro.agent.context.StepContext`), because rollback can
+  produce genuinely new information (fresh coin serials, fees, credit
+  notes).
+
+Step code interacts with the world exclusively through the
+:class:`~repro.agent.context.StepContext` passed to each step method.
+"""
+
+from repro.agent.agent import MobileAgent
+from repro.agent.context import StepContext, WROView
+from repro.agent.packages import AgentPackage, PackageKind
+
+__all__ = [
+    "MobileAgent",
+    "StepContext",
+    "WROView",
+    "AgentPackage",
+    "PackageKind",
+]

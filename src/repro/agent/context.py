@@ -1,0 +1,272 @@
+"""The step context — the API surface agent steps program against.
+
+One :class:`StepContext` is created per step-transaction attempt and
+passed to the step method.  Through it the step:
+
+* accesses local resources transactionally (:meth:`StepContext.resource`);
+* registers compensating operations for everything it did
+  (:meth:`log_resource_compensation`, :meth:`log_agent_compensation`,
+  :meth:`log_mixed_compensation`) — these become the operation entries
+  of Section 4.2;
+* constitutes savepoints (:meth:`savepoint` — effective at the end of
+  the step, per Section 2's "agent savepoints can only be constituted
+  at the end of a step");
+* steers control (:meth:`goto`, :meth:`finish`);
+* initiates partial rollback (:meth:`rollback`) or a plain
+  abort-and-restart (:meth:`abort_and_restart`).
+
+:class:`WROView` is the facade handed to compensating operations: it
+exposes only the weakly reversible objects, enforcing the rule that
+compensation never touches strongly reversible objects (Section 4.3).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING, Any, Iterator, Optional
+
+from repro.errors import (
+    AgentFinished,
+    NotCompensatable,
+    RollbackRequest,
+    StepAbortRequest,
+    UsageError,
+)
+from repro.log.entries import OperationEntry, OperationKind, SavepointEntry
+from repro.resources.base import ResourceView
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agent.agent import MobileAgent
+    from repro.log.rollback_log import RollbackLog
+    from repro.node.node import Node
+    from repro.tx.manager import Transaction
+
+
+class WROView:
+    """Mutable mapping over the agent's weakly reversible objects only."""
+
+    def __init__(self, agent: "MobileAgent"):
+        self._wro = agent.wro
+
+    def __getitem__(self, key: str) -> Any:
+        return self._wro[key]
+
+    def __setitem__(self, key: str, value: Any) -> None:
+        self._wro[key] = value
+
+    def __delitem__(self, key: str) -> None:
+        del self._wro[key]
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._wro
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._wro)
+
+    def get(self, key: str, default: Any = None) -> Any:
+        return self._wro.get(key, default)
+
+    def setdefault(self, key: str, default: Any) -> Any:
+        return self._wro.setdefault(key, default)
+
+
+class StepContext:
+    """Per-step API: resources, compensation logging, control flow."""
+
+    def __init__(self, node: "Node", agent: "MobileAgent",
+                 log: "RollbackLog", tx: "Transaction", step_index: int):
+        self._node = node
+        self._agent = agent
+        self._log = log
+        self._tx = tx
+        self._step_index = step_index
+        self._rng: Optional[random.Random] = None
+        # staged step-end effects
+        self._sp_requests: list[tuple[str, bool]] = []  # (id, virtual)
+        self._discards: list[str] = []
+        self._truncate = False
+        self._next: Optional[dict[str, str]] = None
+        self._finish_result: Any = None
+        self._finishing = False
+        self._non_compensatable = False
+        self._alternates: tuple[str, ...] = ()
+        self._has_mixed = False
+
+    # -- ambient facts ------------------------------------------------------------
+
+    @property
+    def agent(self) -> "MobileAgent":
+        return self._agent
+
+    @property
+    def node_name(self) -> str:
+        """Name of the node executing this step."""
+        return self._node.name
+
+    @property
+    def step_index(self) -> int:
+        return self._step_index
+
+    @property
+    def now(self) -> float:
+        """Current virtual time, including work already charged."""
+        return self._node.sim.now + self._tx.cost
+
+    @property
+    def rng(self) -> random.Random:
+        """Deterministic per-(agent, step) random stream.
+
+        Derived from the kernel seed, the agent id and the step index,
+        so a step retried after an abort draws the same values —
+        deterministic replay.
+        """
+        if self._rng is None:
+            self._rng = self._node.sim.fork_rng(
+                f"step:{self._agent.agent_id}:{self._step_index}")
+        return self._rng
+
+    # -- resources --------------------------------------------------------------------
+
+    def resource(self, name: str) -> ResourceView:
+        """A local resource bound to the step transaction."""
+        resource = self._node.get_resource(name)
+        return ResourceView(resource, self._tx, self._node.timing,
+                            compensating=False)
+
+    # -- compensation logging ------------------------------------------------------------
+
+    def log_resource_compensation(self, op_name: str,
+                                  params: Optional[dict[str, Any]] = None,
+                                  resource: Optional[str] = None) -> None:
+        """Register an RCE: compensates resource state only.
+
+        All information the operation needs must be in ``params``; it
+        will execute on this node (where the resource lives) possibly
+        *without* the agent (Section 4.4.1).
+        """
+        self._append_op(OperationKind.RESOURCE, op_name, params, resource)
+
+    def log_agent_compensation(self, op_name: str,
+                               params: Optional[dict[str, Any]] = None) -> None:
+        """Register an ACE: compensates weakly reversible objects only."""
+        self._append_op(OperationKind.AGENT, op_name, params, None)
+
+    def log_mixed_compensation(self, op_name: str,
+                               params: Optional[dict[str, Any]] = None,
+                               resource: Optional[str] = None) -> None:
+        """Register an MCE: needs agent WROs *and* this node's resource."""
+        self._has_mixed = True
+        self._append_op(OperationKind.MIXED, op_name, params, resource)
+
+    def _append_op(self, kind: OperationKind, op_name: str,
+                   params: Optional[dict[str, Any]],
+                   resource: Optional[str]) -> None:
+        registered = self._node.registry.resolve(op_name)  # fail fast
+        if registered.kind is not kind:
+            raise UsageError(
+                f"{op_name!r} is registered as {registered.kind.value}, "
+                f"not {kind.value}")
+        if kind is not OperationKind.AGENT and resource is None:
+            raise UsageError(
+                f"{kind.value} entry {op_name!r} must name its resource")
+        entry = OperationEntry(op_kind=kind, op_name=op_name,
+                               params=dict(params or {}),
+                               node=self._node.name if kind is not
+                               OperationKind.AGENT else None,
+                               resource=resource)
+        self._log.append(entry, self._tx)
+
+    def mark_non_compensatable(self) -> None:
+        """Declare this step impossible to compensate (Section 3.2).
+
+        After this step commits, no rollback may cross it.
+        """
+        self._non_compensatable = True
+
+    def declare_alternates(self, *nodes: str) -> None:
+        """Name nodes able to run this step's compensation (FT rollback)."""
+        self._alternates = tuple(nodes)
+
+    # -- savepoints and log hygiene ----------------------------------------------------------
+
+    def savepoint(self, sp_id: Optional[str] = None,
+                  virtual: bool = False) -> str:
+        """Constitute an agent savepoint at the end of this step.
+
+        Returns the savepoint identifier.  ``virtual=True`` writes a
+        data-less entry denoting the same state as the real savepoint
+        below it (itinerary integration, Section 4.4.2).  Several
+        savepoints may be requested in one step (entering nested
+        sub-itineraries constitutes one per level); they are written in
+        request order at step end.
+        """
+        sp_id = sp_id or SavepointEntry.fresh_id()
+        self._sp_requests.append((sp_id, virtual))
+        return sp_id
+
+    def has_savepoint(self, sp_id: str) -> bool:
+        """Whether SP(spID) currently exists in the rollback log."""
+        return self._log.has_savepoint(sp_id)
+
+    def discard_savepoint(self, sp_id: str) -> None:
+        """Drop SP(spID) from the log at step end (sub-itinerary done)."""
+        self._discards.append(sp_id)
+
+    def truncate_log(self) -> None:
+        """Drop the whole rollback log at step end (top-level task done)."""
+        self._truncate = True
+
+    # -- control flow -----------------------------------------------------------------------------
+
+    def goto(self, node: str, method: str) -> None:
+        """Execute ``method`` as the next step, on ``node``."""
+        self._agent.step_method(method)  # validate early
+        self._next = {"node": node, "method": method}
+
+    def finish(self, result: Any = None) -> None:
+        """Declare the agent's job complete after this step commits."""
+        self._finishing = True
+        self._finish_result = result
+
+    def rollback(self, sp_id: str) -> None:
+        """Initiate partial rollback to savepoint ``sp_id``.
+
+        Aborts the current step transaction (undoing everything this
+        step did) and starts the rollback mechanism.  Never returns.
+        """
+        if not self._log.has_savepoint(sp_id):
+            raise UsageError(f"no savepoint {sp_id!r} in the rollback log")
+        blocker = self._log.blocking_non_compensatable(sp_id)
+        if blocker is not None:
+            raise NotCompensatable(
+                f"step {blocker.step_index} on {blocker.node} cannot be "
+                f"compensated; rollback to {sp_id!r} impossible")
+        raise RollbackRequest(sp_id)
+
+    def abort_and_restart(self) -> None:
+        """Abort the step transaction and re-execute the step later."""
+        raise StepAbortRequest()
+
+    # -- step-end bookkeeping (runtime only) ------------------------------------------------------
+
+    def staged_next(self) -> Optional[dict[str, str]]:
+        return self._next
+
+    def staged_finish(self) -> tuple[bool, Any]:
+        return self._finishing, self._finish_result
+
+    def staged_savepoints(self) -> list[tuple[str, bool]]:
+        return list(self._sp_requests)
+
+    def staged_discards(self) -> list[str]:
+        return list(self._discards)
+
+    def staged_truncate(self) -> bool:
+        return self._truncate
+
+    def step_flags(self) -> dict[str, Any]:
+        return {
+            "has_mixed": self._has_mixed,
+            "non_compensatable": self._non_compensatable,
+            "alternates": self._alternates,
+        }

@@ -1,0 +1,94 @@
+"""Agent packages — what actually sits in a durable input queue.
+
+A package is the serialised pair (agent, rollback log) plus routing and
+protocol metadata.  For *step* packages the metadata says which step to
+run; for *compensation* packages it carries the rollback target
+savepoint and mode ("(spID, agent, LOG)" of Figures 4/5); *shadow*
+packages are the fault-tolerant protocol's replicas, inert until
+promoted.
+
+Keeping agent+log as one opaque blob gives the clean state boundary of
+a real migration: a transaction that aborts after mutating the restored
+copy leaves the durable blob untouched — undo for free — and the blob
+length is the honest transfer/migration payload size.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional
+
+from repro.log.rollback_log import RollbackLog
+from repro.storage.serialization import capture, restore
+
+
+_WORK_IDS = itertools.count(1)
+
+
+class PackageKind(str, enum.Enum):
+    """What the receiving node should do with the package."""
+
+    STEP = "step"
+    COMPENSATION = "compensation"
+    SHADOW = "shadow"
+
+
+class RollbackMode(str, enum.Enum):
+    """Which rollback algorithm drives compensation packages."""
+
+    BASIC = "basic"          # Figure 4
+    OPTIMIZED = "optimized"  # Figure 5
+    SAGA = "saga"            # baseline: restore full state image (ref [4])
+
+
+class Protocol(str, enum.Enum):
+    """Step-execution protocol family (ref [11])."""
+
+    BASIC = "basic"
+    FAULT_TOLERANT = "ft"
+
+
+@dataclass
+class AgentPackage:
+    """One durable queue payload."""
+
+    kind: PackageKind
+    agent_id: str
+    blob: bytes  # capture((agent, log))
+    step_index: int
+    sp_id: Optional[str] = None  # rollback target (compensation packages)
+    mode: RollbackMode = RollbackMode.BASIC
+    protocol: Protocol = Protocol.BASIC
+    alternates: tuple[str, ...] = ()
+    # Fault-tolerant protocol metadata (ref [11]):
+    # ``work_id`` uniquely identifies one unit of work so primary and
+    # promoted-shadow executions exclude each other through the step
+    # ledger; ``primary`` names the node originally responsible;
+    # ``promoted`` marks a shadow that took over.
+    work_id: int = field(default_factory=lambda: next(_WORK_IDS))
+    primary: Optional[str] = None
+    promoted: bool = False
+
+    @classmethod
+    def pack(cls, kind: PackageKind, agent: Any, log: RollbackLog,
+             step_index: int, **meta: Any) -> "AgentPackage":
+        """Capture ``agent`` and ``log`` into a package."""
+        return cls(kind=kind, agent_id=agent.agent_id,
+                   blob=capture((agent, log)), step_index=step_index,
+                   **meta)
+
+    def unpack(self) -> tuple[Any, RollbackLog]:
+        """Re-instantiate (agent, log) from the blob."""
+        agent, log = restore(self.blob)
+        return agent, log
+
+    @property
+    def size_bytes(self) -> int:
+        """Serialised payload size (the migration transfer cost)."""
+        return len(self.blob)
+
+    def as_kind(self, kind: PackageKind, **meta: Any) -> "AgentPackage":
+        """Copy with a different kind (shadow promotion etc.)."""
+        return replace(self, kind=kind, **meta)

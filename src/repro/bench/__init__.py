@@ -1,0 +1,30 @@
+"""Benchmark support: workloads, harness, result tables.
+
+The paper contains no measured evaluation ("will be evaluated in terms
+of performance"), so this package provides the workload machinery that
+evaluation would have used: parameterised *tour* workloads (an agent
+visiting a chain of nodes, performing compensable work with a
+controlled mix of operation-entry types, then rolling back), world
+builders, and result extraction for the tables in ``benchmarks/``.
+"""
+
+from repro.bench.workloads import StepSpec, TourAgent, TourPlan, make_tour_plan
+from repro.bench.harness import (
+    TourResult,
+    build_tour_world,
+    format_table,
+    rollback_latencies,
+    run_tour,
+)
+
+__all__ = [
+    "StepSpec",
+    "TourPlan",
+    "TourAgent",
+    "make_tour_plan",
+    "build_tour_world",
+    "run_tour",
+    "TourResult",
+    "rollback_latencies",
+    "format_table",
+]

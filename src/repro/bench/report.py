@@ -1,0 +1,86 @@
+"""Evaluation report assembly.
+
+Collects the ASCII tables the benches drop into ``benchmarks/results/``
+into one markdown report, and renders per-run metric summaries.  Used
+by maintainers to refresh the numbers quoted in EXPERIMENTS.md after
+substrate changes.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.runtime import World
+
+# Section order for the assembled report; unknown tables land at the end.
+_SECTION_ORDER = (
+    "fig1_execution", "fig2_log", "fig3_rollback", "fig4_basic",
+    "fig5_optimized", "fig5_bytes_vs_size", "fig6_itinerary",
+    "fig6_savepoints", "logsize_itinerary", "logsize_growth",
+    "migration_log_share", "migration_network", "savepoint_overhead",
+    "fault_tolerance", "fault_tolerance_seeds", "logging_modes_size",
+    "baseline_scorecard", "baseline_savepoint_overhead",
+    "prediction", "concurrent_agents", "rpc_decision_matrix",
+    "rpc_crossover",
+)
+
+
+@dataclass
+class ReportSection:
+    """One table from the results directory."""
+
+    name: str
+    title: str
+    body: str
+
+
+def load_sections(results_dir: pathlib.Path) -> list[ReportSection]:
+    """Load every ``*.txt`` table, in canonical section order."""
+    sections = {}
+    for path in sorted(results_dir.glob("*.txt")):
+        text = path.read_text().strip()
+        title = text.splitlines()[0] if text else path.stem
+        sections[path.stem] = ReportSection(name=path.stem, title=title,
+                                            body=text)
+    ordered = [sections.pop(name) for name in _SECTION_ORDER
+               if name in sections]
+    ordered.extend(sections[name] for name in sorted(sections))
+    return ordered
+
+
+def assemble_report(results_dir: pathlib.Path,
+                    heading: str = "Benchmark results") -> str:
+    """Render all result tables as one markdown document."""
+    sections = load_sections(results_dir)
+    lines = [f"# {heading}", ""]
+    if not sections:
+        lines.append("*(no result tables found — run "
+                     "`pytest benchmarks/ --benchmark-only` first)*")
+        return "\n".join(lines)
+    for section in sections:
+        lines.append(f"## {section.title}")
+        lines.append("")
+        lines.append("```")
+        lines.append(section.body)
+        lines.append("```")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def metrics_report(world: "World") -> str:
+    """Markdown summary of one world's counters (debugging aid)."""
+    lines = ["| counter | value |", "|---|---|"]
+    for name, value in sorted(world.metrics.summary().items()):
+        lines.append(f"| {name} | {value} |")
+    return "\n".join(lines)
+
+
+def write_report(results_dir: pathlib.Path,
+                 out_path: Optional[pathlib.Path] = None) -> pathlib.Path:
+    """Assemble and write the report; returns the output path."""
+    out_path = out_path or results_dir / "REPORT.md"
+    out_path.write_text(assemble_report(results_dir) + "\n")
+    return out_path

@@ -1,0 +1,73 @@
+"""Summary statistics for seed sweeps.
+
+Benches that sweep seeds (fault-tolerance, concurrency) report central
+tendency and spread; this module provides the few estimators needed
+without pulling in heavyweight dependencies.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import UsageError
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one metric across runs."""
+
+    n: int
+    mean: float
+    stdev: float
+    minimum: float
+    p50: float
+    p95: float
+    maximum: float
+    ci95_half_width: float
+
+    def format(self, unit: str = "") -> str:
+        suffix = f" {unit}" if unit else ""
+        return (f"n={self.n} mean={self.mean:.4f}±{self.ci95_half_width:.4f}"
+                f"{suffix} p50={self.p50:.4f} p95={self.p95:.4f}"
+                f" range=[{self.minimum:.4f}, {self.maximum:.4f}]")
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile, q in [0, 100]."""
+    if not values:
+        raise UsageError("percentile of empty sequence")
+    if not 0 <= q <= 100:
+        raise UsageError(f"q={q} out of range")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return float(ordered[low])
+    weight = rank - low
+    return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summary statistics with a normal-approximation 95% CI."""
+    if not values:
+        raise UsageError("summarize of empty sequence")
+    n = len(values)
+    mean = sum(values) / n
+    if n > 1:
+        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+        stdev = math.sqrt(variance)
+        ci = 1.96 * stdev / math.sqrt(n)
+    else:
+        stdev = 0.0
+        ci = 0.0
+    return Summary(n=n, mean=mean, stdev=stdev,
+                   minimum=float(min(values)),
+                   p50=percentile(values, 50),
+                   p95=percentile(values, 95),
+                   maximum=float(max(values)),
+                   ci95_half_width=ci)

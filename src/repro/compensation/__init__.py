@@ -1,0 +1,49 @@
+"""Compensation: formal model (Section 3) and operation registry.
+
+:mod:`repro.compensation.history` implements the notations of
+Section 3.1 — operations as functions over the *augmented state* (the
+resource state space merged with the agent's private data space),
+histories as both sequences and composed functions, history equality,
+commutativity and the soundness criterion of Korth/Levy/Silberschatz.
+
+:mod:`repro.compensation.registry` holds the executable compensating
+operations referenced by operation entries.  An entry ships a code
+*reference* plus parameters (the mobile-code analogue of the paper's
+"the code of one compensating operation and the parameters"); the
+registry enforces the access rules of Section 4.4.1 by construction:
+resource compensations never see the agent, agent compensations never
+see resources, and no compensation ever sees the strongly reversible
+objects.
+"""
+
+from repro.compensation.history import (
+    History,
+    Operation,
+    commutes,
+    histories_equal,
+    is_sound,
+)
+from repro.compensation.registry import (
+    CompensationContext,
+    CompensationRegistry,
+    GLOBAL_REGISTRY,
+    agent_compensation,
+    mixed_compensation,
+    resource_compensation,
+)
+from repro.compensation.outcomes import CompensationOutcome
+
+__all__ = [
+    "Operation",
+    "History",
+    "histories_equal",
+    "commutes",
+    "is_sound",
+    "CompensationRegistry",
+    "CompensationContext",
+    "GLOBAL_REGISTRY",
+    "resource_compensation",
+    "agent_compensation",
+    "mixed_compensation",
+    "CompensationOutcome",
+]

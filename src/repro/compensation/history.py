@@ -1,0 +1,107 @@
+"""Histories over the augmented state (paper, Section 3.1).
+
+The *augmented state space* merges the state of the resources accessed
+by the agent with the agent's private data space, so one formalism
+covers both what a step did to resources and what it did to the agent.
+We represent augmented states as plain dictionaries and operations as
+pure functions from state to state that "may read and write any number
+of entities" (the paper relaxes Korth et al.'s single-entity
+operations).
+
+Because function equality is undecidable, the equality, commutativity
+and soundness predicates are checked over explicit finite sets of
+sample states — exactly how the hypothesis-based property tests use
+them: quantify over generated states and conclude with statistical
+confidence.  For the algebraic examples in the paper (bank deposits and
+withdrawals) the sampled check is in fact exact, since the operations
+are affine in the balance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.storage.serialization import capture, snapshot
+
+AugmentedState = dict  # alias for readability
+
+StateFn = Callable[[AugmentedState], AugmentedState]
+
+
+@dataclass(frozen=True)
+class Operation:
+    """A named pure function on augmented states."""
+
+    name: str
+    fn: StateFn
+
+    def __call__(self, state: AugmentedState) -> AugmentedState:
+        # Operate on a snapshot so operations can mutate freely without
+        # aliasing the caller's state.
+        return self.fn(snapshot(state))
+
+
+class History:
+    """A sequence of operations; also the function they compose to.
+
+    ``X = <f1, f2, ..., fn>`` applies f1 first (the paper's
+    ``f1 • f2 • ... • fn`` with left-to-right application).
+    """
+
+    def __init__(self, ops: Iterable[Operation] = ()):
+        self.ops: tuple[Operation, ...] = tuple(ops)
+
+    def __call__(self, state: AugmentedState) -> AugmentedState:
+        for op in self.ops:
+            state = op(state)
+        return state
+
+    def then(self, other: "History") -> "History":
+        """Concatenate: ``self`` runs before ``other`` (X • Y)."""
+        return History(self.ops + other.ops)
+
+    def reversed(self) -> "History":
+        """The same operations in reverse order."""
+        return History(tuple(reversed(self.ops)))
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<" + ", ".join(op.name for op in self.ops) + ">"
+
+
+def _state_key(state: AugmentedState) -> bytes:
+    return capture(sorted(state.items(), key=lambda kv: repr(kv[0])))
+
+
+def histories_equal(x: History, y: History,
+                    states: Sequence[AugmentedState]) -> bool:
+    """X ≡ Y over the sampled ``states``: for all S, X(S) = Y(S)."""
+    return all(_state_key(x(s)) == _state_key(y(s)) for s in states)
+
+
+def commutes(x: History, y: History,
+             states: Sequence[AugmentedState]) -> bool:
+    """(X • Y) ≡ (Y • X) over the sampled ``states``."""
+    return histories_equal(x.then(y), y.then(x), states)
+
+
+def is_sound(t: History, ct: History, dep: History,
+             states: Sequence[AugmentedState]) -> bool:
+    """Soundness of compensation (Section 3.2, after Korth et al.).
+
+    A history is sound iff ``X(S) = Y(S)`` where X is the history of T,
+    CT and dep(T) — T first, then the dependent transactions, then the
+    compensation — and Y is the history of dep(T) alone: the outcome of
+    the dependent transactions is not influenced by T having run and
+    been compensated.
+    """
+    x = t.then(dep).then(ct)
+    return histories_equal(x, dep, states)
+
+
+def identity() -> History:
+    """The identity history I (soundness implies T • CT ≡ I)."""
+    return History()

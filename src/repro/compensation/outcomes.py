@@ -1,0 +1,46 @@
+"""Compensation-type taxonomy (paper, Section 3.2).
+
+The paper distinguishes, in decreasing order of comfort:
+
+1. **SOUND** — compensation commutes with every dependent operation;
+   the history of T, CT and dep(T) is sound and ``T • CT ≡ I``.
+2. **EQUIVALENT** — compensation produces a state merely *equivalent*
+   to the initial one (digital cash returns with different serials).
+3. **ALTERED** — compensation leaves genuinely different information
+   behind (fees charged, credit notes instead of cash); "the agent must
+   be able to deal with the changed situation".
+4. **FAILABLE** — compensation can fail at runtime (withdrawing from a
+   drained, non-overdraftable account) and must be retried or resolved
+   by policy.
+5. **IMPOSSIBLE** — the operation cannot be compensated at all; a step
+   containing one can never be rolled back after commit.
+
+The enum is used by resources/examples to label what a compensating
+operation guarantees and by benches to summarise workload mixes; the
+*mechanism* only hard-distinguishes IMPOSSIBLE (refuse rollback) and
+FAILABLE (retry policy), exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class CompensationOutcome(enum.Enum):
+    """What a compensating operation promises about the resulting state."""
+
+    SOUND = "sound"
+    EQUIVALENT = "equivalent"
+    ALTERED = "altered"
+    FAILABLE = "failable"
+    IMPOSSIBLE = "impossible"
+
+    @property
+    def restores_exactly(self) -> bool:
+        """True only for SOUND compensation."""
+        return self is CompensationOutcome.SOUND
+
+    @property
+    def rollback_possible(self) -> bool:
+        """False only for IMPOSSIBLE."""
+        return self is not CompensationOutcome.IMPOSSIBLE

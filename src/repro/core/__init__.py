@@ -1,0 +1,40 @@
+"""The paper's contribution: partial rollback of mobile agent execution.
+
+* :class:`~repro.core.rollback.BasicRollback` — Figure 4: the agent
+  travels back along its path; every step's compensating operations run
+  on the node that executed the step, inside a compensation
+  transaction; strongly reversible objects are restored only when the
+  target savepoint is reached.
+* :class:`~repro.core.optimized.OptimizedRollback` — Figure 5: the
+  agent moves only for steps containing a *mixed* compensation entry;
+  otherwise resource compensation entries are shipped to the resource
+  node and executed concurrently with the local agent compensation
+  entries inside one distributed compensation transaction.
+* :mod:`repro.core.decision` — the RPC-vs-migration performance model
+  (ref [16]) the paper suggests for deciding whether to move the agent
+  or access resources remotely.
+"""
+
+from repro.core.rollback import BasicRollback, RollbackDriverBase
+from repro.core.optimized import OptimizedRollback
+from repro.core.baseline import SagaRollback
+from repro.core.decision import AccessPlan, DecisionModel
+from repro.core.inspector import (
+    RollbackPrediction,
+    StepPlan,
+    format_log,
+    predict_rollback,
+)
+
+__all__ = [
+    "RollbackDriverBase",
+    "BasicRollback",
+    "OptimizedRollback",
+    "SagaRollback",
+    "DecisionModel",
+    "AccessPlan",
+    "format_log",
+    "predict_rollback",
+    "RollbackPrediction",
+    "StepPlan",
+]

@@ -1,0 +1,50 @@
+"""Saga-style baseline rollback (Garcia-Molina & Salem, ref [4]).
+
+Sagas compensate committed steps on the *resources* but restore the
+transaction program's execution state from a savepoint image.  Applied
+to mobile agents this means: run the logged compensating operations,
+then restore the **entire** private data space — strongly *and* weakly
+reversible objects — from the savepoint's before-image.
+
+The paper argues (Sections 3.2 and 4.1) that this is wrong for mobile
+agents: rollback produces genuinely new information that must be
+integrated into the private agent data — refunded digital coins carry
+*different serial numbers*, refunds may be reduced by fees or arrive as
+credit notes.  Restoring the WRO image silently discards that
+information: the agent ends up holding coins whose serials the mint has
+retired (double-spend on next use) and loses any credit notes it
+received.
+
+This driver exists so the benchmark suite can measure exactly that
+failure mode against the paper's mechanism
+(``benchmarks/bench_baselines.py``).  Its savepoints are also larger:
+they carry the WRO image on top of the SRO image.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.agent.agent import MobileAgent
+from repro.agent.packages import RollbackMode
+from repro.core.rollback import BasicRollback
+from repro.log.rollback_log import RollbackLog
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    pass
+
+
+class SagaRollback(BasicRollback):
+    """Baseline: compensate resources, image-restore the whole agent."""
+
+    mode = RollbackMode.SAGA
+
+    def _restore_at_savepoint(self, agent: MobileAgent, log: RollbackLog,
+                              sp_id: str) -> None:
+        agent.sro = log.reconstruct_sro(sp_id)
+        wro_image = log.reconstruct_wro(sp_id)
+        if wro_image is not None:
+            # Clobber whatever the compensating operations produced —
+            # the incorrectness under measurement.
+            agent.wro = wro_image
+            self.world.metrics.incr("saga.wro_image_restored")

@@ -1,0 +1,115 @@
+"""Run-invariant checker.
+
+Validates a finished (or still-running) world against the protocol
+invariants the paper states, using only externally observable evidence:
+the metrics timeline, the counters, and the durable structures.  Tests
+and the soak suite run it after scenarios; it is also handy when
+developing new drivers ("did my change silently break reverse
+ordering?").
+
+Checked invariants:
+
+* **rollback pairing** — every completed rollback was initiated; no
+  agent completes more rollbacks than it initiated;
+* **agent terminality** — finished/failed agents have no package left
+  in any queue and hold no locks;
+* **transaction hygiene** — no active transactions after quiescence;
+  commits + aborts == begun for every node;
+* **compensation accounting** — compensation transactions only exist
+  for agents that initiated rollbacks;
+* **queue/lock residue** — empty queues and released locks once every
+  agent reached a terminal state.
+
+Returns a list of violation strings (empty == clean) rather than
+raising, so callers can assert or report.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.node.runtime import AgentStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.runtime import World
+
+
+def check_world(world: "World") -> list[str]:
+    """Run every invariant check; returns human-readable violations."""
+    violations: list[str] = []
+    violations.extend(_check_rollback_pairing(world))
+    violations.extend(_check_terminal_agents(world))
+    violations.extend(_check_tx_hygiene(world))
+    return violations
+
+
+def _check_rollback_pairing(world: "World") -> list[str]:
+    out = []
+    initiated: dict[str, int] = {}
+    completed: dict[str, int] = {}
+    last_initiation: dict[str, float] = {}
+    for time, kind, details in world.metrics.timeline:
+        agent = details.get("agent")
+        if kind == "rollback-initiated":
+            initiated[agent] = initiated.get(agent, 0) + 1
+            last_initiation[agent] = time
+        elif kind == "rollback-completed":
+            completed[agent] = completed.get(agent, 0) + 1
+            if agent not in initiated:
+                out.append(f"{agent}: rollback completed but never "
+                           "initiated")
+            elif time < last_initiation.get(agent, 0.0):
+                out.append(f"{agent}: rollback completed at {time} before "
+                           f"initiation at {last_initiation[agent]}")
+    for agent, count in completed.items():
+        if count > initiated.get(agent, 0):
+            out.append(f"{agent}: {count} completions > "
+                       f"{initiated.get(agent, 0)} initiations")
+    for agent_id, record in world.agents.items():
+        if record.rollbacks_completed != completed.get(agent_id, 0):
+            out.append(
+                f"{agent_id}: record says {record.rollbacks_completed} "
+                f"rollbacks, timeline says {completed.get(agent_id, 0)}")
+    return out
+
+
+def _check_terminal_agents(world: "World") -> list[str]:
+    out = []
+    terminal = {agent_id for agent_id, record in world.agents.items()
+                if record.status is not AgentStatus.RUNNING}
+    for name, node in world.nodes.items():
+        for item in node.queue.items():
+            package = item.payload
+            agent_id = getattr(package, "agent_id", None)
+            kind = getattr(package, "kind", None)
+            if agent_id in terminal and getattr(kind, "value", "") != \
+                    "shadow":
+                out.append(f"{name}: queue still holds {kind} package of "
+                           f"terminal agent {agent_id}")
+    return out
+
+
+def _check_tx_hygiene(world: "World") -> list[str]:
+    out = []
+    quiesced = all(record.status is not AgentStatus.RUNNING
+                   for record in world.agents.values())
+    for name, node in world.nodes.items():
+        if quiesced and node.txm.active:
+            out.append(f"{name}: {len(node.txm.active)} transactions "
+                       "still active after quiescence")
+        for resource in set(node.resources.values()):
+            if quiesced and resource.locks.held_count():
+                out.append(f"{name}/{resource.name}: "
+                           f"{resource.locks.held_count()} locks held "
+                           "after quiescence")
+    for agent_id, record in world.agents.items():
+        if record.compensation_txs and not record.rollbacks_initiated:
+            out.append(f"{agent_id}: compensation transactions without "
+                       "any rollback initiation")
+    return out
+
+
+def assert_clean(world: "World") -> None:
+    """Raise ``AssertionError`` listing violations, if any."""
+    violations = check_world(world)
+    assert not violations, "\n".join(violations)

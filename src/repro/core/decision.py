@@ -1,0 +1,88 @@
+"""RPC-vs-migration decision model (Straßer & Schwehm, ref [16]).
+
+The paper (end of Section 4.4.1): "if the access to resources within
+the mixed compensation entries and the resource compensation entries
+may be performed using RPC [...] a performance model similar to that
+introduced in [16] can be used to determine if the agent or the
+resource compensation objects should be transferred to the node where
+the resources reside or if RPC should be used to access the resources."
+
+The model compares the expected network cost of the two strategies for
+one compensation (or step) against a resource on another node:
+
+* **RPC** — ``r`` request/reply rounds, each moving ``b_req`` up and
+  ``b_rep`` down over a link with latency ``L`` and throughput ``B``;
+* **Migration** — move the agent (state + code + rollback log,
+  ``b_agent`` bytes) there and, when execution must continue
+  elsewhere, onwards; local interactions are then free.
+
+This mirrors [16]'s communication model (they additionally fold in
+code caching and selective state transfer; our ``b_agent`` parameter
+is whatever the caller decides must move, so both refinements can be
+expressed through it).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sim.timing import NetworkParams
+
+
+class AccessPlan(enum.Enum):
+    """The strategy the model recommends."""
+
+    RPC = "rpc"
+    MIGRATE = "migrate"
+
+
+@dataclass(frozen=True)
+class DecisionModel:
+    """Cost model for remote-resource access during (compensation) work.
+
+    Parameters mirror [16]: per-interaction request/reply sizes, the
+    number of interactions, agent transfer size, and network
+    characteristics.
+    """
+
+    network: NetworkParams = NetworkParams()
+    rpc_overhead: float = 0.001   # server-side handling per interaction
+    migration_overhead: float = 0.004  # capture/re-instantiate + queue I/O
+
+    def rpc_cost(self, interactions: int, request_bytes: int,
+                 reply_bytes: int) -> float:
+        """Total time for ``interactions`` request/reply rounds."""
+        round_cost = (self.network.transfer_time(request_bytes)
+                      + self.network.transfer_time(reply_bytes)
+                      + self.rpc_overhead)
+        return interactions * round_cost
+
+    def migration_cost(self, agent_bytes: int,
+                       round_trip: bool = True) -> float:
+        """Time to move the agent there (and back when ``round_trip``)."""
+        legs = 2 if round_trip else 1
+        return legs * (self.network.transfer_time(agent_bytes)
+                       + self.migration_overhead)
+
+    def choose(self, interactions: int, request_bytes: int,
+               reply_bytes: int, agent_bytes: int,
+               round_trip: bool = True) -> AccessPlan:
+        """Pick the cheaper strategy for the given interaction profile."""
+        rpc = self.rpc_cost(interactions, request_bytes, reply_bytes)
+        migrate = self.migration_cost(agent_bytes, round_trip)
+        return AccessPlan.RPC if rpc <= migrate else AccessPlan.MIGRATE
+
+    def crossover_interactions(self, request_bytes: int, reply_bytes: int,
+                               agent_bytes: int,
+                               round_trip: bool = True) -> float:
+        """Interaction count above which migration wins.
+
+        The break-even point of [16]'s comparison: RPC cost grows
+        linearly with the number of interactions while migration cost is
+        flat, so the crossover is their ratio.
+        """
+        per_round = (self.network.transfer_time(request_bytes)
+                     + self.network.transfer_time(reply_bytes)
+                     + self.rpc_overhead)
+        return self.migration_cost(agent_bytes, round_trip) / per_round

@@ -1,0 +1,123 @@
+"""The optimized rollback algorithm (paper, Section 4.4.1, Figure 5).
+
+Two changes against the basic mechanism, both keyed on the operation
+entry types:
+
+* **Transfer avoidance** — the agent is written to the input queue of
+  the *step's* node only when that step's end-of-step entry carries the
+  mixed-compensation flag; otherwise the package stays on the current
+  node ("write (spID, agent, LOG) to input queue of current node").
+* **Split execution** — for a step without mixed entries, the popped
+  operation entries are partitioned into the agent compensation list
+  (executed where the agent is) and the resource compensation list
+  (shipped, with the transaction identifier, to the resource node and
+  executed there inside the same distributed compensation transaction).
+  The two lists touch disjoint data by construction, so they execute
+  concurrently; the transaction commits only after the resource node's
+  acknowledgement.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.agent.agent import MobileAgent
+from repro.agent.packages import RollbackMode
+from repro.core.rollback import RollbackDriverBase
+from repro.errors import LogCorrupt, NodeDown
+from repro.log.entries import (
+    BeginOfStepEntry,
+    EndOfStepEntry,
+    OperationEntry,
+    OperationKind,
+)
+from repro.log.rollback_log import RollbackLog
+from repro.storage.serialization import size_of
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.node import Node
+    from repro.tx.manager import Transaction
+
+ACK_BYTES = 64
+
+
+class OptimizedRollback(RollbackDriverBase):
+    """Figure 5: move the agent only for mixed compensation entries."""
+
+    mode = RollbackMode.OPTIMIZED
+
+    # -- destination choice (Figures 5a / 5b tail) ---------------------------------
+
+    def _start_destination(self, node: "Node", log: RollbackLog) -> str:
+        eos = log.last_end_of_step()
+        if eos is None:
+            raise LogCorrupt("rollback started but log has no EOS entry")
+        return eos.node if eos.has_mixed else node.name
+
+    def _next_destination(self, node: "Node", log: RollbackLog) -> str:
+        eos = log.last_end_of_step()
+        if eos is None:
+            raise LogCorrupt("compensation continues but log has no EOS")
+        return eos.node if eos.has_mixed else node.name
+
+    # -- split execution (Figure 5b body) -----------------------------------------------
+
+    def _compensate_step(self, node: "Node", tx: "Transaction",
+                         agent: MobileAgent, log: RollbackLog,
+                         eos: EndOfStepEntry) -> None:
+        ops: list[OperationEntry] = []
+        entry = log.pop(tx)
+        while not isinstance(entry, BeginOfStepEntry):
+            if not isinstance(entry, OperationEntry):
+                raise LogCorrupt(f"unexpected entry in step frame: {entry!r}")
+            ops.append(entry)  # pop order == execution order
+            entry = log.pop(tx)
+
+        if eos.has_mixed or eos.node == node.name:
+            # Execution on the agent's node: everything runs locally, in
+            # the order defined by the rollback log.
+            for op in ops:
+                self.execute_entry(node, tx, agent, op)
+            return
+
+        # Group operation entries (Figure 5b): ACE list runs here, RCE
+        # list ships to the resource node; they operate on disjoint data
+        # and therefore execute concurrently.
+        world = self.world
+        ace_list = [op for op in ops if op.op_kind is OperationKind.AGENT]
+        rce_list = [op for op in ops if op.op_kind is OperationKind.RESOURCE]
+        if len(ace_list) + len(rce_list) != len(ops):  # pragma: no cover
+            raise LogCorrupt("mixed entry present despite clear EOS flag")
+
+        base_cost = tx.cost
+        remote_delta = 0.0
+        if rce_list:
+            resource_node = world.node(eos.node)
+            if not world.reachable(node.name, eos.node):
+                raise NodeDown(eos.node)
+            world.enlist_participant(tx, eos.node)
+            rce_bytes = size_of(rce_list)
+            world.metrics.incr("net.messages.rce-list")
+            world.metrics.add_bytes("net.rce-list", rce_bytes)
+            world.metrics.incr("net.messages.rce-ack")
+            world.metrics.add_bytes("net.rce-ack", ACK_BYTES)
+            tx.charge(world.network.transfer_time(rce_bytes))
+            tx.charge(world.timing.rpc_request_fixed)
+            for op in rce_list:
+                self.execute_entry(node, tx, None, op,
+                                   resource_node=resource_node)
+            tx.charge(world.network.transfer_time(ACK_BYTES))
+            remote_delta = tx.cost - base_cost
+            tx.cost = base_cost
+
+        for op in ace_list:
+            self.execute_entry(node, tx, agent, op)
+        local_delta = tx.cost - base_cost
+        # The two legs overlap; the compensation transaction commits
+        # after both finished (the ACK wait).
+        tx.cost = base_cost + max(remote_delta, local_delta)
+        if rce_list:
+            world.metrics.observe("rollback.concurrency_saving",
+                                  node.sim.now,
+                                  remote_delta + local_delta - tx.cost
+                                  + base_cost)

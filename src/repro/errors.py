@@ -1,0 +1,129 @@
+"""Exception hierarchy for the repro package.
+
+Exceptions fall into three families:
+
+* **Control-flow signals** raised by agent step code to redirect the runtime
+  (:class:`RollbackRequest`, :class:`StepAbortRequest`).  These are part of
+  the public agent-programming API.
+* **Transactional errors** raised by the transaction substrate
+  (:class:`TransactionAborted`, :class:`LockConflict`, ...).  Agent code
+  normally never sees these; the runtime translates them into step aborts
+  and retries.
+* **Usage errors** signalling misuse of the API (:class:`UsageError` and
+  subclasses).  These indicate a bug in the embedding program and are never
+  swallowed by the runtime.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this package."""
+
+
+# ---------------------------------------------------------------------------
+# Control-flow signals (public agent API)
+# ---------------------------------------------------------------------------
+
+class RollbackRequest(ReproError):
+    """Raised by agent code to initiate a partial rollback.
+
+    Carries the identifier of the agent savepoint to which execution must
+    be rolled back (paper, Section 4.3: ``rollback(spID)``).
+    """
+
+    def __init__(self, savepoint_id: str):
+        super().__init__(f"rollback requested to savepoint {savepoint_id!r}")
+        self.savepoint_id = savepoint_id
+
+
+class StepAbortRequest(ReproError):
+    """Raised by agent code to abort and restart the current step transaction.
+
+    This is the paper's forward-recovery primitive inherited from the
+    exactly-once protocols: the step transaction aborts, all its effects
+    are undone by the transaction management, and the step is re-executed
+    from the (unchanged) agent state in the input queue.
+    """
+
+
+class AgentFinished(ReproError):
+    """Internal signal: the agent declared its job complete."""
+
+
+# ---------------------------------------------------------------------------
+# Transactional errors
+# ---------------------------------------------------------------------------
+
+class TransactionError(ReproError):
+    """Base class for transaction-substrate failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The enclosing transaction aborted; all staged effects were undone."""
+
+
+class LockConflict(TransactionError):
+    """A lock request conflicted with a lock held by another transaction."""
+
+    def __init__(self, item: object, holder: object):
+        super().__init__(f"lock conflict on {item!r} held by tx {holder!r}")
+        self.item = item
+        self.holder = holder
+
+
+class NodeDown(TransactionError):
+    """An operation addressed a node that is currently crashed."""
+
+    def __init__(self, node_id: str):
+        super().__init__(f"node {node_id!r} is down")
+        self.node_id = node_id
+
+
+class CompensationFailed(TransactionError):
+    """A compensating operation could not be carried out.
+
+    Paper, Section 3.2: e.g. withdrawing the compensation amount from a
+    non-overdraftable account that no longer holds enough money.  The
+    enclosing compensation transaction aborts and is retried; persistent
+    failures surface to the rollback driver's failure policy.
+    """
+
+
+class NotCompensatable(ReproError):
+    """An operation declared itself impossible to compensate.
+
+    Paper, Section 3.2: once a step containing such an operation commits,
+    the step can never be rolled back.  Attempting to roll over such a
+    step raises this error.
+    """
+
+
+# ---------------------------------------------------------------------------
+# Usage errors
+# ---------------------------------------------------------------------------
+
+class UsageError(ReproError):
+    """The embedding program misused the public API."""
+
+
+class UnknownCompensation(UsageError):
+    """An operation entry referenced a compensation op not in the registry."""
+
+
+class ForbiddenAccess(UsageError):
+    """Compensation code accessed data it is not allowed to touch.
+
+    Resource compensation entries must not access the agent; agent
+    compensation entries must not access resources; no compensating
+    operation may read or write strongly reversible objects (paper,
+    Sections 4.3 and 4.4.1).
+    """
+
+
+class ItineraryError(UsageError):
+    """Malformed itinerary (e.g. step entries directly in the main itinerary)."""
+
+
+class LogCorrupt(ReproError):
+    """The rollback log violated its structural invariants."""

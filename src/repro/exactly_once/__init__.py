@@ -1,0 +1,22 @@
+"""Exactly-once step execution (substrate, ref [11]).
+
+Rothermel & Straßer's SRDS'98 protocols give mobile agents the
+exactly-once property the rollback paper builds on: the agent is kept
+in stable storage between steps, each step runs inside a (distributed)
+step transaction spanning the dequeue on the executing node, all local
+resource accesses, and the durable enqueue on the next node.  An abort
+leaves the agent in the input queue of the node that executed the
+aborted step, ready for restart.
+
+:mod:`repro.exactly_once.protocol` implements the basic pipelined
+protocol; :mod:`repro.exactly_once.fault_tolerant` adds the
+shadow-copy / step-ledger machinery that lets a step (or a
+compensation) be restarted on another node when the responsible node
+stays down — the "may be even restarted on another node" option the
+rollback paper invokes in Section 4.3.
+"""
+
+from repro.exactly_once.protocol import StepProtocol
+from repro.exactly_once.fault_tolerant import FaultTolerance
+
+__all__ = ["StepProtocol", "FaultTolerance"]

@@ -1,0 +1,189 @@
+"""Fault-tolerant execution: shadow copies and the step ledger.
+
+The basic protocol blocks while the node holding the agent is down.
+Ref [11]'s fault-tolerant variant replicates the agent to *observer*
+nodes and elects a new executor when the current one stays down; the
+rollback paper invokes the same idea twice — "it may be even restarted
+on another node" (Section 4.3) for steps, and alternate compensation
+nodes for the rollback itself (Section 4.3, discussion).
+
+This module implements a faithful-in-behaviour simplification:
+
+* when a step/compensation package is committed into a primary node's
+  queue, *shadow* copies travel (reliably, after commit) to the
+  configured alternate nodes;
+* a shadow schedules periodic takeover checks; when the primary is down
+  at check time and the unit of work is unclaimed, the shadow promotes
+  itself to an active package on the alternate node;
+* every fault-tolerant execution first *claims* its ``work_id`` in the
+  **step ledger** inside its transaction.  The ledger — standing for
+  the replicated observer quorum, modelled always-available — is the
+  arbitration point: at most one claim commits, so effects happen
+  exactly once no matter how primary and promoted executions race;
+* an execution that finds a foreign committed claim discards its
+  package ("stale").
+
+Alternates for steps come from a world-level policy (default: none —
+configure with :meth:`FaultTolerance.set_alternates`); alternates for
+compensations come from the end-of-step entries in the rollback log
+(``ctx.declare_alternates``), exactly where the paper puts them.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.agent.packages import AgentPackage, PackageKind
+from repro.storage.queues import QueueItem
+from repro.storage.stable import StableStore
+from repro.tx.locks import LockManager
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.node import Node
+    from repro.node.runtime import World
+    from repro.tx.manager import Transaction
+
+from repro.node.runtime import LEDGER_NODE
+
+MAX_TAKEOVER_ROUNDS = 200
+
+
+class FaultTolerance:
+    """Step ledger + shadow replication + takeover watchdog."""
+
+    def __init__(self, world: "World"):
+        self.world = world
+        self.ledger = StableStore("step-ledger")
+        self.ledger_locks = LockManager("step-ledger")
+        self._step_alternates: dict[str, tuple[str, ...]] = {}
+        self.promotions = 0
+        self.shadows_shipped = 0
+        self.shadows_discarded = 0
+
+    # -- configuration -----------------------------------------------------------
+
+    def set_alternates(self, node: str, *alternates: str) -> None:
+        """Declare which nodes shadow step executions of ``node``."""
+        self._step_alternates[node] = tuple(alternates)
+
+    def step_alternates_for(self, node: str) -> tuple[str, ...]:
+        """Configured step alternates of ``node`` (may be empty)."""
+        return self._step_alternates.get(node, ())
+
+    def alternates_for(self, node: str,
+                       package: AgentPackage) -> tuple[str, ...]:
+        """Alternate nodes for a package headed to ``node``.
+
+        Compensation packages carry their own alternates (from the EOS
+        entry); step packages use the world policy.
+        """
+        if package.kind is PackageKind.COMPENSATION:
+            return tuple(a for a in package.alternates if a != node)
+        return tuple(a for a in self._step_alternates.get(node, ())
+                     if a != node)
+
+    # -- the step ledger ------------------------------------------------------------
+
+    def claim(self, tx: "Transaction", work_id: int, node: str) -> str:
+        """Claim ``work_id`` for ``node`` inside ``tx``.
+
+        Returns ``"acquired"`` (claim staged; durable iff the
+        transaction commits) or ``"stale"`` (another node's claim is
+        already committed).  A quorum round trip is charged.
+        """
+        world = self.world
+        tx.charge(2 * world.net_params.latency)
+        self.ledger_locks.acquire(("claim", work_id), tx)
+        tx.add_participant(LEDGER_NODE)
+        holder: Optional[str] = self.ledger.get(("claim", work_id))
+        if holder is None:
+            self.ledger.put(("claim", work_id), node, tx)
+            return "acquired"
+        if holder == node:
+            return "acquired"
+        return "stale"
+
+    def claimed_by(self, work_id: int) -> Optional[str]:
+        """Committed-or-staged holder of ``work_id`` (watchdog checks)."""
+        return self.ledger.get(("claim", work_id))
+
+    # -- shadow replication ------------------------------------------------------------
+
+    def ship_shadows(self, origin: "Node", package: AgentPackage,
+                     alternates: tuple[str, ...]) -> None:
+        """Reliably send shadow copies of ``package`` to ``alternates``.
+
+        Runs as a commit action of the transaction that enqueued the
+        primary package.
+        """
+        shadow = package.as_kind(PackageKind.SHADOW,
+                                 primary=package.primary)
+        for alt in alternates:
+            self.shadows_shipped += 1
+            self.world.metrics.incr("ft.shadows_shipped")
+            self.world.network.send(
+                origin.name, alt, "shadow-copy", shadow,
+                shadow.size_bytes,
+                on_delivered=lambda msg, a=alt: self._shadow_arrived(a, msg))
+
+    def _shadow_arrived(self, alt_name: str, message) -> None:
+        node = self.world.node(alt_name)
+        shadow: AgentPackage = message.payload
+        item = node.queue.enqueue(shadow, shadow.size_bytes)
+        self._schedule_check(node, item.item_id, rounds=0)
+
+    def _schedule_check(self, node: "Node", item_id: int,
+                        rounds: int) -> None:
+        self.world.sim.schedule(
+            self.world.ft_takeover_timeout,
+            lambda: self._takeover_check(node, item_id, rounds),
+            label=f"ft-check:{node.name}:{item_id}")
+
+    # -- takeover -----------------------------------------------------------------------
+
+    def _takeover_check(self, node: "Node", item_id: int,
+                        rounds: int) -> None:
+        item = node._find(item_id)
+        if item is None:
+            return
+        shadow: AgentPackage = item.payload
+        if shadow.kind is not PackageKind.SHADOW:
+            return  # already promoted
+        if self.claimed_by(shadow.work_id) is not None:
+            # The work committed somewhere; the shadow is garbage.
+            self._discard_shadow(node, item_id)
+            return
+        primary = shadow.primary
+        if primary is not None and not self.world.failures.node_up(primary):
+            if node.up:
+                self._promote(node, item, shadow)
+                return
+        if rounds + 1 >= MAX_TAKEOVER_ROUNDS:
+            self._discard_shadow(node, item_id)
+            return
+        self._schedule_check(node, item_id, rounds + 1)
+
+    def _promote(self, node: "Node", item: QueueItem,
+                 shadow: AgentPackage) -> None:
+        """Turn a shadow into an active package on the alternate node."""
+        promoted = shadow.as_kind(
+            PackageKind.STEP if shadow.sp_id is None
+            else PackageKind.COMPENSATION,
+            promoted=True)
+        item.payload = promoted
+        self.promotions += 1
+        self.world.metrics.incr("ft.promotions")
+        self.world.metrics.record(self.world.sim.now, "ft-promotion",
+                                  node=node.name, agent=shadow.agent_id,
+                                  work_id=shadow.work_id)
+        node.request_dispatch(item)
+
+    def _discard_shadow(self, node: "Node", item_id: int) -> None:
+        if node._find(item_id) is None:
+            return
+        tx = node.txm.begin("shadow-gc")
+        node.queue.dequeue(tx, item_id)
+        tx.commit()
+        node.txm.note_commit()
+        self.shadows_discarded += 1
+        self.world.metrics.incr("ft.shadows_discarded")

@@ -1,0 +1,32 @@
+"""Itineraries integrated with rollback (paper, Section 4.4.2, Fig 6).
+
+An itinerary structures an agent's job into a hierarchy of sub-tasks:
+
+* the **main itinerary** contains only sub-itineraries (no step
+  entries) — completing one of them discards the entire rollback log,
+  splitting the agent's execution into parts that can never be rolled
+  back once finished;
+* a **sub-itinerary** contains step entries ``(meth()/loc)`` and nested
+  sub-itineraries; entering one automatically constitutes an agent
+  savepoint (virtual if no step ran since the enclosing savepoint);
+  completing one discards its savepoint from the log (the operation
+  entries stay — they are still needed to roll back the enclosing
+  sub-itinerary).
+
+Rollback is always to the start of a currently-executing sub-itinerary:
+the current one or any enclosing one
+(:meth:`~repro.itinerary.executor.ItineraryAgent.rollback_scope`).
+"""
+
+from repro.itinerary.model import Itinerary, StepEntry, SubItinerary
+from repro.itinerary.executor import ItineraryAgent
+from repro.itinerary.builder import format_itinerary, parse_itinerary
+
+__all__ = [
+    "Itinerary",
+    "SubItinerary",
+    "StepEntry",
+    "ItineraryAgent",
+    "parse_itinerary",
+    "format_itinerary",
+]

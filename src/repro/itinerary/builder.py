@@ -1,0 +1,145 @@
+"""A compact textual DSL for itineraries.
+
+The paper (and ref [14]) describe itineraries as nested sets of
+entries; spelling them out as Python constructors gets verbose for
+deep hierarchies, so this module adds a compact notation::
+
+    I{ SI1{ s1/n0, s2/n1 },
+       SI3{ s6/n2, SI4{ s5/n0, s4/n1 } } }
+
+Grammar (whitespace insignificant)::
+
+    itinerary   := "I" block
+    block       := "{" entry ("," entry)* "}"
+    entry       := sub | step
+    sub         := NAME order? block
+    step        := METHOD "/" LOC precond?
+    order       := "|"            -- partial order: system picks ("any")
+    precond     := "?" NAME       -- agent predicate method
+
+``parse_itinerary`` builds the model objects; ``format_itinerary``
+renders them back (round-trip stable up to whitespace), which the tests
+use as the grammar's specification.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Union
+
+from repro.errors import ItineraryError
+from repro.itinerary.model import Itinerary, StepEntry, SubItinerary
+
+_TOKEN = re.compile(r"\s*([{},|]|\?[A-Za-z_]\w*|[A-Za-z_][\w.-]*(?:/[\w.-]+)?)")
+
+
+class _Tokens:
+    def __init__(self, text: str):
+        self.tokens: list[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN.match(text, pos)
+            if match is None:
+                if text[pos:].strip():
+                    raise ItineraryError(
+                        f"cannot tokenise itinerary at: {text[pos:pos+20]!r}")
+                break
+            self.tokens.append(match.group(1))
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> str:
+        if self.index >= len(self.tokens):
+            raise ItineraryError("unexpected end of itinerary text")
+        return self.tokens[self.index]
+
+    def next(self) -> str:
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        got = self.next()
+        if got != token:
+            raise ItineraryError(f"expected {token!r}, got {got!r}")
+
+    def exhausted(self) -> bool:
+        return self.index >= len(self.tokens)
+
+
+def parse_itinerary(text: str) -> Itinerary:
+    """Parse the DSL into a validated :class:`Itinerary`."""
+    tokens = _Tokens(text)
+    name = tokens.next()
+    if name != "I":
+        raise ItineraryError(f"itinerary must start with 'I', got {name!r}")
+    order = "sequence"
+    if tokens.peek() == "|":
+        tokens.next()
+        order = "any"
+    itinerary = Itinerary(order=order)
+    tokens.expect("{")
+    while True:
+        entry = _parse_entry(tokens)
+        if not isinstance(entry, SubItinerary):
+            raise ItineraryError(
+                "step entries are not allowed in the main itinerary")
+        itinerary.add(entry)
+        token = tokens.next()
+        if token == "}":
+            break
+        if token != ",":
+            raise ItineraryError(f"expected ',' or '}}', got {token!r}")
+    if not tokens.exhausted():
+        raise ItineraryError(f"trailing input: {tokens.peek()!r}")
+    itinerary.validate()
+    return itinerary
+
+
+def _parse_entry(tokens: _Tokens) -> Union[StepEntry, SubItinerary]:
+    head = tokens.next()
+    if head in "{},|" or head.startswith("?"):
+        raise ItineraryError(f"expected entry, got {head!r}")
+    if "/" in head:
+        method, loc = head.split("/", 1)
+        precondition = None
+        if not tokens.exhausted() and tokens.peek().startswith("?"):
+            precondition = tokens.next()[1:]
+        return StepEntry(method=method, loc=loc, precondition=precondition)
+    order = "sequence"
+    precondition = None
+    if tokens.peek() == "|":
+        tokens.next()
+        order = "any"
+    if tokens.peek().startswith("?"):
+        precondition = tokens.next()[1:]
+    sub = SubItinerary(name=head, order=order, precondition=precondition)
+    tokens.expect("{")
+    while True:
+        sub.add(_parse_entry(tokens))
+        token = tokens.next()
+        if token == "}":
+            return sub
+        if token != ",":
+            raise ItineraryError(f"expected ',' or '}}', got {token!r}")
+
+
+def format_itinerary(itinerary: Itinerary) -> str:
+    """Render an itinerary back into the DSL."""
+    order = "|" if itinerary.order == "any" else ""
+    inner = ", ".join(_format_sub(sub) for sub in itinerary.entries)
+    return f"I{order}{{ {inner} }}"
+
+
+def _format_sub(sub: SubItinerary) -> str:
+    order = "|" if sub.order == "any" else ""
+    precond = f"?{sub.precondition}" if sub.precondition else ""
+    inner = ", ".join(
+        _format_sub(e) if isinstance(e, SubItinerary) else _format_step(e)
+        for e in sub.entries)
+    return f"{sub.name}{order}{precond}{{ {inner} }}"
+
+
+def _format_step(step: StepEntry) -> str:
+    precond = f" ?{step.precondition}" if step.precondition else ""
+    return f"{step.method}/{step.loc}{precond}"

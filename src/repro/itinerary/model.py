@@ -1,0 +1,111 @@
+"""Itinerary structure (paper, Section 4.4.2; concept from ref [14]).
+
+An itinerary entry is either a :class:`StepEntry` — "a tuple
+(meth()/loc) which describes that the agent has to execute the step
+specified by the method meth() on the node specified by loc" — or a
+nested :class:`SubItinerary`.  The order among a sub-itinerary's
+entries may be total (``order="sequence"``) or partial
+(``order="any"``, the system chooses among ready entries); entries may
+carry a *precondition* (the name of a predicate method on the agent,
+kept as a string so itineraries stay picklable), the mechanism ref [14]
+uses for alternatives and conditional execution.
+
+Everything here is plain picklable data: itineraries live in the
+agent's strongly reversible space, so adaptations made during execution
+roll back with the agent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.errors import ItineraryError
+
+
+@dataclass
+class StepEntry:
+    """Execute ``method()`` on node ``loc``."""
+
+    method: str
+    loc: str
+    precondition: Optional[str] = None  # agent predicate method name
+
+    def label(self) -> str:
+        return f"{self.method}()/{self.loc}"
+
+
+@dataclass
+class SubItinerary:
+    """A (sub-)task: ordered collection of steps and nested sub-tasks."""
+
+    name: str
+    entries: list[Union[StepEntry, "SubItinerary"]] = field(
+        default_factory=list)
+    order: str = "sequence"  # "sequence" | "any"
+    precondition: Optional[str] = None
+
+    def add(self, entry: Union[StepEntry, "SubItinerary"]) -> "SubItinerary":
+        self.entries.append(entry)
+        return self
+
+    def validate(self) -> None:
+        if self.order not in ("sequence", "any"):
+            raise ItineraryError(
+                f"{self.name}: unknown order {self.order!r}")
+        if not self.entries:
+            raise ItineraryError(f"{self.name}: empty sub-itinerary")
+        for entry in self.entries:
+            if isinstance(entry, SubItinerary):
+                entry.validate()
+
+    def walk_steps(self) -> Iterator[StepEntry]:
+        """All step entries, depth-first (static analysis / benches)."""
+        for entry in self.entries:
+            if isinstance(entry, StepEntry):
+                yield entry
+            else:
+                yield from entry.walk_steps()
+
+
+@dataclass
+class Itinerary:
+    """The main itinerary: only sub-itineraries allowed (Section 4.4.2).
+
+    "To provide a clear semantics, no step entries are allowed in the
+    main itinerary" — completing a direct child discards the whole
+    rollback log, so each child is a unit the agent can never roll back
+    out of once done.
+    """
+
+    entries: list[SubItinerary] = field(default_factory=list)
+    order: str = "sequence"
+
+    def add(self, sub: SubItinerary) -> "Itinerary":
+        self.entries.append(sub)
+        return self
+
+    def validate(self) -> None:
+        if not self.entries:
+            raise ItineraryError("empty main itinerary")
+        if self.order not in ("sequence", "any"):
+            raise ItineraryError(f"unknown order {self.order!r}")
+        for entry in self.entries:
+            if not isinstance(entry, SubItinerary):
+                raise ItineraryError(
+                    "step entries are not allowed in the main itinerary")
+            entry.validate()
+
+    def resolve(self, path: tuple[int, ...]) -> Union[
+            "Itinerary", SubItinerary, StepEntry]:
+        """The entry at ``path`` (a tuple of child indices from the root)."""
+        node: Union[Itinerary, SubItinerary, StepEntry] = self
+        for index in path:
+            if isinstance(node, StepEntry):
+                raise ItineraryError(f"path {path} descends into a step")
+            node = node.entries[index]
+        return node
+
+    def walk_steps(self) -> Iterator[StepEntry]:
+        for sub in self.entries:
+            yield from sub.walk_steps()

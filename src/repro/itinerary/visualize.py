@@ -1,0 +1,67 @@
+"""Itinerary rendering: ASCII trees and Graphviz dot.
+
+Documentation/debugging aids for the hierarchical itineraries of
+Section 4.4.2 — the ASCII form mirrors the paper's Figure 6 layout.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.itinerary.model import Itinerary, StepEntry, SubItinerary
+
+
+def render_tree(itinerary: Itinerary) -> str:
+    """ASCII tree of the itinerary (Figure-6 style)."""
+    lines = ["I" + (" (any order)" if itinerary.order == "any" else "")]
+    entries = list(itinerary.entries)
+    for i, entry in enumerate(entries):
+        _render_entry(entry, "", i == len(entries) - 1, lines)
+    return "\n".join(lines)
+
+
+def _render_entry(entry: Union[StepEntry, SubItinerary], prefix: str,
+                  last: bool, lines: list[str]) -> None:
+    branch = "└─ " if last else "├─ "
+    if isinstance(entry, StepEntry):
+        suffix = f" ?{entry.precondition}" if entry.precondition else ""
+        lines.append(f"{prefix}{branch}{entry.method}()/{entry.loc}"
+                     f"{suffix}")
+        return
+    flags = []
+    if entry.order == "any":
+        flags.append("any order")
+    if entry.precondition:
+        flags.append(f"?{entry.precondition}")
+    suffix = f" ({', '.join(flags)})" if flags else ""
+    lines.append(f"{prefix}{branch}{entry.name}{suffix}")
+    child_prefix = prefix + ("   " if last else "│  ")
+    children = list(entry.entries)
+    for i, child in enumerate(children):
+        _render_entry(child, child_prefix, i == len(children) - 1, lines)
+
+
+def to_dot(itinerary: Itinerary, name: str = "itinerary") -> str:
+    """Graphviz dot source for the itinerary hierarchy."""
+    lines = [f"digraph {name} {{", "  node [shape=box];",
+             '  root [label="I", shape=ellipse];']
+    counter = [0]
+
+    def emit(entry: Union[StepEntry, SubItinerary], parent: str) -> None:
+        counter[0] += 1
+        node_id = f"n{counter[0]}"
+        if isinstance(entry, StepEntry):
+            label = f"{entry.method}()/{entry.loc}"
+            lines.append(f'  {node_id} [label="{label}"];')
+        else:
+            lines.append(f'  {node_id} [label="{entry.name}", '
+                         "shape=ellipse];")
+        lines.append(f"  {parent} -> {node_id};")
+        if isinstance(entry, SubItinerary):
+            for child in entry.entries:
+                emit(child, node_id)
+
+    for sub in itinerary.entries:
+        emit(sub, "root")
+    lines.append("}")
+    return "\n".join(lines)

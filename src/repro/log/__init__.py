@@ -1,0 +1,39 @@
+"""The agent rollback log (paper, Section 4.2).
+
+The log is attached to the agent and migrates with it.  It mixes
+*physical logging* — savepoint entries carrying images (or transition
+diffs) of the strongly reversible objects — with *logical logging* —
+operation entries carrying compensating operations and their
+parameters.  Begin-of-step / end-of-step entries frame each step and
+name the node that executed it; the end-of-step entry additionally
+carries the mixed-compensation flag used by the optimized rollback
+(Section 4.4.1) and optional alternate nodes for fault-tolerant
+compensation (Section 4.3, discussion).
+"""
+
+from repro.log.entries import (
+    BeginOfStepEntry,
+    EndOfStepEntry,
+    EntryKind,
+    LogEntry,
+    OperationEntry,
+    OperationKind,
+    SavepointEntry,
+)
+from repro.log.modes import LoggingMode, sro_diff, sro_apply, sro_compose
+from repro.log.rollback_log import RollbackLog
+
+__all__ = [
+    "LogEntry",
+    "EntryKind",
+    "SavepointEntry",
+    "BeginOfStepEntry",
+    "OperationEntry",
+    "OperationKind",
+    "EndOfStepEntry",
+    "LoggingMode",
+    "sro_diff",
+    "sro_apply",
+    "sro_compose",
+    "RollbackLog",
+]

@@ -1,0 +1,134 @@
+"""Log entry types (paper, Section 4.2 and Figure 2).
+
+Four entry families:
+
+* :class:`SavepointEntry` (SP) — written when an agent savepoint is
+  constituted; carries a unique identifier plus the information needed
+  to restore the strongly reversible objects (a full image under state
+  logging, a diff against the previous savepoint under transition
+  logging).  A *virtual* savepoint carries no data and denotes the same
+  agent state as the real savepoint immediately below it in the log
+  (Section 4.4.2's "special savepoint entry ... without data").
+* :class:`BeginOfStepEntry` (BOS) / :class:`EndOfStepEntry` (EOS) —
+  frame one step; both carry the executing node.  The EOS additionally
+  carries the step's mixed-compensation flag (optimized rollback reads
+  just this entry to decide whether the agent must travel,
+  Section 4.4.1) and alternate nodes able to run the compensation
+  (fault-tolerant rollback, Section 4.3).
+* :class:`OperationEntry` (OE) — one compensating operation: a code
+  reference (registry name — the analogue of the serialized operation
+  class the paper's platform would ship) plus its parameters, its kind
+  (resource / agent / mixed) and, for resource access, the target node
+  and resource name.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+_SP_SEQ = itertools.count(1)
+
+
+class EntryKind(enum.Enum):
+    """Discriminator for log entries."""
+
+    SAVEPOINT = "SP"
+    BEGIN_OF_STEP = "BOS"
+    OPERATION = "OE"
+    END_OF_STEP = "EOS"
+
+
+class OperationKind(enum.Enum):
+    """The three operation-entry types of Section 4.4.1."""
+
+    RESOURCE = "RCE"
+    AGENT = "ACE"
+    MIXED = "MCE"
+
+
+@dataclass
+class LogEntry:
+    """Common base; concrete entries define :attr:`kind`."""
+
+    @property
+    def kind(self) -> EntryKind:
+        raise NotImplementedError
+
+
+@dataclass
+class SavepointEntry(LogEntry):
+    """SP — savepoint identifier plus SRO restore information.
+
+    ``wro_payload`` is only populated by the saga-style *baseline*
+    mechanism (ref [4]), which snapshots the complete program state —
+    including weakly reversible objects — into the savepoint.  The
+    paper's mechanism never stores WRO images; the field exists so the
+    baseline benchmarks can demonstrate why image-restoring WROs is
+    incorrect (Section 4.1).
+    """
+
+    sp_id: str
+    mode: str  # LoggingMode value: "state" | "transition"
+    payload: Any  # full SRO image (state) or diff vs previous SP (transition)
+    virtual: bool = False
+    wro_payload: Any = None
+
+    @property
+    def kind(self) -> EntryKind:
+        return EntryKind.SAVEPOINT
+
+    @staticmethod
+    def fresh_id(prefix: str = "sp") -> str:
+        """Generate a unique savepoint identifier."""
+        return f"{prefix}-{next(_SP_SEQ)}"
+
+
+@dataclass
+class BeginOfStepEntry(LogEntry):
+    """BOS — the step starts here; names the executing node."""
+
+    node: str
+    step_index: int
+
+    @property
+    def kind(self) -> EntryKind:
+        return EntryKind.BEGIN_OF_STEP
+
+
+@dataclass
+class OperationEntry(LogEntry):
+    """OE — one compensating operation with its parameters.
+
+    ``op_name`` resolves against the compensation registry
+    (:mod:`repro.compensation.registry`).  ``node`` / ``resource`` are
+    set for RESOURCE and MIXED entries (where the resource lives);
+    AGENT entries execute wherever the agent is.
+    """
+
+    op_kind: OperationKind
+    op_name: str
+    params: dict[str, Any] = field(default_factory=dict)
+    node: Optional[str] = None
+    resource: Optional[str] = None
+
+    @property
+    def kind(self) -> EntryKind:
+        return EntryKind.OPERATION
+
+
+@dataclass
+class EndOfStepEntry(LogEntry):
+    """EOS — the step ended; carries the optimization/FT metadata."""
+
+    node: str
+    step_index: int
+    has_mixed: bool = False
+    alternates: tuple[str, ...] = ()
+    non_compensatable: bool = False
+
+    @property
+    def kind(self) -> EntryKind:
+        return EntryKind.END_OF_STEP

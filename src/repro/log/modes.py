@@ -1,0 +1,75 @@
+"""State logging vs transition logging for strongly reversible objects.
+
+Section 4.2: the SRO image in a savepoint entry is written "either by
+writing a complete image of the objects into the log (state logging) or
+by writing differences of the object states between adjacent savepoints
+(transition logging)".
+
+Under transition logging the first savepoint holds a full image and
+every later savepoint holds the diff from the previous savepoint's SRO
+state to its own.  Restoring savepoint *k* folds the image of the first
+savepoint with the diffs up to *k* (the paper: "the state of the
+strongly reversible objects has to be updated every time an agent
+savepoint entry is read during the rollback process").  Discarding an
+intermediate savepoint (itinerary integration, Section 4.4.2 — "may be
+a non-trivial task if transition logging is used") composes its diff
+into the next savepoint above it.
+
+SRO spaces are flat mappings ``name -> picklable value``; diffs record
+changed/added values (as deep snapshots) and removed keys.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.storage.serialization import capture, snapshot
+
+
+class LoggingMode(str, enum.Enum):
+    """How savepoint entries encode SRO restore information."""
+
+    STATE = "state"
+    TRANSITION = "transition"
+
+
+@dataclass
+class SRODiff:
+    """A reversible-description of ``old -> new`` for an SRO mapping."""
+
+    changed: dict[str, Any] = field(default_factory=dict)
+    removed: tuple[str, ...] = ()
+
+    def is_empty(self) -> bool:
+        return not self.changed and not self.removed
+
+
+def sro_diff(old: dict[str, Any], new: dict[str, Any]) -> SRODiff:
+    """Diff two SRO mappings (values compared by serialised form)."""
+    changed = {}
+    for key, value in new.items():
+        if key not in old or capture(old[key]) != capture(value):
+            changed[key] = snapshot(value)
+    removed = tuple(sorted(k for k in old if k not in new))
+    return SRODiff(changed=changed, removed=removed)
+
+
+def sro_apply(base: dict[str, Any], diff: SRODiff) -> dict[str, Any]:
+    """Apply ``diff`` to ``base`` returning a new mapping."""
+    out = {k: snapshot(v) for k, v in base.items() if k not in diff.removed}
+    for key, value in diff.changed.items():
+        out[key] = snapshot(value)
+    return out
+
+
+def sro_compose(first: SRODiff, second: SRODiff) -> SRODiff:
+    """Compose diffs so ``apply(apply(x, first), second) == apply(x, composed)``."""
+    changed = {k: snapshot(v) for k, v in first.changed.items()
+               if k not in second.removed}
+    for key, value in second.changed.items():
+        changed[key] = snapshot(value)
+    removed = set(first.removed) | set(second.removed)
+    removed -= set(second.changed)
+    return SRODiff(changed=changed, removed=tuple(sorted(removed)))

@@ -1,0 +1,301 @@
+"""The agent rollback log object (paper, Section 4.2 and Figure 2).
+
+A stack-like sequence of entries: appended at step execution time,
+popped from the end during rollback (``LOG.pop()`` in Figures 4b/5b).
+The log is part of the agent package written to durable input queues, so
+it becomes persistent exactly when step/compensation transactions
+commit — "this log is made persistent at transaction commit".
+
+Mutating operations accept an optional transaction and register undos,
+because log manipulation during rollback happens *inside* compensation
+transactions: when one aborts (crash, deadlock), the popped entries must
+still be in the log for the retry.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.errors import LogCorrupt, UsageError
+from repro.log.entries import (
+    BeginOfStepEntry,
+    EndOfStepEntry,
+    EntryKind,
+    LogEntry,
+    OperationEntry,
+    SavepointEntry,
+)
+from repro.log.modes import LoggingMode, SRODiff, sro_apply, sro_compose
+from repro.storage.serialization import size_of, snapshot
+from repro.tx.manager import Transaction
+
+
+class RollbackLog:
+    """Append/pop log of SP, BOS, OE and EOS entries."""
+
+    def __init__(self, mode: LoggingMode = LoggingMode.STATE):
+        self.mode = LoggingMode(mode)
+        self._entries: list[LogEntry] = []
+
+    # -- basic structure ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LogEntry]:
+        return iter(self._entries)
+
+    def entries(self) -> list[LogEntry]:
+        """Snapshot of the entries, oldest first."""
+        return list(self._entries)
+
+    def last(self) -> Optional[LogEntry]:
+        """The newest entry (None when empty)."""
+        return self._entries[-1] if self._entries else None
+
+    def append(self, entry: LogEntry,
+               tx: Optional[Transaction] = None) -> None:
+        """Append ``entry`` (undone if ``tx`` aborts)."""
+        self._entries.append(entry)
+        if tx is not None:
+            def _undo() -> None:
+                for i in range(len(self._entries) - 1, -1, -1):
+                    if self._entries[i] is entry:
+                        del self._entries[i]
+                        return
+            tx.register_undo(_undo)
+
+    def pop(self, tx: Optional[Transaction] = None) -> LogEntry:
+        """Read and remove the newest entry (restored if ``tx`` aborts)."""
+        if not self._entries:
+            raise LogCorrupt("pop on empty rollback log")
+        entry = self._entries.pop()
+        if tx is not None:
+            tx.register_undo(lambda: self._entries.append(entry))
+        return entry
+
+    def size_bytes(self) -> int:
+        """Serialised size of the whole log (migration payload share)."""
+        return size_of(self._entries)
+
+    # -- savepoint queries ------------------------------------------------------------
+
+    def savepoint_reached(self, sp_id: str) -> bool:
+        """Figure 4's "savepoint spID reached": newest entry is SP(spID)."""
+        last = self.last()
+        return isinstance(last, SavepointEntry) and last.sp_id == sp_id
+
+    def has_savepoint(self, sp_id: str) -> bool:
+        """Whether SP(spID) exists anywhere in the log."""
+        return any(isinstance(e, SavepointEntry) and e.sp_id == sp_id
+                   for e in self._entries)
+
+    def savepoint_ids(self) -> list[str]:
+        """All savepoint identifiers, oldest first."""
+        return [e.sp_id for e in self._entries
+                if isinstance(e, SavepointEntry)]
+
+    def last_end_of_step(self) -> Optional[EndOfStepEntry]:
+        """The last EOS entry, skipping trailing savepoint entries.
+
+        Figure 4a: the node of the next compensation transaction "can be
+        determined by examining the last end-of-step entry contained in
+        the agent rollback log (which is the last entry if no savepoint
+        entry has been written after the last end-of-step entry)".
+        """
+        for entry in reversed(self._entries):
+            if isinstance(entry, EndOfStepEntry):
+                return entry
+            if not isinstance(entry, SavepointEntry):
+                return None
+        return None
+
+    def steps_to_rollback(self, sp_id: str) -> int:
+        """Committed steps that must be compensated to reach SP(spID)."""
+        count = 0
+        for entry in reversed(self._entries):
+            if isinstance(entry, SavepointEntry) and entry.sp_id == sp_id:
+                return count
+            if isinstance(entry, EndOfStepEntry):
+                count += 1
+        raise UsageError(f"no savepoint {sp_id!r} in log")
+
+    def blocking_non_compensatable(self, sp_id: str) -> Optional[EndOfStepEntry]:
+        """First non-compensatable step between the end and SP(spID), if any."""
+        for entry in reversed(self._entries):
+            if isinstance(entry, SavepointEntry) and entry.sp_id == sp_id:
+                return None
+            if isinstance(entry, EndOfStepEntry) and entry.non_compensatable:
+                return entry
+        return None
+
+    # -- SRO restoration ------------------------------------------------------------------
+
+    def reconstruct_sro(self, sp_id: str) -> dict[str, Any]:
+        """SRO state recorded at savepoint ``sp_id``.
+
+        State logging reads the image directly.  Transition logging folds
+        the oldest (full-image) savepoint with every diff up to the
+        target.  Virtual savepoints denote the state of the nearest real
+        savepoint below them.
+        """
+        target = None
+        for index, entry in enumerate(self._entries):
+            if isinstance(entry, SavepointEntry) and entry.sp_id == sp_id:
+                target = index
+                break
+        if target is None:
+            raise UsageError(f"no savepoint {sp_id!r} in log")
+        entry = self._entries[target]
+        if entry.virtual:
+            # Same agent state as the nearest real savepoint below.
+            for index in range(target - 1, -1, -1):
+                below = self._entries[index]
+                if isinstance(below, SavepointEntry) and not below.virtual:
+                    return self.reconstruct_sro(below.sp_id)
+            raise LogCorrupt(
+                f"virtual savepoint {sp_id!r} has no real savepoint below")
+        if self.mode is LoggingMode.STATE:
+            return snapshot(entry.payload)
+        state: Optional[dict[str, Any]] = None
+        for candidate in self._entries[:target + 1]:
+            if not isinstance(candidate, SavepointEntry) or candidate.virtual:
+                continue
+            if isinstance(candidate.payload, SRODiff):
+                if state is None:
+                    raise LogCorrupt(
+                        "transition log starts with a diff savepoint")
+                state = sro_apply(state, candidate.payload)
+            else:
+                state = snapshot(candidate.payload)
+        assert state is not None
+        return state
+
+    def reconstruct_wro(self, sp_id: str) -> Optional[dict[str, Any]]:
+        """WRO image stored at SP(spID), if any (saga baseline only).
+
+        The paper's mechanism never images weakly reversible objects;
+        this accessor exists for the saga-style baseline (ref [4]) so
+        benches can demonstrate the resulting incorrectness.
+        """
+        for entry in self._entries:
+            if isinstance(entry, SavepointEntry) and entry.sp_id == sp_id:
+                if entry.wro_payload is None:
+                    return None
+                return snapshot(entry.wro_payload)
+        raise UsageError(f"no savepoint {sp_id!r} in log")
+
+    # -- itinerary integration (Section 4.4.2) -----------------------------------------------
+
+    def discard_savepoint(self, sp_id: str,
+                          tx: Optional[Transaction] = None) -> bool:
+        """Remove SP(spID) once its sub-itinerary completed.
+
+        Operation entries stay (they are still needed to roll back the
+        *enclosing* sub-itinerary).  Under transition logging the
+        discarded savepoint's diff is composed into the next real
+        savepoint above it so later reconstructions still work — the
+        paper's "non-trivial task if transition logging is used".
+        Returns False when the savepoint is absent (already discarded by
+        an earlier, crashed-and-retried completion).
+        """
+        index = None
+        for i, entry in enumerate(self._entries):
+            if isinstance(entry, SavepointEntry) and entry.sp_id == sp_id:
+                index = i
+                break
+        if index is None:
+            return False
+        entry = self._entries[index]
+        restore: list[Callable[[], None]] = []
+        if (self.mode is LoggingMode.TRANSITION and not entry.virtual
+                and isinstance(entry.payload, SRODiff)):
+            above = self._first_real_savepoint_after(index)
+            if above is not None:
+                if isinstance(above.payload, SRODiff):
+                    old_payload = above.payload
+                    above.payload = sro_compose(entry.payload, above.payload)
+                    restore.append(
+                        lambda a=above, p=old_payload: setattr(a, "payload", p))
+                # A full image above needs no merge.
+        elif (self.mode is LoggingMode.TRANSITION and not entry.virtual
+                and not isinstance(entry.payload, SRODiff)):
+            # Discarding the base image: promote the next diff savepoint
+            # to a full image so the chain stays rooted.
+            above = self._first_real_savepoint_after(index)
+            if above is not None and isinstance(above.payload, SRODiff):
+                old_payload = above.payload
+                above.payload = sro_apply(entry.payload, above.payload)
+                restore.append(
+                    lambda a=above, p=old_payload: setattr(a, "payload", p))
+        del self._entries[index]
+        if tx is not None:
+            def _undo(e: LogEntry = entry, i: int = index) -> None:
+                self._entries.insert(i, e)
+                for fn in restore:
+                    fn()
+            tx.register_undo(_undo)
+        return True
+
+    def _first_real_savepoint_after(self, index: int) -> Optional[SavepointEntry]:
+        for entry in self._entries[index + 1:]:
+            if isinstance(entry, SavepointEntry) and not entry.virtual:
+                return entry
+        return None
+
+    def truncate(self, tx: Optional[Transaction] = None) -> int:
+        """Discard the whole log (top-level sub-itinerary completed).
+
+        Returns the number of entries dropped.
+        """
+        dropped = self._entries
+        count = len(dropped)
+        self._entries = []
+        if tx is not None:
+            def _undo() -> None:
+                self._entries = dropped
+            tx.register_undo(_undo)
+        return count
+
+    # -- integrity -----------------------------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raise :class:`LogCorrupt` if broken.
+
+        * BOS/EOS strictly alternate and agree on node and step index;
+        * operation entries only appear inside a BOS/EOS frame;
+        * savepoint entries never appear inside a BOS/EOS frame
+          ("a savepoint can only be written after the execution of a
+          step ... no savepoint entries can be found between a BOS entry
+          and an EOS entry");
+        * the EOS mixed flag matches the presence of MCE entries.
+        """
+        open_bos: Optional[BeginOfStepEntry] = None
+        saw_mixed = False
+        for entry in self._entries:
+            if isinstance(entry, BeginOfStepEntry):
+                if open_bos is not None:
+                    raise LogCorrupt("nested BOS")
+                open_bos = entry
+                saw_mixed = False
+            elif isinstance(entry, EndOfStepEntry):
+                if open_bos is None:
+                    raise LogCorrupt("EOS without BOS")
+                if (entry.node != open_bos.node
+                        or entry.step_index != open_bos.step_index):
+                    raise LogCorrupt("EOS does not match BOS")
+                if entry.has_mixed != saw_mixed:
+                    raise LogCorrupt("EOS mixed flag inconsistent")
+                open_bos = None
+            elif isinstance(entry, OperationEntry):
+                if open_bos is None:
+                    raise LogCorrupt("operation entry outside a step frame")
+                if entry.op_kind.value == "MCE":
+                    saw_mixed = True
+            elif isinstance(entry, SavepointEntry):
+                if open_bos is not None:
+                    raise LogCorrupt("savepoint inside a step frame")
+            else:  # pragma: no cover - defensive
+                raise LogCorrupt(f"unknown entry {entry!r}")
+        if open_bos is not None:
+            raise LogCorrupt("log ends inside an open step frame")

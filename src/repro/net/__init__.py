@@ -1,0 +1,15 @@
+"""Simulated network.
+
+Reliable message transfer between nodes with a latency + bandwidth cost
+model, partition awareness and byte accounting.  "Reliable" matches the
+paper's assumption (Section 4.3): messages are never silently lost —
+delivery is retried with backoff across node downtime and partitions —
+but a *currently* unreachable peer is visible to protocol layers that
+prefer to abort and retry at their own granularity (reachability
+checks at commit time).
+"""
+
+from repro.net.network import Network
+from repro.net.messages import Message
+
+__all__ = ["Network", "Message"]

@@ -1,0 +1,28 @@
+"""Message envelope used by the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_MSG_IDS = itertools.count(1)
+
+
+@dataclass
+class Message:
+    """One network message.
+
+    ``kind`` is a free-form routing tag ("agent-package", "rce-list",
+    "rce-ack", "shadow-copy", ...) used for metric breakdowns and test
+    assertions; ``payload`` is any picklable object; ``size_bytes`` is
+    the serialised size charged against bandwidth.
+    """
+
+    src: str
+    dst: str
+    kind: str
+    payload: Any
+    size_bytes: int
+    msg_id: int = field(default_factory=lambda: next(_MSG_IDS))
+    retries: int = 0

@@ -1,0 +1,15 @@
+"""Node runtime and world wiring.
+
+A :class:`~repro.node.node.Node` hosts transactional resources, one
+durable agent input queue, a transaction manager and the dispatch loop
+that turns queued agent packages into step or compensation
+transactions.  A :class:`~repro.node.runtime.World` owns the simulator,
+network, failure injector, the set of nodes, the protocol drivers and
+the per-agent records — it is the facade examples, tests and benches
+build scenarios with.
+"""
+
+from repro.node.node import Node
+from repro.node.runtime import AgentRecord, AgentStatus, World
+
+__all__ = ["Node", "World", "AgentRecord", "AgentStatus"]

@@ -1,0 +1,57 @@
+"""Shared transaction-driving helpers for protocol drivers.
+
+Every step / compensation / rollback-start transaction follows the same
+skeleton: begin at the dispatch event, run the body synchronously while
+charging virtual time into ``tx.cost``, then schedule the commit event
+``tx.cost`` later.  :func:`finalize` implements the tail: at the commit
+event the transaction may already have been aborted by a crash handler
+(the commit silently fails and the durable queues, restored by undo,
+drive the retry), otherwise the commit coordinator decides.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.node import Node
+    from repro.tx.manager import Transaction
+
+
+def finalize(node: "Node", tx: "Transaction",
+             on_committed: Optional[Callable[[], None]] = None,
+             on_failed: Optional[Callable[[], None]] = None,
+             label: str = "commit") -> None:
+    """Schedule the commit decision for ``tx`` at ``now + tx.cost``."""
+    world = node.world
+    tx.charge(world.timing.tx_commit_local)
+
+    def _decide() -> None:
+        if not tx.is_active():
+            # Crash handler aborted us mid-window; queue undo already
+            # re-triggered dispatch (or recovery rescan will).
+            node.txm.note_abort()
+            world.metrics.incr(f"tx.aborted.{tx.kind}")
+            if on_failed is not None:
+                on_failed()
+            return
+        if world.coordinator.try_commit(tx):
+            node.txm.note_commit()
+            world.metrics.incr(f"tx.committed.{tx.kind}")
+            if on_committed is not None:
+                on_committed()
+        else:
+            node.txm.note_abort()
+            world.metrics.incr(f"tx.aborted.{tx.kind}")
+            if on_failed is not None:
+                on_failed()
+
+    node.sim.schedule(tx.cost, _decide, label=f"{label}:{tx.txid}")
+
+
+def abort_and_count(node: "Node", tx: "Transaction", reason: str) -> None:
+    """Abort ``tx`` now and record why (body-time failures)."""
+    tx.abort()
+    node.txm.note_abort()
+    node.world.metrics.incr(f"tx.aborted.{tx.kind}")
+    node.world.metrics.incr(f"abort.{reason}")

@@ -1,0 +1,274 @@
+"""The world: simulator + network + nodes + protocol drivers.
+
+This is the facade everything above builds on::
+
+    world = World(seed=7)
+    n1, n2 = world.add_node("n1"), world.add_node("n2")
+    n1.add_resource(Bank("bank"))
+    record = world.launch(agent, at="n1", method="first_step")
+    world.run()
+    assert record.status is AgentStatus.FINISHED
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.agent.agent import MobileAgent
+from repro.agent.packages import (
+    AgentPackage,
+    PackageKind,
+    Protocol,
+    RollbackMode,
+)
+from repro.compensation.registry import GLOBAL_REGISTRY, CompensationRegistry
+from repro.errors import UsageError
+from repro.log.modes import LoggingMode
+from repro.log.rollback_log import RollbackLog
+from repro.net.network import Network
+from repro.node.node import Node
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.timing import (
+    DEFAULT_NETWORK,
+    DEFAULT_TIMING,
+    NetworkParams,
+    TimingModel,
+)
+from repro.tx.coordinator import CommitCoordinator
+from repro.tx.manager import Transaction
+
+LEDGER_NODE = "__ledger__"
+
+
+class AgentStatus(enum.Enum):
+    """Life cycle of a launched agent."""
+
+    RUNNING = "running"
+    FINISHED = "finished"
+    FAILED = "failed"
+
+
+@dataclass
+class AgentRecord:
+    """Per-agent bookkeeping the world maintains."""
+
+    agent_id: str
+    mode: RollbackMode
+    protocol: Protocol
+    status: AgentStatus = AgentStatus.RUNNING
+    result: Any = None
+    failure: Optional[str] = None
+    finished_at: Optional[float] = None
+    steps_committed: int = 0
+    step_attempts: int = 0
+    rollbacks_initiated: int = 0
+    rollbacks_completed: int = 0
+    compensation_txs: int = 0
+    agent_transfers: int = 0
+    transfer_bytes: int = 0
+    final_agent: Optional[MobileAgent] = None
+
+
+@dataclass
+class RetryPolicy:
+    """How persistently failed compensations are retried.
+
+    ``max_attempts`` bounds retries of one compensation transaction
+    after :class:`~repro.errors.CompensationFailed`; ``None`` retries
+    forever (suitable when failures are known to be transient).
+    """
+
+    max_attempts: Optional[int] = 25
+    backoff: float = 0.1
+
+
+class World:
+    """A complete simulated mobile-agent system."""
+
+    def __init__(self, seed: int = 0,
+                 timing: TimingModel = DEFAULT_TIMING,
+                 net_params: NetworkParams = DEFAULT_NETWORK,
+                 logging_mode: LoggingMode = LoggingMode.STATE,
+                 registry: Optional[CompensationRegistry] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 ft_takeover_timeout: float = 1.0):
+        self.sim = Simulator(seed)
+        self.metrics = Metrics()
+        self.timing = timing
+        self.net_params = net_params
+        self.logging_mode = LoggingMode(logging_mode)
+        self.registry = registry if registry is not None else GLOBAL_REGISTRY
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.ft_takeover_timeout = ft_takeover_timeout
+        self.failures = FailureInjector(self.sim)
+        self.network = Network(self.sim, self.failures, net_params,
+                               self.metrics)
+        self.coordinator = CommitCoordinator(
+            timing, net_params, self.reachable, self.metrics)
+        self.nodes: dict[str, Node] = {}
+        self.agents: dict[str, AgentRecord] = {}
+        # Protocol drivers are attached lazily to avoid import cycles.
+        from repro.exactly_once.protocol import StepProtocol
+        from repro.core.rollback import BasicRollback
+        from repro.core.optimized import OptimizedRollback
+        from repro.core.baseline import SagaRollback
+        from repro.exactly_once.fault_tolerant import FaultTolerance
+        self.step_protocol = StepProtocol(self)
+        self.ft = FaultTolerance(self)
+        self._drivers = {
+            RollbackMode.BASIC: BasicRollback(self),
+            RollbackMode.OPTIMIZED: OptimizedRollback(self),
+            RollbackMode.SAGA: SagaRollback(self),
+        }
+
+    # -- topology -------------------------------------------------------------------
+
+    def add_node(self, name: str) -> Node:
+        """Create a node named ``name``."""
+        if name in self.nodes or name == LEDGER_NODE:
+            raise UsageError(f"node {name!r} already exists")
+        node = Node(name, self)
+        self.nodes[name] = node
+        self.network.register(name, lambda message: None)
+        return node
+
+    def add_nodes(self, *names: str) -> list[Node]:
+        """Create several nodes at once."""
+        return [self.add_node(n) for n in names]
+
+    def node(self, name: str) -> Node:
+        node = self.nodes.get(name)
+        if node is None:
+            raise UsageError(f"no node {name!r}")
+        return node
+
+    def reachable(self, a: str, b: str) -> bool:
+        """Commit-time reachability; the step ledger is a quorum service.
+
+        ``__ledger__`` stands for the replicated observer/witness set of
+        the fault-tolerant protocols of ref [11] and is modelled as
+        always reachable from any live node.
+        """
+        if b == LEDGER_NODE:
+            return self.failures.node_up(a)
+        return self.network.reachable(a, b)
+
+    def enlist_participant(self, tx: Transaction, node_name: str) -> None:
+        """Make ``node_name`` a participant whose crash aborts ``tx``.
+
+        The first enlistment of a remote participant charges the 2PC
+        message rounds (prepare + commit RTTs overlap across
+        participants only in their propagation, so we charge one RTT
+        pair per new participant plus fixed processing).
+        """
+        if node_name != tx.home and node_name not in tx.participants:
+            tx.charge(4 * self.net_params.latency + self.timing.two_pc_round)
+        tx.add_participant(node_name)
+        if node_name in self.nodes:
+            tx.enlist(self.nodes[node_name].txm)
+
+    # -- agent management -----------------------------------------------------------------
+
+    def launch(self, agent: MobileAgent, at: str, method: str,
+               mode: RollbackMode = RollbackMode.BASIC,
+               protocol: Protocol = Protocol.BASIC,
+               initial_savepoints: Optional[list] = None) -> AgentRecord:
+        """Inject ``agent`` into ``at``'s input queue, starting at ``method``.
+
+        ``initial_savepoints`` — (sp_id, virtual) pairs written into the
+        fresh rollback log before the first step, so the agent can roll
+        back to its very beginning (itinerary agents use this for the
+        savepoint "before the execution of [the first sub-itinerary]
+        starts").  Returns the live :class:`AgentRecord`.
+        """
+        from repro.log.entries import SavepointEntry
+        from repro.storage.serialization import snapshot
+
+        node = self.node(at)
+        agent.set_control(at, method)
+        log = RollbackLog(self.logging_mode)
+        for sp_id, virtual in (initial_savepoints or []):
+            payload = None if virtual else snapshot(agent.sro)
+            log.append(SavepointEntry(sp_id=sp_id,
+                                      mode=self.logging_mode.value,
+                                      payload=payload, virtual=virtual))
+            self.metrics.incr("savepoints.written")
+        record = AgentRecord(agent_id=agent.agent_id,
+                             mode=RollbackMode(mode),
+                             protocol=Protocol(protocol))
+        if agent.agent_id in self.agents:
+            raise UsageError(f"agent {agent.agent_id!r} already launched")
+        self.agents[agent.agent_id] = record
+        package = AgentPackage.pack(PackageKind.STEP, agent, log,
+                                    step_index=0, mode=record.mode,
+                                    protocol=record.protocol, primary=at)
+        node.queue.enqueue(package, package.size_bytes)
+        return record
+
+    def launch_itinerary(self, agent: MobileAgent,
+                         mode: RollbackMode = RollbackMode.BASIC,
+                         protocol: Protocol = Protocol.BASIC) -> AgentRecord:
+        """Launch an :class:`~repro.itinerary.executor.ItineraryAgent`.
+
+        The start node/method and the initial savepoints come from the
+        agent's itinerary.
+        """
+        at, method = agent.launch_entry()
+        return self.launch(agent, at=at, method=method, mode=mode,
+                           protocol=protocol,
+                           initial_savepoints=agent.initial_savepoints())
+
+    def record_of(self, agent_id: str) -> AgentRecord:
+        record = self.agents.get(agent_id)
+        if record is None:
+            raise UsageError(f"no agent {agent_id!r}")
+        return record
+
+    def record_or_none(self, agent_id: str) -> Optional[AgentRecord]:
+        """Like :meth:`record_of` but tolerant of unknown agents.
+
+        Dispatch paths use this: a package whose agent this world never
+        launched (e.g. a promoted shadow of a foreign/expired agent) is
+        stale garbage to be consumed, not a crash.
+        """
+        return self.agents.get(agent_id)
+
+    def rollback_driver(self, mode: RollbackMode):
+        return self._drivers[RollbackMode(mode)]
+
+    # -- execution ------------------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 10_000_000) -> None:
+        """Run the simulation until idle (or ``until``)."""
+        self.sim.run(until=until, max_events=max_events)
+
+    def all_done(self) -> bool:
+        """True when no agent is still running."""
+        return all(r.status is not AgentStatus.RUNNING
+                   for r in self.agents.values())
+
+    # -- outcome hooks (called by drivers) ----------------------------------------------------------
+
+    def agent_finished(self, agent: MobileAgent, result: Any) -> None:
+        record = self.record_of(agent.agent_id)
+        record.status = AgentStatus.FINISHED
+        record.result = result
+        record.final_agent = agent
+        record.finished_at = self.sim.now
+        self.metrics.incr("agents.finished")
+        self.metrics.record(self.sim.now, "agent-finished",
+                            agent=agent.agent_id)
+
+    def agent_failed(self, agent_id: str, reason: str) -> None:
+        record = self.record_of(agent_id)
+        record.status = AgentStatus.FAILED
+        record.failure = reason
+        record.finished_at = self.sim.now
+        self.metrics.incr("agents.failed")
+        self.metrics.record(self.sim.now, "agent-failed",
+                            agent=agent_id, reason=reason)

@@ -1,0 +1,57 @@
+"""Transactional resources.
+
+Concrete resource managers that agents access during steps, modelled on
+the examples the paper uses throughout Section 3:
+
+* :class:`~repro.resources.bank.Bank` — accounts with deposit /
+  withdraw / transfer; overdraft policy makes compensation *failable*
+  (Section 3.2's 20 USD example);
+* :class:`~repro.resources.cash.Mint` — Chaum-style digital cash: coins
+  carry serial numbers, so compensation returns an *equivalent* but not
+  identical state (fresh serials);
+* :class:`~repro.resources.shop.Shop` — goods with stock; refund
+  policies (full refund, fee within a deadline, credit note after it)
+  reproduce the time-dependent reimbursement example;
+* :class:`~repro.resources.exchange.CurrencyExchange` — the USD→EUR
+  example that *requires* a mixed compensation entry (Section 4.4.1);
+* :class:`~repro.resources.directory.InfoDirectory` — read-only queries
+  whose results live in strongly reversible objects (no compensation);
+* :class:`~repro.resources.database.DataStore` — supports an operation
+  that deletes bulk data and is declared non-compensatable
+  (Section 3.2's final category).
+
+All resources derive from
+:class:`~repro.resources.base.TransactionalResource`: every mutation
+happens under an exclusive item lock inside a transaction and registers
+an undo, so step/compensation transaction aborts restore exact state.
+"""
+
+from repro.resources.base import ResourceView, TransactionalResource
+from repro.resources.bank import Bank, OverdraftPolicy
+from repro.resources.cash import Coin, Mint
+from repro.resources.shop import CreditNote, Receipt, RefundPolicy, Shop
+from repro.resources.exchange import CurrencyExchange
+from repro.resources.directory import InfoDirectory
+from repro.resources.database import DataStore
+from repro.resources.economy import EconomyAuditor
+from repro.resources.mailbox import MessageBoard
+from repro.resources.auction import AuctionHouse
+
+__all__ = [
+    "ResourceView",
+    "TransactionalResource",
+    "Bank",
+    "OverdraftPolicy",
+    "Coin",
+    "Mint",
+    "Shop",
+    "Receipt",
+    "CreditNote",
+    "RefundPolicy",
+    "CurrencyExchange",
+    "InfoDirectory",
+    "DataStore",
+    "EconomyAuditor",
+    "MessageBoard",
+    "AuctionHouse",
+]

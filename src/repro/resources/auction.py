@@ -1,0 +1,108 @@
+"""Auction house — compensation windows that slam shut.
+
+Section 3.2's final compensation category: operations that cannot be
+compensated at all.  An auction gives this a natural shape:
+
+* placing a **bid** is compensable while the auction is open — the
+  compensating operation withdraws the bid;
+* once the auction **closes**, the allocation is final: withdrawing the
+  winning bid is impossible, so a step that might commit across a close
+  boundary must either declare itself non-compensatable or accept that
+  a later rollback fails.
+
+Bids escrow real money (bank transfers handled by the caller); the
+resource tracks bids and the winner so tests can assert allocation
+invariants across rollbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CompensationFailed, NotCompensatable, UsageError
+from repro.resources.base import TransactionalResource
+from repro.tx.manager import Transaction
+
+
+class AuctionHouse(TransactionalResource):
+    """Single-item English auctions, one per lot name."""
+
+    def open_lot(self, lot: str, reserve: int, closes_at: float) -> None:
+        """World-setup: open an auction for ``lot``."""
+        self.seed(("lot", lot), {
+            "reserve": reserve, "closes_at": closes_at, "state": "open",
+            "bids": (), "winner": None,
+        })
+
+    def _lot(self, tx: Transaction, lot: str) -> dict:
+        record = self.read(tx, ("lot", lot))
+        if record is None:
+            raise UsageError(f"{self.name}: no lot {lot!r}")
+        return record
+
+    def bid(self, tx: Transaction, lot: str, bidder: str, amount: int,
+            now: float) -> str:
+        """Place a bid; returns the bid id used for withdrawal."""
+        record = self._lot(tx, lot)
+        self._maybe_close(tx, lot, record, now)
+        record = self._lot(tx, lot)
+        if record["state"] != "open":
+            raise UsageError(f"{self.name}: lot {lot!r} is closed")
+        if amount < record["reserve"]:
+            raise UsageError(
+                f"{self.name}: bid {amount} below reserve "
+                f"{record['reserve']}")
+        highest = self.highest_bid(tx, lot)
+        if highest is not None and amount <= highest[2]:
+            raise UsageError(
+                f"{self.name}: bid {amount} does not beat {highest[2]}")
+        bid_id = f"{lot}#{len(record['bids'])}"
+        bids = record["bids"] + ((bid_id, bidder, amount),)
+        self.write(tx, ("lot", lot), dict(record, bids=bids))
+        return bid_id
+
+    def withdraw_bid(self, tx: Transaction, lot: str, bid_id: str,
+                     now: float) -> int:
+        """Compensate a bid.  Impossible once the lot closed."""
+        record = self._lot(tx, lot)
+        self._maybe_close(tx, lot, record, now)
+        record = self._lot(tx, lot)
+        if record["state"] != "open":
+            raise CompensationFailed(
+                f"{self.name}: lot {lot!r} closed; the allocation is "
+                "final and bids cannot be withdrawn")
+        remaining = tuple(b for b in record["bids"] if b[0] != bid_id)
+        if len(remaining) == len(record["bids"]):
+            raise CompensationFailed(
+                f"{self.name}: no bid {bid_id!r} on lot {lot!r}")
+        amount = next(b[2] for b in record["bids"] if b[0] == bid_id)
+        self.write(tx, ("lot", lot), dict(record, bids=remaining))
+        return amount
+
+    def close(self, tx: Transaction, lot: str, now: float) -> Optional[tuple]:
+        """Close the lot; returns (bid_id, bidder, amount) or None."""
+        record = self._lot(tx, lot)
+        if record["state"] != "open":
+            return record["winner"]
+        winner = max(record["bids"], key=lambda b: b[2], default=None)
+        self.write(tx, ("lot", lot),
+                   dict(record, state="closed", winner=winner))
+        return winner
+
+    def _maybe_close(self, tx: Transaction, lot: str, record: dict,
+                     now: float) -> None:
+        if record["state"] == "open" and now >= record["closes_at"]:
+            self.close(tx, lot, now)
+
+    def highest_bid(self, tx: Transaction, lot: str) -> Optional[tuple]:
+        record = self._lot(tx, lot)
+        return max(record["bids"], key=lambda b: b[2], default=None)
+
+    def winner_of(self, lot: str) -> Optional[tuple]:
+        """Committed winner (not transactional)."""
+        record = self.peek(("lot", lot))
+        return record["winner"] if record else None
+
+    def is_open(self, tx: Transaction, lot: str, now: float) -> bool:
+        record = self._lot(tx, lot)
+        return record["state"] == "open" and now < record["closes_at"]

@@ -1,0 +1,136 @@
+"""Bank accounts — the paper's running compensation example.
+
+Section 3.2 uses accounts three times:
+
+* ``deposit(x)`` / ``withdraw(x)`` on an *overdraftable* account commute,
+  so compensations built from them produce **sound** histories;
+* a dependent transaction that branches on the balance ("if I have
+  enough money, then ...") breaks commutativity — the
+  :meth:`Bank.conditional_withdraw` operation exists to reproduce that;
+* on a *non-overdraftable* account, compensating a 20 USD deposit by a
+  20 USD withdrawal can **fail** when another transaction drained the
+  account in the meantime — withdraw raises
+  :class:`~repro.errors.CompensationFailed` inside compensation
+  transactions, which the rollback driver retries per its policy.
+
+Balances are integers in minor units (cents) to keep conservation
+checks exact.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import CompensationFailed, UsageError
+from repro.resources.base import TransactionalResource
+from repro.tx.manager import Transaction
+
+
+class OverdraftPolicy:
+    """Account overdraft behaviour."""
+
+    ALLOWED = "allowed"
+    FORBIDDEN = "forbidden"
+
+
+class Bank(TransactionalResource):
+    """A bank holding named accounts in one currency."""
+
+    def __init__(self, name: str, currency: str = "USD"):
+        super().__init__(name)
+        self.currency = currency
+
+    # -- setup -------------------------------------------------------------------
+
+    def open_account(self, tx: Transaction, account: str, balance: int = 0,
+                     overdraft: str = OverdraftPolicy.FORBIDDEN) -> None:
+        """Create ``account`` with an opening ``balance`` (minor units)."""
+        if self.read(tx, account) is not None:
+            raise UsageError(f"{self.name}: account {account!r} exists")
+        self.write(tx, account, {"balance": balance, "overdraft": overdraft})
+
+    def seed_account(self, account: str, balance: int = 0,
+                     overdraft: str = OverdraftPolicy.FORBIDDEN) -> None:
+        """World-setup variant of :meth:`open_account` (no transaction)."""
+        self.seed(account, {"balance": balance, "overdraft": overdraft})
+
+    # -- operations ----------------------------------------------------------------
+
+    def balance(self, tx: Transaction, account: str) -> int:
+        """Current balance of ``account``."""
+        return self._require(tx, account)["balance"]
+
+    def deposit(self, tx: Transaction, account: str, amount: int) -> int:
+        """Add ``amount``; returns the new balance."""
+        if amount < 0:
+            raise UsageError("negative deposit")
+        record = self._require(tx, account)
+        updated = dict(record, balance=record["balance"] + amount)
+        self.write(tx, account, updated)
+        return updated["balance"]
+
+    def withdraw(self, tx: Transaction, account: str, amount: int,
+                 compensating: bool = False) -> int:
+        """Remove ``amount``; returns the new balance.
+
+        On a non-overdraftable account with insufficient funds this
+        raises :class:`UsageError` during normal forward execution and
+        :class:`CompensationFailed` when ``compensating=True`` — the
+        paper's "compensation transaction fails" case, which the
+        enclosing compensation transaction surfaces for retry.
+        """
+        if amount < 0:
+            raise UsageError("negative withdrawal")
+        record = self._require(tx, account)
+        new_balance = record["balance"] - amount
+        if new_balance < 0 and record["overdraft"] != OverdraftPolicy.ALLOWED:
+            if compensating:
+                raise CompensationFailed(
+                    f"{self.name}/{account}: cannot withdraw {amount}, "
+                    f"balance {record['balance']}")
+            raise UsageError(
+                f"{self.name}/{account}: insufficient funds "
+                f"({record['balance']} < {amount})")
+        self.write(tx, account, dict(record, balance=new_balance))
+        return new_balance
+
+    def transfer(self, tx: Transaction, src: str, dst: str, amount: int,
+                 compensating: bool = False) -> None:
+        """Move ``amount`` from ``src`` to ``dst`` atomically.
+
+        The paper's resource-compensation example (Section 4.4.1): the
+        compensating operation is ``transfer(dst, src, amount)`` and
+        needs only the two account names and the amount as parameters —
+        no agent state.
+        """
+        self.withdraw(tx, src, amount, compensating=compensating)
+        self.deposit(tx, dst, amount)
+
+    def conditional_withdraw(self, tx: Transaction, account: str,
+                             amount: int, threshold: int) -> bool:
+        """Withdraw only when the balance is at least ``threshold``.
+
+        Section 3.2's "if I have enough money, then ..." transaction: it
+        reads the balance to decide, so it does not commute with
+        deposit/withdraw, breaking history soundness.  Returns whether
+        the withdrawal happened.
+        """
+        record = self._require(tx, account)
+        if record["balance"] < threshold:
+            return False
+        self.write(tx, account,
+                   dict(record, balance=record["balance"] - amount))
+        return True
+
+    # -- auditing --------------------------------------------------------------------
+
+    def total_balance(self) -> int:
+        """Sum of all balances (conservation audits; not transactional)."""
+        return sum(rec["balance"] for rec in
+                   (self.peek(k) for k in self.keys()) if rec is not None)
+
+    def _require(self, tx: Transaction, account: str) -> dict:
+        record = self.read(tx, account)
+        if record is None:
+            raise UsageError(f"{self.name}: no account {account!r}")
+        return record

@@ -1,0 +1,131 @@
+"""Base machinery for transactional resources.
+
+A resource is a named object living on exactly one node (or, for the
+fault-tolerant rollback extension, on a replica group of nodes).  All
+reads and writes go through a :class:`ResourceView`, which binds the
+resource to one transaction and charges per-operation virtual time.
+
+Mutations use the write-through + undo-log discipline:
+
+* :meth:`TransactionalResource.write` takes the item's exclusive lock,
+  applies the new value immediately and registers an undo restoring the
+  prior value, so the owning transaction reads its own writes while
+  conflicting transactions are locked out until commit/abort (strict
+  2PL).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Hashable, Iterator, Optional
+
+from repro.errors import UsageError
+from repro.tx.locks import LockManager
+from repro.tx.manager import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.timing import TimingModel
+
+_MISSING = object()
+
+
+class TransactionalResource:
+    """A lockable, undo-logged state space addressed by item keys."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.node: Optional[str] = None  # set when attached to a node
+        self._state: dict[Hashable, Any] = {}
+        self.locks = LockManager(name)
+        self.ops_executed = 0
+
+    # -- attachment -------------------------------------------------------------
+
+    def attach(self, node: str) -> None:
+        """Bind the resource to its hosting node (runtime wiring)."""
+        self.node = node
+
+    # -- transactional primitives --------------------------------------------------
+
+    def read(self, tx: Transaction, key: Hashable, default: Any = None) -> Any:
+        """Read ``key`` under lock inside ``tx``."""
+        tx.require_active()
+        self.locks.acquire(key, tx)
+        return self._state.get(key, default)
+
+    def write(self, tx: Transaction, key: Hashable, value: Any) -> None:
+        """Write ``key`` under lock inside ``tx`` (undo restores prior)."""
+        tx.require_active()
+        self.locks.acquire(key, tx)
+        prior = self._state.get(key, _MISSING)
+        tx.register_undo(lambda: self._restore(key, prior))
+        self._state[key] = value
+        self.ops_executed += 1
+
+    def delete(self, tx: Transaction, key: Hashable) -> Any:
+        """Delete ``key`` under lock inside ``tx`` (undo restores it)."""
+        tx.require_active()
+        self.locks.acquire(key, tx)
+        if key not in self._state:
+            raise UsageError(f"{self.name}: no item {key!r}")
+        prior = self._state.pop(key)
+        tx.register_undo(lambda: self._restore(key, prior))
+        self.ops_executed += 1
+        return prior
+
+    def _restore(self, key: Hashable, prior: Any) -> None:
+        if prior is _MISSING:
+            self._state.pop(key, None)
+        else:
+            self._state[key] = prior
+
+    # -- non-transactional inspection (tests, auditors) -----------------------------
+
+    def peek(self, key: Hashable, default: Any = None) -> Any:
+        """Committed-or-staged value without locking (read-only tooling)."""
+        return self._state.get(key, default)
+
+    def keys(self) -> Iterator[Hashable]:
+        return iter(list(self._state.keys()))
+
+    def seed(self, key: Hashable, value: Any) -> None:
+        """Initialise state outside any transaction (world setup only)."""
+        self._state[key] = value
+
+
+class ResourceView:
+    """A resource bound to one transaction, with time charging.
+
+    This is what step code and compensating operations receive: calling
+    a domain method (``deposit``, ``buy``, ...) on the view invokes the
+    resource method with the bound transaction and charges
+    ``timing.resource_op`` (or ``compensation_op``) per call.
+    """
+
+    def __init__(self, resource: TransactionalResource, tx: Transaction,
+                 timing: "TimingModel", compensating: bool = False):
+        self._resource = resource
+        self._tx = tx
+        self._timing = timing
+        self._compensating = compensating
+
+    @property
+    def name(self) -> str:
+        return self._resource.name
+
+    @property
+    def node(self) -> Optional[str]:
+        return self._resource.node
+
+    def __getattr__(self, op: str) -> Any:
+        target = getattr(self._resource, op, None)
+        if target is None or not callable(target) or op.startswith("_"):
+            raise UsageError(
+                f"resource {self._resource.name!r} has no operation {op!r}")
+
+        def call(*args: Any, **kwargs: Any) -> Any:
+            cost = (self._timing.compensation_op if self._compensating
+                    else self._timing.resource_op)
+            self._tx.charge(cost)
+            return target(self._tx, *args, **kwargs)
+
+        return call

@@ -1,0 +1,130 @@
+"""Chaum-style digital cash.
+
+Coins are bearer objects: immutable value + currency + a serial number
+issued by the mint.  The paper's key observation (Section 3.2) is that a
+compensated purchase returns "the same amount of cash [... but] the
+digital coins have different serial numbers" — an *equivalent*, not
+identical, state.  That is why a purse of coins is a **weakly
+reversible object**: it cannot be restored from a before-image, because
+the before-image's serials are retired the moment the originals were
+spent.
+
+The mint tracks serial life cycle (issued → retired) so tests can assert
+the no-double-spend invariant and the freshness of compensation coins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.errors import UsageError
+from repro.resources.base import TransactionalResource
+from repro.tx.manager import Transaction
+
+
+@dataclass(frozen=True)
+class Coin:
+    """One digital coin (immutable bearer token)."""
+
+    serial: str
+    value: int  # minor units
+    currency: str = "USD"
+
+
+def purse_value(coins: Iterable[Coin], currency: Optional[str] = None) -> int:
+    """Total value of ``coins`` (optionally restricted to one currency)."""
+    return sum(c.value for c in coins
+               if currency is None or c.currency == currency)
+
+
+class Mint(TransactionalResource):
+    """Issues, verifies and retires coins; backs them with a float account.
+
+    State items:
+
+    * ``("serial", s)`` → "live" | "retired"
+    * ``"float"``       → minor units of backing money held by the mint
+    * ``"next_serial"`` → issuance counter
+    """
+
+    def __init__(self, name: str, currency: str = "USD"):
+        super().__init__(name)
+        self.currency = currency
+        self.seed("float", 0)
+        self.seed("next_serial", 1)
+
+    # -- issuance ------------------------------------------------------------------
+
+    def fund(self, tx: Transaction, amount: int) -> None:
+        """Add backing money to the mint float (e.g. from a bank transfer)."""
+        self.write(tx, "float", self.read(tx, "float", 0) + amount)
+
+    def issue(self, tx: Transaction, value: int, count: int = 1) -> list[Coin]:
+        """Issue ``count`` fresh coins of ``value`` against the float."""
+        total = value * count
+        available = self.read(tx, "float", 0)
+        if total > available:
+            raise UsageError(
+                f"{self.name}: float {available} cannot back {total}")
+        self.write(tx, "float", available - total)
+        coins = []
+        for _ in range(count):
+            serial = self._next_serial(tx)
+            self.write(tx, ("serial", serial), "live")
+            self.write(tx, ("value", serial), value)
+            coins.append(Coin(serial=serial, value=value,
+                              currency=self.currency))
+        return coins
+
+    def redeem(self, tx: Transaction, coins: list[Coin]) -> int:
+        """Retire ``coins`` and return their value to the float."""
+        total = 0
+        for coin in coins:
+            self._retire(tx, coin)
+            total += coin.value
+        self.write(tx, "float", self.read(tx, "float", 0) + total)
+        return total
+
+    def reissue(self, tx: Transaction, coins: list[Coin]) -> list[Coin]:
+        """Swap ``coins`` for fresh ones of equal total value.
+
+        This is the equivalence-not-identity compensation primitive: the
+        returned coins carry new serials.  Used by shops refunding a
+        purchase and by the currency exchange compensating a conversion.
+        """
+        total = self.redeem(tx, coins)
+        if total == 0:
+            return []
+        return self.issue(tx, total, 1)
+
+    # -- verification -------------------------------------------------------------------
+
+    def is_live(self, tx: Transaction, coin: Coin) -> bool:
+        """Whether ``coin``'s serial is currently spendable."""
+        return self.read(tx, ("serial", coin.serial)) == "live"
+
+    def _retire(self, tx: Transaction, coin: Coin) -> None:
+        status = self.read(tx, ("serial", coin.serial))
+        if status != "live":
+            raise UsageError(
+                f"{self.name}: coin {coin.serial} is {status!r} "
+                "(double spend?)")
+        self.write(tx, ("serial", coin.serial), "retired")
+
+    def _next_serial(self, tx: Transaction) -> str:
+        n = self.read(tx, "next_serial", 1)
+        self.write(tx, "next_serial", n + 1)
+        return f"{self.name}-{self.currency}-{n:08d}"
+
+    # -- auditing ------------------------------------------------------------------------
+
+    def float_value(self) -> int:
+        """Backing money currently held (not transactional)."""
+        return self.peek("float", 0)
+
+    def live_serials(self) -> set[str]:
+        """Serial numbers currently live (not transactional)."""
+        return {key[1] for key in self.keys()
+                if isinstance(key, tuple) and key[0] == "serial"
+                and self.peek(key) == "live"}

@@ -1,0 +1,66 @@
+"""A small record store with a non-compensatable bulk delete.
+
+Section 3.2, final category: "if a transaction deletes a considerable
+amount of data in a database, it would be necessary to log all this data
+to be able to compensate the deletion.  Therefore, if a step contains an
+operation which cannot be compensated, the step cannot be rolled back
+after its commit."
+
+:meth:`DataStore.purge` is that operation.  A step that calls it must
+mark itself non-compensatable via the step context; the rollback driver
+refuses to roll back across such a step
+(:class:`~repro.errors.NotCompensatable`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.errors import UsageError
+from repro.resources.base import TransactionalResource
+from repro.tx.manager import Transaction
+
+
+class DataStore(TransactionalResource):
+    """Named records with insert/update/delete plus an unloggable purge."""
+
+    def insert(self, tx: Transaction, record_id: str, value: Any) -> None:
+        """Insert a record (compensation: ``remove``)."""
+        if self.read(tx, ("rec", record_id)) is not None:
+            raise UsageError(f"{self.name}: record {record_id!r} exists")
+        self.write(tx, ("rec", record_id), value)
+        count = self.read(tx, "count", 0)
+        self.write(tx, "count", count + 1)
+
+    def remove(self, tx: Transaction, record_id: str) -> Any:
+        """Delete one record (compensation: re-``insert`` the value)."""
+        value = self.read(tx, ("rec", record_id))
+        if value is None:
+            raise UsageError(f"{self.name}: no record {record_id!r}")
+        self.delete(tx, ("rec", record_id))
+        self.write(tx, "count", self.read(tx, "count", 0) - 1)
+        return value
+
+    def get(self, tx: Transaction, record_id: str) -> Any:
+        """Read one record."""
+        return self.read(tx, ("rec", record_id))
+
+    def purge(self, tx: Transaction, prefix: str = "") -> int:
+        """Bulk-delete every record whose id starts with ``prefix``.
+
+        Deliberately returns only the *count* — the deleted data is not
+        retained anywhere, which is what makes the operation
+        non-compensatable.  Within the enclosing transaction it is still
+        undoable (abort restores); after commit it is final.
+        """
+        doomed = [key for key in self.keys()
+                  if isinstance(key, tuple) and key[0] == "rec"
+                  and str(key[1]).startswith(prefix)]
+        for key in doomed:
+            self.delete(tx, key)
+        self.write(tx, "count", self.read(tx, "count", 0) - len(doomed))
+        return len(doomed)
+
+    def record_count(self) -> int:
+        """Committed record count (not transactional)."""
+        return self.peek("count", 0)

@@ -1,0 +1,41 @@
+"""Read-only information directory.
+
+The paper's strongly-reversible example (Section 4.1): "if an agent
+collects information and stores this information into a vector, then
+this information can be rolled back to a savepoint without the need of
+a compensating operation".  Queries against this resource have no
+resource-side effects, so steps that only query need no operation
+entries at all — the scenario motivating the transfer-avoidance
+optimization (Section 4.3, "second problem").
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import UsageError
+from repro.resources.base import TransactionalResource
+from repro.tx.manager import Transaction
+
+
+class InfoDirectory(TransactionalResource):
+    """Keyed catalogue of offers/records; queries are side-effect free."""
+
+    def publish(self, topic: str, records: list[Any]) -> None:
+        """World-setup: publish ``records`` under ``topic``."""
+        self.seed(("topic", topic), list(records))
+
+    def query(self, tx: Transaction, topic: str) -> list[Any]:
+        """All records under ``topic`` (copy; read-locked)."""
+        records = self.read(tx, ("topic", topic))
+        if records is None:
+            raise UsageError(f"{self.name}: unknown topic {topic!r}")
+        return list(records)
+
+    def best_offer(self, tx: Transaction, topic: str,
+                   key: str = "price") -> Any:
+        """The record minimising ``record[key]`` under ``topic``."""
+        records = self.query(tx, topic)
+        if not records:
+            raise UsageError(f"{self.name}: topic {topic!r} empty")
+        return min(records, key=lambda r: r[key])

@@ -1,0 +1,86 @@
+"""Currency exchange — the canonical mixed-compensation resource.
+
+Section 4.4.1: "a step where the agent changes digital cash from one
+currency into another (e.g. from USD into Euro) at the bank.  To
+compensate this [...] the compensating operation needs access to the
+weakly reversible object containing the cash in Euro, to the object
+where the received USD have to be stored, and to the resource which
+changes the money."  Compensating a conversion therefore requires the
+agent *and* the resource to be co-located — a mixed compensation entry.
+
+The exchange holds one mint per currency and a rate table; converting
+redeems coins at the source mint and issues fresh coins at the target
+mint.  An optional spread makes round trips lossy, another source of
+"the agent must be able to deal with the changed situation".
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import UsageError
+from repro.resources.base import TransactionalResource
+from repro.resources.cash import Coin, Mint, purse_value
+from repro.tx.manager import Transaction
+
+
+class CurrencyExchange(TransactionalResource):
+    """Converts coins between currencies at a posted rate."""
+
+    def __init__(self, name: str, mints: dict[str, Mint],
+                 spread_bps: int = 0):
+        super().__init__(name)
+        self.mints = dict(mints)
+        self.spread_bps = spread_bps
+        self.seed("spread_earned", 0)
+
+    def set_rate(self, src: str, dst: str, numerator: int,
+                 denominator: int) -> None:
+        """World-setup: posted rate ``dst = src * numerator/denominator``."""
+        self.seed(("rate", src, dst), (numerator, denominator))
+        self.seed(("rate", dst, src), (denominator, numerator))
+
+    def rate(self, tx: Transaction, src: str, dst: str) -> tuple[int, int]:
+        """Current rate as an exact fraction (numerator, denominator)."""
+        rate = self.read(tx, ("rate", src, dst))
+        if rate is None:
+            raise UsageError(f"{self.name}: no rate {src}->{dst}")
+        return rate
+
+    def convert(self, tx: Transaction, coins: list[Coin],
+                to_currency: str) -> list[Coin]:
+        """Exchange ``coins`` into ``to_currency`` coins.
+
+        The source coins are redeemed at their mint; target coins are
+        issued fresh (new serials).  The spread, if any, stays with the
+        exchange.
+        """
+        if not coins:
+            return []
+        src_currency = coins[0].currency
+        if any(c.currency != src_currency for c in coins):
+            raise UsageError("mixed-currency purse in one conversion")
+        if src_currency == to_currency:
+            raise UsageError("conversion to same currency")
+        src_mint = self._mint(src_currency)
+        dst_mint = self._mint(to_currency)
+        numerator, denominator = self.rate(tx, src_currency, to_currency)
+        amount = purse_value(coins)
+        gross = (amount * numerator) // denominator
+        spread = (gross * self.spread_bps) // 10_000
+        net = gross - spread
+        src_mint.redeem(tx, coins)
+        if spread:
+            self.write(tx, "spread_earned",
+                       self.read(tx, "spread_earned", 0) + spread)
+        if net <= 0:
+            return []
+        # The exchange funds the target issuance from its own reserves;
+        # reserves are modelled as unlimited mint float seeded at setup.
+        return dst_mint.issue(tx, net, 1)
+
+    def _mint(self, currency: str) -> Mint:
+        mint = self.mints.get(currency)
+        if mint is None:
+            raise UsageError(f"{self.name}: no mint for {currency}")
+        return mint

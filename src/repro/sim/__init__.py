@@ -1,0 +1,23 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel provides virtual time, an event queue, seeded randomness,
+failure injection (node crashes and link partitions) and metric
+collection.  Everything above this layer — network, storage, transaction
+managers, the agent runtime — schedules its work through a single
+:class:`~repro.sim.kernel.Simulator` instance, which makes whole-system
+runs reproducible from a seed.
+"""
+
+from repro.sim.kernel import Event, Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.timing import TimingModel
+from repro.sim.failures import CrashPlan, FailureInjector
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Metrics",
+    "TimingModel",
+    "CrashPlan",
+    "FailureInjector",
+]

@@ -1,0 +1,135 @@
+"""Event queue and virtual clock.
+
+The simulator is a classic calendar-queue discrete-event kernel: events
+are ``(time, priority, seq, callback)`` tuples ordered by time, then
+priority, then insertion sequence, so runs are fully deterministic.
+Callbacks run synchronously at their scheduled virtual time and may
+schedule further events.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import random
+from typing import Callable, Optional
+
+from repro.errors import UsageError
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and can be
+    cancelled; a cancelled event is skipped when its time arrives.
+    """
+
+    __slots__ = ("time", "priority", "seq", "fn", "label", "cancelled")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 fn: Callable[[], None], label: str):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.fn = fn
+        self.label = label
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event {self.label!r} t={self.time:.6f} {state}>"
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the kernel-owned random number generator.  All stochastic
+        behaviour in the system (crash sampling, latency jitter, workload
+        generation) must draw from :attr:`rng` or from generators forked
+        via :meth:`fork_rng`, which keeps whole runs reproducible.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.now: float = 0.0
+        self.rng = random.Random(seed)
+        self._seed = seed
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._seq = itertools.count()
+        self._running = False
+        self.events_processed = 0
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable[[], None],
+                 label: str = "", priority: int = 0) -> Event:
+        """Schedule ``fn`` to run ``delay`` virtual seconds from now.
+
+        ``priority`` breaks ties among events at the same instant (lower
+        runs first); insertion order breaks remaining ties.
+        """
+        if delay < 0:
+            raise UsageError(f"cannot schedule in the past (delay={delay})")
+        event = Event(self.now + delay, priority, next(self._seq), fn, label)
+        heapq.heappush(self._queue, (event.time, priority, event.seq, event))
+        return event
+
+    def schedule_at(self, time: float, fn: Callable[[], None],
+                    label: str = "", priority: int = 0) -> Event:
+        """Schedule ``fn`` at absolute virtual time ``time`` (>= now)."""
+        return self.schedule(time - self.now, fn, label=label,
+                             priority=priority)
+
+    def fork_rng(self, name: str) -> random.Random:
+        """Return an independent RNG derived from the kernel seed.
+
+        Subsystems that need their own stochastic stream (e.g. the failure
+        injector) fork one so that adding draws in one subsystem does not
+        perturb another.
+        """
+        return random.Random(f"{self._seed}:{name}")
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: int = 10_000_000) -> None:
+        """Run events in order until the queue drains or ``until`` passes.
+
+        Raises :class:`UsageError` when ``max_events`` fires, which almost
+        always indicates a livelock (e.g. an unbounded retry loop).
+        """
+        if self._running:
+            raise UsageError("simulator is not re-entrant")
+        self._running = True
+        try:
+            fired = 0
+            while self._queue:
+                time, _priority, _seq, event = self._queue[0]
+                if until is not None and time > until:
+                    self.now = until
+                    return
+                heapq.heappop(self._queue)
+                if event.cancelled:
+                    continue
+                self.now = time
+                event.fn()
+                self.events_processed += 1
+                fired += 1
+                if fired >= max_events:
+                    raise UsageError(
+                        f"simulation exceeded {max_events} events; "
+                        f"likely livelock (last: {event.label!r})")
+            if until is not None:
+                self.now = until
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for *_xs, e in self._queue if not e.cancelled)

@@ -1,0 +1,89 @@
+"""Metric collection for simulation runs.
+
+A single :class:`Metrics` instance is shared by every component of a
+world.  It offers counters, byte accumulators, duration series and event
+timelines; benchmark harnesses read it after a run to produce the
+paper-style tables.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class Sample:
+    """One timestamped observation in a series."""
+
+    time: float
+    value: float
+
+
+class Metrics:
+    """Counters, series and timelines for one simulated world."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = defaultdict(int)
+        self.bytes: dict[str, int] = defaultdict(int)
+        self.series: dict[str, list[Sample]] = defaultdict(list)
+        self.timeline: list[tuple[float, str, dict[str, Any]]] = []
+        self.timeline_enabled = True
+
+    # -- counters -----------------------------------------------------------
+
+    def incr(self, name: str, by: int = 1) -> None:
+        """Increment counter ``name``."""
+        self.counters[name] += by
+
+    def add_bytes(self, name: str, n: int) -> None:
+        """Accumulate ``n`` bytes under ``name``."""
+        self.bytes[name] += n
+
+    def count(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    def total_bytes(self, name: str) -> int:
+        """Accumulated bytes under ``name`` (0 if never recorded)."""
+        return self.bytes.get(name, 0)
+
+    # -- series / timeline ---------------------------------------------------
+
+    def observe(self, name: str, time: float, value: float) -> None:
+        """Append a timestamped sample to series ``name``."""
+        self.series[name].append(Sample(time, value))
+
+    def record(self, time: float, kind: str, **details: Any) -> None:
+        """Append a timeline event (used by tests to check orderings)."""
+        if self.timeline_enabled:
+            self.timeline.append((time, kind, dict(details)))
+
+    def events(self, kind: Optional[str] = None) -> list[tuple[float, str, dict[str, Any]]]:
+        """Timeline events, optionally filtered by ``kind``."""
+        if kind is None:
+            return list(self.timeline)
+        return [e for e in self.timeline if e[1] == kind]
+
+    # -- summaries -----------------------------------------------------------
+
+    def series_values(self, name: str) -> list[float]:
+        """Just the values of series ``name`` in time order."""
+        return [s.value for s in self.series.get(name, [])]
+
+    def summary(self) -> dict[str, Any]:
+        """Flat snapshot of all counters and byte totals."""
+        out: dict[str, Any] = {}
+        for name, value in sorted(self.counters.items()):
+            out[name] = value
+        for name, value in sorted(self.bytes.items()):
+            out[f"bytes.{name}"] = value
+        return out
+
+    def reset(self) -> None:
+        """Clear all recorded data (counters, bytes, series, timeline)."""
+        self.counters.clear()
+        self.bytes.clear()
+        self.series.clear()
+        self.timeline.clear()

@@ -1,0 +1,95 @@
+"""Human-readable execution traces.
+
+The metrics timeline records protocol-level events (crashes,
+recoveries, rollback initiation/completion, agent completion, FT
+promotions).  This module renders that timeline — optionally enriched
+with per-category counters — into text suitable for debugging runs and
+for the examples' narrative output, and exports it as rows for external
+analysis.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.node.runtime import World
+
+_EVENT_LABELS = {
+    "crash": "node crashed",
+    "recover": "node recovered",
+    "rollback-initiated": "rollback initiated",
+    "rollback-completed": "rollback completed",
+    "agent-finished": "agent finished",
+    "agent-failed": "agent FAILED",
+    "ft-promotion": "shadow promoted",
+}
+
+
+def render_timeline(world: "World", kinds: Optional[Iterable[str]] = None,
+                    limit: Optional[int] = None) -> str:
+    """Render the world's event timeline, one line per event.
+
+    ``kinds`` filters event categories; ``limit`` keeps the newest N.
+    """
+    wanted = set(kinds) if kinds is not None else None
+    lines = []
+    for time, kind, details in world.metrics.timeline:
+        if wanted is not None and kind not in wanted:
+            continue
+        label = _EVENT_LABELS.get(kind, kind)
+        extras = " ".join(f"{k}={v}" for k, v in sorted(details.items()))
+        lines.append(f"t={time:10.4f}  {label:<20} {extras}")
+    if limit is not None:
+        lines = lines[-limit:]
+    return "\n".join(lines)
+
+
+def timeline_rows(world: "World") -> list[dict]:
+    """The timeline as flat dict rows (for CSV/JSON export)."""
+    rows = []
+    for time, kind, details in world.metrics.timeline:
+        row = {"time": time, "kind": kind}
+        row.update(details)
+        rows.append(row)
+    return rows
+
+
+def describe_world(world: "World") -> str:
+    """A diagnostic snapshot: nodes, queues, agents, headline counters.
+
+    Intended for debugging stuck scenarios ("where is my agent?") and
+    used by tests as a stable, greppable rendering of world state.
+    """
+    lines = [f"world @ t={world.sim.now:.4f} "
+             f"({world.sim.events_processed} events)"]
+    lines.append("nodes:")
+    for name in sorted(world.nodes):
+        node = world.nodes[name]
+        status = "up" if node.up else "DOWN"
+        queued = len(node.queue)
+        resources = ",".join(sorted(node.resources)) or "-"
+        lines.append(f"  {name:<12} {status:<4} queue={queued} "
+                     f"resources={resources}")
+        for item in node.queue.items():
+            package = item.payload
+            kind = getattr(package, "kind", None)
+            agent = getattr(package, "agent_id", "?")
+            lines.append(f"    - item {item.item_id}: "
+                         f"{getattr(kind, 'value', kind)} agent={agent} "
+                         f"attempts={item.attempts}")
+    lines.append("agents:")
+    for agent_id in sorted(world.agents):
+        record = world.agents[agent_id]
+        lines.append(
+            f"  {agent_id:<20} {record.status.value:<9} "
+            f"steps={record.steps_committed} "
+            f"rollbacks={record.rollbacks_completed} "
+            f"transfers={record.agent_transfers}")
+    interesting = ("steps.committed", "rollback.completed",
+                   "compensation.tx_committed", "crash.count",
+                   "ft.promotions")
+    lines.append("counters:")
+    for name in interesting:
+        lines.append(f"  {name:<28} {world.metrics.count(name)}")
+    return "\n".join(lines)

@@ -1,0 +1,22 @@
+"""Stable storage: durable key-value store and agent input queues.
+
+"Stable" means the contents survive simulated node crashes.  The
+exactly-once protocols of the paper (ref [11]) keep the agent in a
+node's *agent input queue* on stable storage between steps; the partial
+rollback mechanism reuses the same queues to park the agent between
+compensation transactions (paper, Section 4.3).
+"""
+
+from repro.storage.serialization import capture, restore, size_of, snapshot
+from repro.storage.stable import StableStore
+from repro.storage.queues import AgentInputQueue, QueueItem
+
+__all__ = [
+    "capture",
+    "restore",
+    "size_of",
+    "snapshot",
+    "StableStore",
+    "AgentInputQueue",
+    "QueueItem",
+]

@@ -1,0 +1,44 @@
+"""Pickle-based state capture.
+
+The paper's platform (Mole) captures an agent's code, data and execution
+state with Java object serialisation before every migration.  We use
+:mod:`pickle` for the same purpose: agents are plain Python objects whose
+classes are importable, so a pickle carries a code *reference* (module +
+qualified name) plus the full private data space — the exact analogue of
+Mole's serialized agent, including realistic byte sizes for the transfer
+cost model.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+
+PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+
+def capture(obj: Any) -> bytes:
+    """Serialise ``obj`` (agent, log, package...) to bytes."""
+    return pickle.dumps(obj, protocol=PROTOCOL)
+
+
+def restore(blob: bytes) -> Any:
+    """Re-instantiate an object previously captured with :func:`capture`."""
+    return pickle.loads(blob)
+
+
+def size_of(obj: Any) -> int:
+    """Serialised size of ``obj`` in bytes (what a migration would move)."""
+    return len(capture(obj))
+
+
+def snapshot(obj: T) -> T:
+    """Deep, reference-free copy via a capture/restore round trip.
+
+    Used for before-images of strongly reversible objects: the image must
+    not alias live agent state, otherwise later mutations would corrupt
+    the savepoint (paper, Section 4.1).
+    """
+    return restore(capture(obj))

@@ -1,0 +1,27 @@
+"""Transaction substrate.
+
+The paper assumes each step of an agent runs inside an ACID *step
+transaction* and each compensation inside a *compensation transaction*
+(Sections 2 and 4.3), provided by "legacy" transactional technology (TP
+monitors, transactional resource managers).  This package is that
+substrate, built from scratch:
+
+* :class:`~repro.tx.manager.Transaction` — undo-log transactions with
+  deferred commit actions and strict two-phase locking;
+* :class:`~repro.tx.locks.LockManager` — per-node exclusive item locks
+  with an immediate-restart conflict policy (no waiting ⇒ no deadlock);
+* :class:`~repro.tx.coordinator.CommitCoordinator` — distributed commit
+  across nodes (the "(distributed) step transaction" of Section 2).
+"""
+
+from repro.tx.manager import Transaction, TransactionManager, TxState
+from repro.tx.locks import LockManager
+from repro.tx.coordinator import CommitCoordinator
+
+__all__ = [
+    "Transaction",
+    "TransactionManager",
+    "TxState",
+    "LockManager",
+    "CommitCoordinator",
+]

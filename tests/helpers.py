@@ -1,0 +1,137 @@
+"""Shared test fixtures: picklable agents and registered compensations.
+
+Agent classes used in tests must live in an importable module (pickle
+captures them by reference, like the paper's platform ships code by
+class name), so they are defined here rather than inside test
+functions.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Bank,
+    InfoDirectory,
+    MobileAgent,
+    World,
+    agent_compensation,
+    mixed_compensation,
+    resource_compensation,
+)
+from repro.resources.bank import OverdraftPolicy
+
+
+# ---------------------------------------------------------------------------
+# Compensating operations (unique names; the registry is global)
+# ---------------------------------------------------------------------------
+
+@resource_compensation("t.undo_transfer")
+def t_undo_transfer(bank, params, ctx):
+    bank.transfer(params["dst"], params["src"], params["amount"],
+                  compensating=True)
+
+
+@resource_compensation("t.undo_deposit")
+def t_undo_deposit(bank, params, ctx):
+    bank.withdraw(params["account"], params["amount"], compensating=True)
+
+
+@agent_compensation("t.forget_note")
+def t_forget_note(wro, params, ctx):
+    notes = list(wro.get("notes", []))
+    if params["note"] in notes:
+        notes.remove(params["note"])
+    wro["notes"] = notes
+    wro["compensations"] = wro.get("compensations", 0) + 1
+
+
+@agent_compensation("t.mark")
+def t_mark(wro, params, ctx):
+    wro.setdefault("marks", []).append(params.get("tag", "mark"))
+
+
+@mixed_compensation("t.return_cash")
+def t_return_cash(wro, bank, params, ctx):
+    amount = wro.get("cash", 0)
+    bank.deposit(params["account"], amount)
+    wro["cash"] = 0
+    wro["returned"] = wro.get("returned", 0) + amount
+
+
+# ---------------------------------------------------------------------------
+# Agents
+# ---------------------------------------------------------------------------
+
+class LinearAgent(MobileAgent):
+    """Visits ``plan`` nodes in order, one bank transfer per step.
+
+    ``rollback_at_end`` rolls back once to the named savepoint before
+    finishing (detected via the WRO compensation counter).
+    """
+
+    def __init__(self, agent_id, plan, savepoints=(), rollback_to=None,
+                 amounts=10):
+        super().__init__(agent_id)
+        self.plan = list(plan)
+        self.savepoints = dict(savepoints)  # pos -> sp_id
+        self.rollback_to = rollback_to
+        self.amount = amounts
+        self.sro["pos"] = 0
+
+    def step(self, ctx):
+        pos = self.sro["pos"]
+        bank = ctx.resource("bank")
+        bank.transfer("a", "b", self.amount)
+        ctx.log_resource_compensation(
+            "t.undo_transfer",
+            {"src": "a", "dst": "b", "amount": self.amount},
+            resource="bank")
+        note = f"visited-{pos}"
+        self.wro.setdefault("notes", []).append(note)
+        ctx.log_agent_compensation("t.forget_note", {"note": note})
+        self.sro["pos"] = pos + 1
+        if pos + 1 < len(self.plan):
+            ctx.goto(self.plan[pos + 1], "step")
+        else:
+            ctx.goto(self.plan[0], "wrap")
+        if pos in self.savepoints:
+            ctx.savepoint(self.savepoints[pos])
+
+    def wrap(self, ctx):
+        if (self.rollback_to is not None
+                and not self.wro.get("compensations")):
+            ctx.rollback(self.rollback_to)
+        ctx.finish({
+            "notes": list(self.wro.get("notes", [])),
+            "compensations": self.wro.get("compensations", 0),
+            "pos": self.sro["pos"],
+        })
+
+
+class OneShotAgent(MobileAgent):
+    """Runs a single step that calls ``self.action(ctx)`` then finishes."""
+
+    def go(self, ctx):
+        result = self.action(ctx)
+        ctx.finish(result)
+
+    def action(self, ctx):  # overridden in subclasses
+        return None
+
+
+def build_line_world(n_nodes=4, seed=0, **world_kwargs) -> World:
+    """n nodes in a line, each with a bank holding accounts a and b."""
+    world = World(seed=seed, **world_kwargs)
+    for i in range(n_nodes):
+        node = world.add_node(f"n{i}")
+        bank = Bank("bank")
+        bank.seed_account("a", 1_000, overdraft=OverdraftPolicy.ALLOWED)
+        bank.seed_account("b", 1_000, overdraft=OverdraftPolicy.ALLOWED)
+        node.add_resource(bank)
+        directory = InfoDirectory("directory")
+        directory.publish("offers", [{"price": i}])
+        node.add_resource(directory)
+    return world
+
+
+def bank_of(world: World, node: str) -> Bank:
+    return world.node(node).get_resource("bank")

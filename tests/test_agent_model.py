@@ -1,0 +1,149 @@
+"""Unit tests: MobileAgent, StepContext wiring, agent packages."""
+
+import pytest
+
+from repro import MobileAgent, World
+from repro.agent.packages import AgentPackage, PackageKind, RollbackMode
+from repro.errors import UsageError
+from repro.log.rollback_log import RollbackLog
+from repro.node.runtime import AgentStatus
+
+from tests.helpers import LinearAgent, OneShotAgent, build_line_world
+
+
+def test_agent_control_record_validation():
+    agent = LinearAgent("a1", ["n0"])
+    agent.set_control("n0", "step")
+    assert agent.control == {"node": "n0", "method": "step"}
+    with pytest.raises(UsageError):
+        agent.set_control("n0", "no_such_method")
+    agent.clear_control()
+    assert agent.control is None
+
+
+def test_agent_ids_unique_by_default():
+    a, b = MobileAgent(), MobileAgent()
+    assert a.agent_id != b.agent_id
+
+
+def test_package_pack_unpack_round_trip():
+    agent = LinearAgent("a2", ["n0"])
+    agent.sro["data"] = [1, 2, 3]
+    agent.wro["purse"] = 77
+    log = RollbackLog()
+    package = AgentPackage.pack(PackageKind.STEP, agent, log, step_index=0)
+    restored_agent, restored_log = package.unpack()
+    assert restored_agent.agent_id == "a2"
+    assert restored_agent.sro["data"] == [1, 2, 3]
+    assert restored_agent.wro["purse"] == 77
+    assert len(restored_log) == 0
+    # Mutating the restored copy does not touch the blob.
+    restored_agent.sro["data"].append(4)
+    assert package.unpack()[0].sro["data"] == [1, 2, 3]
+
+
+def test_package_size_reflects_payload():
+    small = LinearAgent("a3", ["n0"])
+    big = LinearAgent("a4", ["n0"])
+    big.sro["ballast"] = b"x" * 50_000
+    log = RollbackLog()
+    assert (AgentPackage.pack(PackageKind.STEP, big, log, 0).size_bytes
+            > AgentPackage.pack(PackageKind.STEP, small, log, 0).size_bytes
+            + 40_000)
+
+
+def test_as_kind_keeps_work_id():
+    agent = LinearAgent("a5", ["n0"])
+    package = AgentPackage.pack(PackageKind.STEP, agent, RollbackLog(), 0)
+    shadow = package.as_kind(PackageKind.SHADOW)
+    assert shadow.work_id == package.work_id
+    assert shadow.kind is PackageKind.SHADOW
+
+
+class ContextProbe(OneShotAgent):
+    def action(self, ctx):
+        return {
+            "node": ctx.node_name,
+            "now": ctx.now,
+            "rng": ctx.rng.random(),
+            "step_index": ctx.step_index,
+        }
+
+
+def test_context_exposes_node_time_and_deterministic_rng():
+    world = build_line_world(1, seed=5)
+    record = world.launch(ContextProbe("probe"), at="n0", method="go")
+    world.run()
+    first = record.result
+
+    world2 = build_line_world(1, seed=5)
+    record2 = world2.launch(ContextProbe("probe"), at="n0", method="go")
+    world2.run()
+    assert record2.result["rng"] == first["rng"]
+    assert first["node"] == "n0"
+    assert first["now"] > 0
+
+
+class BadCompensationName(OneShotAgent):
+    def action(self, ctx):
+        ctx.log_agent_compensation("no.such.op", {})
+
+
+def test_unknown_compensation_fails_fast():
+    world = build_line_world(1)
+    record = world.launch(BadCompensationName("bad"), at="n0", method="go")
+    world.run()
+    assert record.status is AgentStatus.FAILED
+    assert "no.such.op" in record.failure
+
+
+class WrongKind(OneShotAgent):
+    def action(self, ctx):
+        # t.mark is registered as an AGENT compensation.
+        ctx.log_resource_compensation("t.mark", {}, resource="bank")
+
+
+def test_mismatched_compensation_kind_rejected():
+    world = build_line_world(1)
+    record = world.launch(WrongKind("bad2"), at="n0", method="go")
+    world.run()
+    assert record.status is AgentStatus.FAILED
+    assert "registered as" in record.failure
+
+
+class MissingResourceName(OneShotAgent):
+    def action(self, ctx):
+        ctx.log_resource_compensation("t.undo_transfer", {})
+
+
+def test_rce_without_resource_name_rejected():
+    world = build_line_world(1)
+    record = world.launch(MissingResourceName("bad3"), at="n0", method="go")
+    world.run()
+    assert record.status is AgentStatus.FAILED
+
+
+class NoNextHop(MobileAgent):
+    def stall(self, ctx):
+        pass  # neither goto nor finish
+
+
+def test_step_without_goto_or_finish_fails_agent():
+    world = build_line_world(1)
+    record = world.launch(NoNextHop("stuck"), at="n0", method="stall")
+    world.run()
+    assert record.status is AgentStatus.FAILED
+    assert "neither goto nor finish" in record.failure
+
+
+class RollbackToNowhere(OneShotAgent):
+    def action(self, ctx):
+        ctx.rollback("never-set")
+
+
+def test_rollback_to_unknown_savepoint_rejected_in_step():
+    world = build_line_world(1)
+    record = world.launch(RollbackToNowhere("bad4"), at="n0", method="go")
+    world.run()
+    assert record.status is AgentStatus.FAILED
+    assert "never-set" in record.failure

@@ -1,0 +1,77 @@
+"""Unit tests: bench workload generator and harness."""
+
+import pytest
+
+from repro import AgentStatus, RollbackMode
+from repro.bench import format_table, make_tour_plan, run_tour
+from repro.bench.harness import build_tour_world, rollback_latencies
+from repro.errors import UsageError
+
+
+def test_plan_mix_fractions_respected():
+    nodes = [f"n{i}" for i in range(5)]
+    plan = make_tour_plan(nodes, 10, mixed_fraction=0.3, ace_fraction=0.2,
+                          none_fraction=0.1)
+    kinds = [s.kind for s in plan.steps]
+    assert kinds.count("mixed") == 3
+    assert kinds.count("ace") == 2
+    assert kinds.count("none") == 1
+    assert kinds.count("rce") == 4
+
+
+def test_plan_savepoint_placement():
+    nodes = ["n0", "n1"]
+    plan = make_tour_plan(nodes, 6, savepoint_every=2)
+    assert [s.savepoint for s in plan.steps] == \
+        ["sp-0", None, "sp-2", None, "sp-4", None]
+
+
+def test_plan_rollback_depth_selects_target():
+    nodes = ["n0", "n1", "n2"]
+    plan = make_tour_plan(nodes, 6, savepoint_every=1, rollback_depth=3)
+    # depth 3 over 6 steps: target must be sp-2 (steps 3,4,5 compensated).
+    assert plan.rollback_to == "sp-2"
+
+
+def test_plan_too_small_rejected():
+    with pytest.raises(UsageError):
+        make_tour_plan(["n0"], 1)
+
+
+def test_tour_world_has_bank_and_directory_everywhere():
+    world = build_tour_world(3)
+    for i in range(3):
+        node = world.node(f"n{i}")
+        assert node.get_resource("bank") is not None
+        assert node.get_resource("directory") is not None
+
+
+def test_run_tour_produces_complete_result():
+    plan = make_tour_plan(["n0", "n1", "n2"], 4, rollback_depth=3)
+    result = run_tour(plan, 3, mode=RollbackMode.BASIC, seed=1)
+    assert result.status is AgentStatus.FINISHED
+    assert result.steps_committed >= 4
+    assert result.rollbacks == 1
+    assert result.sim_time > 0
+    assert result.rollback_latency > 0
+    assert result.final_package_bytes > 0
+
+
+def test_rollback_latencies_pair_events():
+    plan = make_tour_plan(["n0", "n1", "n2"], 4, rollback_depth=3)
+    world = build_tour_world(3, seed=2)
+    run_tour(plan, 3, mode=RollbackMode.BASIC, seed=2, world=world)
+    latencies = rollback_latencies(world)
+    assert len(latencies) == 1
+    assert latencies[0] > 0
+
+
+def test_format_table_aligns_columns():
+    table = format_table(["name", "value"],
+                         [["a", 1], ["long-name", 2.5]], title="T")
+    lines = table.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert len(lines) == 5
+    widths = {len(line) for line in lines[1:]}
+    assert len(widths) == 1  # all rows padded to equal width

@@ -1,0 +1,104 @@
+"""Tests: run-invariant checker and itinerary visualisation."""
+
+import pytest
+
+from repro import Itinerary, RollbackMode, StepEntry, SubItinerary
+from repro.core.checker import assert_clean, check_world
+from repro.itinerary.builder import parse_itinerary
+from repro.itinerary.visualize import render_tree, to_dot
+
+from tests.helpers import LinearAgent, build_line_world
+
+
+# -- checker --------------------------------------------------------------------
+
+def run_clean_world():
+    world = build_line_world(3)
+    agent = LinearAgent("check-me", ["n0", "n1", "n2"],
+                        savepoints={0: "sp"}, rollback_to="sp")
+    world.launch(agent, at="n0", method="step", mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    return world
+
+
+def test_clean_run_passes_all_checks():
+    world = run_clean_world()
+    assert check_world(world) == []
+    assert_clean(world)
+
+
+def test_checker_flags_fabricated_completion():
+    world = run_clean_world()
+    world.metrics.record(99.0, "rollback-completed", agent="ghost",
+                         savepoint="x", node="n0")
+    violations = check_world(world)
+    assert any("never initiated" in v for v in violations)
+    with pytest.raises(AssertionError):
+        assert_clean(world)
+
+
+def test_checker_flags_record_timeline_mismatch():
+    world = run_clean_world()
+    record = world.record_of("check-me")
+    record.rollbacks_completed += 1
+    violations = check_world(world)
+    assert any("timeline says" in v for v in violations)
+
+
+def test_checker_flags_residue_for_terminal_agent():
+    world = run_clean_world()
+    from repro.agent.packages import AgentPackage, PackageKind
+    from repro.log.rollback_log import RollbackLog
+
+    stale_agent = LinearAgent("check-me-2", ["n0"])
+    stale_agent.set_control("n0", "step")
+    package = AgentPackage.pack(PackageKind.STEP, stale_agent,
+                                RollbackLog(), 0)
+    package = package.__class__(**{**package.__dict__,
+                                   "agent_id": "check-me"})
+    world.node("n1").queue.enqueue(package, package.size_bytes)
+    violations = check_world(world)
+    assert any("terminal agent" in v for v in violations)
+
+
+def test_checker_flags_compensation_without_rollback():
+    world = run_clean_world()
+    record = world.record_of("check-me")
+    record.rollbacks_initiated = 0
+    violations = check_world(world)
+    assert any("without any rollback initiation" in v for v in violations)
+
+
+# -- visualisation -----------------------------------------------------------------
+
+FIG6 = ("I{ SI1{ s1/n0, s2/n1, s3/n2 },"
+        "   SI3{ s6/n0, SI4{ s5/n1, s4/n2 }, SI5{ s9/n0, s10/n1 } } }")
+
+
+def test_render_tree_shows_hierarchy():
+    text = render_tree(parse_itinerary(FIG6))
+    assert text.splitlines()[0] == "I"
+    assert "SI3" in text and "SI4" in text
+    assert "s4()/n2" in text
+    # SI4's children are indented deeper than SI3.
+    si3_line = next(l for l in text.splitlines() if "SI3" in l)
+    s5_line = next(l for l in text.splitlines() if "s5()" in l)
+    assert len(s5_line) - len(s5_line.lstrip("│ ├└─")) > 0
+
+
+def test_render_tree_flags_order_and_preconditions():
+    itinerary = Itinerary(order="any").add(
+        SubItinerary("alt", [StepEntry("a", "n0", precondition="maybe")],
+                     order="any"))
+    text = render_tree(itinerary)
+    assert "(any order)" in text.splitlines()[0]
+    assert "alt (any order)" in text
+    assert "?maybe" in text
+
+
+def test_to_dot_is_valid_digraph():
+    dot = to_dot(parse_itinerary(FIG6))
+    assert dot.startswith("digraph itinerary {")
+    assert dot.rstrip().endswith("}")
+    assert dot.count("->") >= 9  # root->2 subs + steps + nested
+    assert '"s6()/n0"' in dot

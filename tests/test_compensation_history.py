@@ -1,0 +1,114 @@
+"""Tests: the Section 3 formalism — histories, commutativity, soundness.
+
+These machine-check the paper's worked examples:
+
+* deposit/withdraw on an overdraftable account commute, so compensation
+  built from them yields sound histories;
+* a dependent transaction that branches on the balance ("if I have
+  enough money...") breaks commutativity and soundness;
+* soundness implies T • CT ≡ I on the tested states.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compensation.history import (
+    History,
+    Operation,
+    commutes,
+    histories_equal,
+    identity,
+    is_sound,
+)
+
+
+def deposit(amount):
+    def fn(state):
+        state["balance"] = state.get("balance", 0) + amount
+        return state
+    return Operation(f"deposit({amount})", fn)
+
+
+def withdraw(amount):
+    return deposit(-amount)
+
+
+def conditional_spend(amount, threshold):
+    """Spend only if balance >= threshold — the paper's soundness breaker."""
+    def fn(state):
+        if state.get("balance", 0) >= threshold:
+            state["balance"] -= amount
+            state["spent"] = state.get("spent", 0) + amount
+        return state
+    return Operation(f"spend({amount})if>={threshold}", fn)
+
+
+balances = st.integers(min_value=-500, max_value=500)
+states = st.builds(lambda b: {"balance": b}, balances)
+
+
+@given(st.lists(states, min_size=3, max_size=6),
+       st.integers(1, 50), st.integers(1, 50))
+@settings(max_examples=60, deadline=None)
+def test_deposit_withdraw_commute(samples, x, y):
+    assert commutes(History([deposit(x)]), History([withdraw(y)]), samples)
+
+
+@given(st.lists(states, min_size=3, max_size=6), st.integers(1, 50))
+@settings(max_examples=60, deadline=None)
+def test_deposit_compensation_is_sound_against_commuting_dep(samples, x):
+    t = History([deposit(x)])
+    ct = History([withdraw(x)])
+    dep = History([deposit(7), withdraw(3)])
+    assert is_sound(t, ct, dep, samples)
+
+
+def test_conditional_spend_breaks_commutativity():
+    samples = [{"balance": b} for b in (0, 10, 19, 20, 21, 100)]
+    t = History([deposit(20)])
+    dep = History([conditional_spend(5, threshold=20)])
+    assert not commutes(t, dep, samples)
+
+
+def test_conditional_spend_breaks_soundness():
+    """With T = deposit(20) compensated later, dep's branch decision
+    differs from the run where T never happened."""
+    samples = [{"balance": 10}]  # 10 < 20 without T; 30 >= 20 with T
+    t = History([deposit(20)])
+    ct = History([withdraw(20)])
+    dep = History([conditional_spend(5, threshold=20)])
+    assert not is_sound(t, ct, dep, samples)
+
+
+@given(st.lists(states, min_size=3, max_size=6), st.integers(1, 50))
+@settings(max_examples=40, deadline=None)
+def test_soundness_implies_t_ct_is_identity(samples, x):
+    t = History([deposit(x)])
+    ct = History([withdraw(x)])
+    assert histories_equal(t.then(ct), identity(), samples)
+
+
+def test_history_application_order_is_left_to_right():
+    t = History([deposit(10), conditional_spend(5, threshold=10)])
+    out = t({"balance": 0})
+    assert out == {"balance": 5, "spent": 5}
+
+
+def test_history_then_and_reversed():
+    h = History([deposit(1), deposit(2)])
+    assert len(h.then(History([deposit(3)]))) == 3
+    assert [op.name for op in h.reversed().ops] == \
+        ["deposit(2)", "deposit(1)"]
+
+
+def test_operations_do_not_alias_input_state():
+    state = {"balance": 0}
+    deposit(10)(state)
+    assert state == {"balance": 0}
+
+
+@given(st.lists(states, min_size=2, max_size=5))
+@settings(max_examples=30, deadline=None)
+def test_histories_equal_is_reflexive(samples):
+    h = History([deposit(3), withdraw(1)])
+    assert histories_equal(h, h, samples)

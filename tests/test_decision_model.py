@@ -1,0 +1,61 @@
+"""Unit tests: the RPC-vs-migration decision model (ref [16])."""
+
+import pytest
+
+from repro.core.decision import AccessPlan, DecisionModel
+from repro.sim.timing import NetworkParams
+
+
+def model(latency=0.005, bandwidth=1_250_000.0):
+    return DecisionModel(network=NetworkParams(
+        latency=latency, bandwidth_bytes_per_s=bandwidth))
+
+
+def test_few_interactions_prefer_rpc():
+    m = model()
+    plan = m.choose(interactions=1, request_bytes=100, reply_bytes=100,
+                    agent_bytes=50_000)
+    assert plan is AccessPlan.RPC
+
+
+def test_many_interactions_prefer_migration():
+    m = model()
+    plan = m.choose(interactions=200, request_bytes=100, reply_bytes=100,
+                    agent_bytes=5_000)
+    assert plan is AccessPlan.MIGRATE
+
+
+def test_huge_agent_prefers_rpc_even_for_many_interactions():
+    m = model()
+    plan = m.choose(interactions=20, request_bytes=64, reply_bytes=64,
+                    agent_bytes=10_000_000)
+    assert plan is AccessPlan.RPC
+
+
+def test_crossover_is_consistent_with_choose():
+    m = model()
+    crossover = m.crossover_interactions(request_bytes=200, reply_bytes=400,
+                                         agent_bytes=20_000)
+    below = max(1, int(crossover) - 1)
+    above = int(crossover) + 2
+    assert m.choose(below, 200, 400, 20_000) is AccessPlan.RPC
+    assert m.choose(above, 200, 400, 20_000) is AccessPlan.MIGRATE
+
+
+def test_costs_scale_with_network_parameters():
+    slow = model(latency=0.1)
+    fast = model(latency=0.001)
+    assert slow.rpc_cost(10, 100, 100) > fast.rpc_cost(10, 100, 100)
+    assert slow.migration_cost(1_000) > fast.migration_cost(1_000)
+
+
+def test_one_way_migration_cheaper_than_round_trip():
+    m = model()
+    assert (m.migration_cost(10_000, round_trip=False)
+            < m.migration_cost(10_000, round_trip=True))
+
+
+def test_bandwidth_dominates_for_large_payloads():
+    thin = model(bandwidth=10_000.0)
+    thick = model(bandwidth=10_000_000.0)
+    assert thin.migration_cost(100_000) > thick.migration_cost(100_000) * 10

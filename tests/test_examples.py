@@ -1,0 +1,26 @@
+"""The examples are part of the public contract: they must run green."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+@pytest.mark.parametrize("script", [
+    "quickstart.py",
+    "ecommerce_shopping.py",
+    "currency_exchange.py",
+    "systems_management.py",
+    "fault_injection.py",
+    "travel_agency.py",
+    "active_messaging.py",
+])
+def test_example_runs_clean(script):
+    path = EXAMPLES / script
+    proc = subprocess.run([sys.executable, str(path)],
+                          capture_output=True, text=True, timeout=300)
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    assert "OK:" in proc.stdout

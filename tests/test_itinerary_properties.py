@@ -1,0 +1,69 @@
+"""Property tests: itinerary DSL round-trips and execution order."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import AgentStatus, Itinerary, StepEntry, SubItinerary
+from repro.itinerary.builder import format_itinerary, parse_itinerary
+
+from tests.helpers import build_line_world
+from tests.test_itinerary import Walker
+
+NODES = ["n0", "n1", "n2"]
+
+names = st.from_regex(r"[A-Za-z][A-Za-z0-9_]{0,6}", fullmatch=True)
+
+
+@st.composite
+def sub_itineraries(draw, depth=0):
+    name = draw(names)
+    order = draw(st.sampled_from(["sequence", "any"]))
+    n_entries = draw(st.integers(min_value=1, max_value=3))
+    entries = []
+    for _ in range(n_entries):
+        if depth < 2 and draw(st.booleans()) and draw(st.booleans()):
+            entries.append(draw(sub_itineraries(depth=depth + 1)))
+        else:
+            entries.append(StepEntry(method="visit",
+                                     loc=draw(st.sampled_from(NODES))))
+    return SubItinerary(name=name, entries=entries, order=order)
+
+
+@st.composite
+def itineraries(draw):
+    n_subs = draw(st.integers(min_value=1, max_value=3))
+    itinerary = Itinerary()
+    for _ in range(n_subs):
+        itinerary.add(draw(sub_itineraries()))
+    return itinerary
+
+
+@given(itineraries())
+@settings(max_examples=60, deadline=None)
+def test_dsl_round_trip_preserves_structure(itinerary):
+    text = format_itinerary(itinerary)
+    parsed = parse_itinerary(text)
+    assert format_itinerary(parsed) == text
+    assert ([s.loc for s in parsed.walk_steps()]
+            == [s.loc for s in itinerary.walk_steps()])
+
+
+@given(itineraries(), st.integers(min_value=0, max_value=1000))
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_random_itinerary_executes_every_step_once(itinerary, seed):
+    world = build_line_world(3, seed=seed)
+    agent = Walker(itinerary, f"prop-walker-{seed}-{id(itinerary)}")
+    record = world.launch_itinerary(agent)
+    world.run(max_events=1_000_000)
+    assert record.status is AgentStatus.FINISHED, record.failure
+    trace_nodes = [n for _, n in record.result["trace"]]
+    expected = [s.loc for s in itinerary.walk_steps()]
+    # Without preconditions or rollbacks, execution visits exactly the
+    # step entries; 'sequence' order follows the walk exactly, and our
+    # deterministic 'any' policy (lowest ready index) does too.
+    assert trace_nodes == expected
+    # One log truncation per top-level sub-itinerary.
+    assert (world.metrics.count("log.truncations")
+            == len(itinerary.entries))

@@ -1,0 +1,126 @@
+"""Unit + property tests: state vs transition logging (Section 4.2)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.log.entries import BeginOfStepEntry, EndOfStepEntry, SavepointEntry
+from repro.log.modes import (
+    LoggingMode,
+    SRODiff,
+    sro_apply,
+    sro_compose,
+    sro_diff,
+)
+from repro.log.rollback_log import RollbackLog
+
+# SRO spaces: flat string keys to small picklable values.
+sro_values = st.one_of(st.integers(), st.text(max_size=8),
+                       st.lists(st.integers(), max_size=4))
+sro_spaces = st.dictionaries(st.text(min_size=1, max_size=4), sro_values,
+                             max_size=6)
+
+
+# -- diff algebra -------------------------------------------------------------
+
+@given(sro_spaces, sro_spaces)
+@settings(max_examples=80, deadline=None)
+def test_apply_diff_reproduces_new_state(old, new):
+    assert sro_apply(old, sro_diff(old, new)) == new
+
+
+@given(sro_spaces)
+@settings(max_examples=40, deadline=None)
+def test_self_diff_is_empty(state):
+    assert sro_diff(state, state).is_empty()
+
+
+@given(sro_spaces, sro_spaces, sro_spaces)
+@settings(max_examples=60, deadline=None)
+def test_compose_equals_sequential_application(a, b, c):
+    d1 = sro_diff(a, b)
+    d2 = sro_diff(b, c)
+    composed = sro_compose(d1, d2)
+    assert sro_apply(a, composed) == c
+
+
+def test_diff_snapshots_values():
+    old = {}
+    value = [1, 2]
+    diff = sro_diff(old, {"k": value})
+    value.append(3)
+    assert diff.changed["k"] == [1, 2]
+
+
+# -- transition logging in the log ----------------------------------------------
+
+def build_transition_log(states):
+    """One savepoint per state; first is a full image, rest are diffs."""
+    log = RollbackLog(LoggingMode.TRANSITION)
+    previous = None
+    for i, state in enumerate(states):
+        payload = state if previous is None else sro_diff(previous, state)
+        log.append(SavepointEntry(sp_id=f"sp-{i}", mode="transition",
+                                  payload=payload))
+        log.append(BeginOfStepEntry(node="n", step_index=i))
+        log.append(EndOfStepEntry(node="n", step_index=i))
+        previous = state
+    return log
+
+
+def test_transition_log_reconstructs_every_savepoint():
+    states = [{"a": 1}, {"a": 2, "b": [1]}, {"b": [1, 2]}, {}]
+    log = build_transition_log(states)
+    for i, state in enumerate(states):
+        assert log.reconstruct_sro(f"sp-{i}") == state
+
+
+def test_discard_intermediate_savepoint_merges_diffs():
+    """Section 4.4.2's 'non-trivial task if transition logging is used'."""
+    states = [{"a": 1}, {"a": 2}, {"a": 3, "b": 1}, {"a": 3}]
+    log = build_transition_log(states)
+    assert log.discard_savepoint("sp-1")
+    # sp-1 is gone but later savepoints still reconstruct correctly.
+    assert not log.has_savepoint("sp-1")
+    assert log.reconstruct_sro("sp-2") == states[2]
+    assert log.reconstruct_sro("sp-3") == states[3]
+    assert log.reconstruct_sro("sp-0") == states[0]
+
+
+def test_discard_base_image_promotes_next_savepoint():
+    states = [{"a": 1, "keep": 9}, {"a": 2, "keep": 9}, {"a": 3, "keep": 9}]
+    log = build_transition_log(states)
+    assert log.discard_savepoint("sp-0")
+    assert log.reconstruct_sro("sp-1") == states[1]
+    assert log.reconstruct_sro("sp-2") == states[2]
+
+
+@given(st.lists(sro_spaces, min_size=2, max_size=5), st.data())
+@settings(max_examples=40, deadline=None)
+def test_random_discards_preserve_remaining_reconstruction(states, data):
+    log = build_transition_log(states)
+    discardable = list(range(len(states)))
+    order = data.draw(st.permutations(discardable))
+    kept = set(discardable)
+    for index in order[:len(order) // 2]:
+        assert log.discard_savepoint(f"sp-{index}")
+        kept.discard(index)
+        for still in sorted(kept):
+            assert log.reconstruct_sro(f"sp-{still}") == states[still]
+
+
+def test_state_vs_transition_savepoint_sizes():
+    """Transition savepoints are smaller when little changes per step.
+
+    Each state carries its own ballast object (as real savepoint images
+    do — the protocol snapshots the SRO space per savepoint, so pickle
+    cannot deduplicate across entries).
+    """
+    states = [{"ballast": bytes(bytearray(b"x" * 20_000)), "counter": i}
+              for i in range(4)]
+
+    state_log = RollbackLog(LoggingMode.STATE)
+    for i, s in enumerate(states):
+        state_log.append(SavepointEntry(sp_id=f"sp-{i}", mode="state",
+                                        payload=s))
+    transition_log = build_transition_log(states)
+    assert transition_log.size_bytes() < state_log.size_bytes() / 2

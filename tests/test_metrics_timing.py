@@ -1,0 +1,96 @@
+"""Unit tests: metrics collection and the virtual-time cost model."""
+
+import pytest
+
+from repro.sim.metrics import Metrics
+from repro.sim.timing import DEFAULT_NETWORK, NetworkParams, TimingModel
+
+
+# -- metrics ----------------------------------------------------------------
+
+def test_counters_and_bytes_accumulate():
+    metrics = Metrics()
+    metrics.incr("x")
+    metrics.incr("x", 4)
+    metrics.add_bytes("wire", 100)
+    metrics.add_bytes("wire", 50)
+    assert metrics.count("x") == 5
+    assert metrics.count("missing") == 0
+    assert metrics.total_bytes("wire") == 150
+    assert metrics.total_bytes("missing") == 0
+
+
+def test_series_and_timeline():
+    metrics = Metrics()
+    metrics.observe("latency", 1.0, 0.5)
+    metrics.observe("latency", 2.0, 0.7)
+    assert metrics.series_values("latency") == [0.5, 0.7]
+    metrics.record(1.5, "crash", node="n1")
+    metrics.record(1.6, "recover", node="n1")
+    assert len(metrics.events()) == 2
+    assert len(metrics.events("crash")) == 1
+    assert metrics.events("crash")[0][2] == {"node": "n1"}
+
+
+def test_timeline_can_be_disabled():
+    metrics = Metrics()
+    metrics.timeline_enabled = False
+    metrics.record(1.0, "crash")
+    assert metrics.events() == []
+
+
+def test_summary_flattens_counters_and_bytes():
+    metrics = Metrics()
+    metrics.incr("a")
+    metrics.add_bytes("b", 10)
+    summary = metrics.summary()
+    assert summary == {"a": 1, "bytes.b": 10}
+
+
+def test_reset_clears_everything():
+    metrics = Metrics()
+    metrics.incr("a")
+    metrics.add_bytes("b", 1)
+    metrics.observe("s", 0.0, 1.0)
+    metrics.record(0.0, "e")
+    metrics.reset()
+    assert metrics.summary() == {}
+    assert metrics.events() == []
+    assert metrics.series_values("s") == []
+
+
+# -- timing model ---------------------------------------------------------------
+
+def test_stable_io_costs_scale_with_size():
+    timing = TimingModel()
+    assert timing.stable_write(100_000) > timing.stable_write(100)
+    assert timing.stable_read(100_000) > timing.stable_read(100)
+    assert timing.stable_write(0) == timing.stable_io_fixed
+
+
+def test_serialize_cost_proportional():
+    timing = TimingModel()
+    assert timing.serialize(2_048) == pytest.approx(
+        2 * timing.serialize(1_024))
+
+
+def test_scaled_multiplies_every_field():
+    timing = TimingModel()
+    doubled = timing.scaled(2.0)
+    assert doubled.resource_op == pytest.approx(2 * timing.resource_op)
+    assert doubled.two_pc_round == pytest.approx(2 * timing.two_pc_round)
+    assert doubled.stable_write(1_000) == pytest.approx(
+        2 * timing.stable_write(1_000))
+
+
+def test_network_transfer_time_components():
+    params = NetworkParams(latency=0.01, bandwidth_bytes_per_s=1_000.0)
+    # 1000 bytes at 1000 B/s = 1s serialisation + 10ms latency.
+    assert params.transfer_time(1_000) == pytest.approx(1.01)
+    assert DEFAULT_NETWORK.transfer_time(0) == DEFAULT_NETWORK.latency
+
+
+def test_timing_model_is_immutable():
+    timing = TimingModel()
+    with pytest.raises(Exception):
+        timing.resource_op = 99.0  # frozen dataclass

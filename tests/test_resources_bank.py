@@ -1,0 +1,119 @@
+"""Unit tests: bank resource (the paper's Section 3.2 examples)."""
+
+import pytest
+
+from repro.errors import CompensationFailed, LockConflict, UsageError
+from repro.resources.bank import Bank, OverdraftPolicy
+from repro.tx.manager import Transaction
+
+
+def tx():
+    return Transaction("test", "n1")
+
+
+@pytest.fixture
+def bank():
+    b = Bank("bank")
+    b.seed_account("alice", 100)
+    b.seed_account("rich", 1_000, overdraft=OverdraftPolicy.ALLOWED)
+    return b
+
+
+def test_deposit_withdraw_balance(bank):
+    t = tx()
+    assert bank.deposit(t, "alice", 50) == 150
+    assert bank.withdraw(t, "alice", 30) == 120
+    assert bank.balance(t, "alice") == 120
+
+
+def test_abort_restores_balances(bank):
+    t = tx()
+    bank.deposit(t, "alice", 50)
+    t.abort()
+    assert bank.peek("alice")["balance"] == 100
+
+
+def test_overdraft_forbidden_blocks_withdrawal(bank):
+    with pytest.raises(UsageError):
+        bank.withdraw(tx(), "alice", 200)
+
+
+def test_overdraft_allowed_goes_negative(bank):
+    t = tx()
+    assert bank.withdraw(t, "rich", 1_500) == -500
+
+
+def test_compensating_withdrawal_failure_is_compensation_failed(bank):
+    """The 20 USD example: compensation fails when the money is gone."""
+    t = tx()
+    bank.withdraw(t, "alice", 100)  # another tx drained the account
+    t.commit()
+    with pytest.raises(CompensationFailed):
+        bank.withdraw(tx(), "alice", 20, compensating=True)
+
+
+def test_transfer_moves_atomically(bank):
+    t = tx()
+    bank.transfer(t, "rich", "alice", 40)
+    t.commit()
+    assert bank.peek("rich")["balance"] == 960
+    assert bank.peek("alice")["balance"] == 140
+
+
+def test_transfer_compensation_is_reverse_transfer(bank):
+    t = tx()
+    bank.transfer(t, "rich", "alice", 40)
+    t.commit()
+    t2 = tx()
+    bank.transfer(t2, "alice", "rich", 40, compensating=True)
+    t2.commit()
+    assert bank.peek("rich")["balance"] == 1_000
+    assert bank.peek("alice")["balance"] == 100
+
+
+def test_conditional_withdraw_reads_balance(bank):
+    t = tx()
+    assert bank.conditional_withdraw(t, "alice", 10, threshold=50)
+    assert not bank.conditional_withdraw(t, "alice", 10, threshold=500)
+    assert bank.balance(t, "alice") == 90
+
+
+def test_concurrent_transactions_conflict_on_same_account(bank):
+    t1, t2 = tx(), tx()
+    bank.deposit(t1, "alice", 1)
+    with pytest.raises(LockConflict):
+        bank.deposit(t2, "alice", 1)
+    t1.commit()
+    bank.deposit(t2, "alice", 1)  # lock free after commit
+
+
+def test_concurrent_transactions_on_different_accounts_ok(bank):
+    t1, t2 = tx(), tx()
+    bank.deposit(t1, "alice", 1)
+    bank.deposit(t2, "rich", 1)
+    t1.commit()
+    t2.commit()
+
+
+def test_open_account_and_duplicate_rejected(bank):
+    t = tx()
+    bank.open_account(t, "new", 5)
+    assert bank.balance(t, "new") == 5
+    with pytest.raises(UsageError):
+        bank.open_account(t, "new", 5)
+
+
+def test_unknown_account_rejected(bank):
+    with pytest.raises(UsageError):
+        bank.balance(tx(), "ghost")
+
+
+def test_negative_amounts_rejected(bank):
+    with pytest.raises(UsageError):
+        bank.deposit(tx(), "alice", -1)
+    with pytest.raises(UsageError):
+        bank.withdraw(tx(), "alice", -1)
+
+
+def test_total_balance_audits_all_accounts(bank):
+    assert bank.total_balance() == 1_100

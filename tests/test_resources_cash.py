@@ -1,0 +1,90 @@
+"""Unit tests: digital cash mint (equivalent-state compensation)."""
+
+import pytest
+
+from repro.errors import UsageError
+from repro.resources.cash import Coin, Mint, purse_value
+from repro.tx.manager import Transaction
+
+
+def tx():
+    return Transaction("test", "n1")
+
+
+@pytest.fixture
+def mint():
+    m = Mint("mint")
+    m.seed("float", 1_000)
+    return m
+
+
+def test_issue_reduces_float_and_tracks_serials(mint):
+    t = tx()
+    coins = mint.issue(t, 100, 3)
+    t.commit()
+    assert len(coins) == 3
+    assert mint.float_value() == 700
+    assert len({c.serial for c in coins}) == 3
+    assert mint.live_serials() == {c.serial for c in coins}
+
+
+def test_issue_beyond_float_rejected(mint):
+    with pytest.raises(UsageError):
+        mint.issue(tx(), 600, 2)
+
+
+def test_redeem_returns_value_and_retires_serials(mint):
+    t = tx()
+    coins = mint.issue(t, 50, 2)
+    assert mint.redeem(t, coins) == 100
+    t.commit()
+    assert mint.float_value() == 1_000
+    assert mint.live_serials() == set()
+
+
+def test_double_spend_detected(mint):
+    t = tx()
+    coins = mint.issue(t, 50, 1)
+    mint.redeem(t, coins)
+    with pytest.raises(UsageError, match="double spend"):
+        mint.redeem(t, coins)
+
+
+def test_reissue_preserves_value_but_changes_serials(mint):
+    """Section 3.2: compensation returns an *equivalent* state only."""
+    t = tx()
+    original = mint.issue(t, 100, 2)
+    fresh = mint.reissue(t, original)
+    t.commit()
+    assert purse_value(fresh) == 200
+    assert {c.serial for c in fresh}.isdisjoint(
+        {c.serial for c in original})
+    # The originals are worthless now.
+    assert not mint.is_live(tx(), original[0])
+
+
+def test_reissue_empty_purse(mint):
+    assert mint.reissue(tx(), []) == []
+
+
+def test_abort_undoes_issuance(mint):
+    t = tx()
+    coins = mint.issue(t, 100, 1)
+    t.abort()
+    assert mint.float_value() == 1_000
+    assert mint.live_serials() == set()
+    assert not mint.is_live(tx(), coins[0])
+
+
+def test_purse_value_filters_currency():
+    coins = [Coin("s1", 100, "USD"), Coin("s2", 50, "EUR")]
+    assert purse_value(coins) == 150
+    assert purse_value(coins, "USD") == 100
+    assert purse_value(coins, "EUR") == 50
+
+
+def test_fund_adds_backing(mint):
+    t = tx()
+    mint.fund(t, 500)
+    t.commit()
+    assert mint.float_value() == 1_500

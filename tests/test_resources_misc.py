@@ -1,0 +1,169 @@
+"""Unit tests: exchange, directory, datastore, economy auditor."""
+
+import pytest
+
+from repro.errors import UsageError
+from repro.resources.bank import Bank
+from repro.resources.cash import Mint, purse_value
+from repro.resources.database import DataStore
+from repro.resources.directory import InfoDirectory
+from repro.resources.economy import EconomyAuditor
+from repro.resources.exchange import CurrencyExchange
+from repro.tx.manager import Transaction
+
+
+def tx():
+    return Transaction("test", "n1")
+
+
+# -- currency exchange ---------------------------------------------------------
+
+def make_exchange(spread_bps=0):
+    usd = Mint("usd", "USD")
+    usd.seed("float", 10_000)
+    eur = Mint("eur", "EUR")
+    eur.seed("float", 10_000)
+    exchange = CurrencyExchange("fx", {"USD": usd, "EUR": eur},
+                                spread_bps=spread_bps)
+    exchange.set_rate("USD", "EUR", 9, 10)
+    return exchange, usd, eur
+
+
+def test_convert_applies_rate_and_mints_fresh_coins():
+    exchange, usd, _eur = make_exchange()
+    t = tx()
+    dollars = usd.issue(t, 100, 2)
+    euros = exchange.convert(t, dollars, "EUR")
+    t.commit()
+    assert purse_value(euros, "EUR") == 180
+    assert all(c.currency == "EUR" for c in euros)
+    assert usd.live_serials() == set()  # originals retired
+
+
+def test_round_trip_is_lossless_without_spread():
+    exchange, usd, _ = make_exchange()
+    t = tx()
+    dollars = usd.issue(t, 200, 1)
+    euros = exchange.convert(t, dollars, "EUR")
+    back = exchange.convert(t, euros, "USD")
+    t.commit()
+    assert purse_value(back, "USD") == 200
+    assert back[0].serial != dollars[0].serial
+
+
+def test_spread_reduces_round_trip():
+    exchange, usd, _ = make_exchange(spread_bps=100)  # 1%
+    t = tx()
+    dollars = usd.issue(t, 1_000, 1)
+    euros = exchange.convert(t, dollars, "EUR")
+    back = exchange.convert(t, euros, "USD")
+    t.commit()
+    assert purse_value(back, "USD") < 1_000
+    assert exchange.peek("spread_earned") > 0
+
+
+def test_convert_rejects_mixed_or_same_currency():
+    exchange, usd, eur = make_exchange()
+    t = tx()
+    dollars = usd.issue(t, 100, 1)
+    euros = eur.issue(t, 100, 1)
+    with pytest.raises(UsageError):
+        exchange.convert(t, dollars + euros, "EUR")
+    with pytest.raises(UsageError):
+        exchange.convert(t, dollars, "USD")
+
+
+def test_convert_unknown_rate_rejected():
+    usd = Mint("usd", "USD")
+    usd.seed("float", 1_000)
+    gbp = Mint("gbp", "GBP")
+    exchange = CurrencyExchange("fx", {"USD": usd, "GBP": gbp})
+    t = tx()
+    coins = usd.issue(t, 100, 1)
+    with pytest.raises(UsageError, match="no rate"):
+        exchange.convert(t, coins, "GBP")
+
+
+# -- directory -------------------------------------------------------------------
+
+def test_directory_query_and_best_offer():
+    directory = InfoDirectory("dir")
+    directory.publish("books", [{"price": 30}, {"price": 10}, {"price": 20}])
+    t = tx()
+    assert len(directory.query(t, "books")) == 3
+    assert directory.best_offer(t, "books")["price"] == 10
+    with pytest.raises(UsageError):
+        directory.query(t, "ghosts")
+
+
+def test_directory_query_returns_copy():
+    directory = InfoDirectory("dir")
+    directory.publish("books", [{"price": 1}])
+    t = tx()
+    result = directory.query(t, "books")
+    result.append({"price": 99})
+    assert len(directory.query(t, "books")) == 1
+
+
+# -- datastore ----------------------------------------------------------------------
+
+def test_datastore_insert_get_remove():
+    store = DataStore("db")
+    t = tx()
+    store.insert(t, "r1", {"v": 1})
+    assert store.get(t, "r1") == {"v": 1}
+    # write-through: peek sees the staged value before commit
+    assert store.record_count() == 1
+    t.commit()
+    t2 = tx()
+    assert store.remove(t2, "r1") == {"v": 1}
+    t2.commit()
+    assert store.record_count() == 0
+
+
+def test_datastore_purge_deletes_matching_and_returns_count():
+    store = DataStore("db")
+    t = tx()
+    for i in range(5):
+        store.insert(t, f"temp-{i}", i)
+    store.insert(t, "keep", "me")
+    t.commit()
+    t2 = tx()
+    assert store.purge(t2, prefix="temp-") == 5
+    t2.commit()
+    assert store.record_count() == 1
+    assert store.peek(("rec", "keep")) == "me"
+
+
+def test_datastore_purge_undone_by_abort():
+    store = DataStore("db")
+    t = tx()
+    store.insert(t, "r", 1)
+    t.commit()
+    t2 = tx()
+    store.purge(t2)
+    t2.abort()
+    assert store.record_count() == 1
+
+
+# -- economy auditor -----------------------------------------------------------------
+
+def test_money_supply_counts_banks_floats_and_live_coins():
+    bank = Bank("bank")
+    bank.seed_account("a", 500)
+    mint = Mint("mint")
+    mint.seed("float", 300)
+    t = tx()
+    mint.issue(t, 100, 2)
+    t.commit()
+    auditor = EconomyAuditor(banks=[bank], mints=[mint])
+    assert auditor.money_supply() == {"USD": 500 + 100 + 200}
+
+
+def test_money_supply_multi_currency():
+    usd = Mint("usd", "USD")
+    usd.seed("float", 100)
+    eur = Mint("eur", "EUR")
+    eur.seed("float", 50)
+    auditor = EconomyAuditor(mints=[usd, eur])
+    assert auditor.money_supply() == {"USD": 100, "EUR": 50}

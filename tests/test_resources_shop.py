@@ -1,0 +1,133 @@
+"""Unit tests: shop resource (refund policies of Section 3.2)."""
+
+import pytest
+
+from repro.errors import CompensationFailed, UsageError
+from repro.resources.cash import Mint, purse_value
+from repro.resources.shop import RefundPolicy, Shop
+from repro.tx.manager import Transaction
+
+
+def tx():
+    return Transaction("test", "n1")
+
+
+def make_shop(policy=None, stock=5, price=100):
+    mint = Mint("mint")
+    mint.seed("float", 10_000)
+    shop = Shop("shop", mint, policy)
+    shop.stock_item("widget", stock, price)
+    return shop, mint
+
+
+def coins_for(mint, t, value):
+    return mint.issue(t, value, 1)
+
+
+def test_buy_moves_stock_and_money():
+    shop, mint = make_shop()
+    t = tx()
+    coins = coins_for(mint, t, 100)
+    receipt, change = shop.buy(t, "widget", 1, coins, now=1.0)
+    t.commit()
+    assert shop.peek(("stock", "widget")) == 4
+    assert shop.till_value() == 100
+    assert change == []
+    assert receipt.paid == 100
+
+
+def test_buy_with_change():
+    shop, mint = make_shop()
+    t = tx()
+    coins = coins_for(mint, t, 150)
+    _receipt, change = shop.buy(t, "widget", 1, coins, now=1.0)
+    assert purse_value(change) == 50
+
+
+def test_buy_out_of_stock_rejected():
+    shop, mint = make_shop(stock=1)
+    t = tx()
+    coins = coins_for(mint, t, 200)
+    with pytest.raises(UsageError, match="in stock"):
+        shop.buy(t, "widget", 2, coins, now=1.0)
+
+
+def test_buy_underpaid_rejected():
+    shop, mint = make_shop()
+    t = tx()
+    coins = coins_for(mint, t, 50)
+    with pytest.raises(UsageError, match="cover"):
+        shop.buy(t, "widget", 1, coins, now=1.0)
+
+
+def test_refund_within_window_charges_fee_new_serials():
+    shop, mint = make_shop(RefundPolicy(cash_window=100.0, fee=10))
+    t = tx()
+    paid = coins_for(mint, t, 100)
+    receipt, _ = shop.buy(t, "widget", 1, paid, now=1.0)
+    t.commit()
+    t2 = tx()
+    coins, note, fee = shop.refund(t2, receipt.receipt_id, now=50.0)
+    t2.commit()
+    assert fee == 10
+    assert note is None
+    assert purse_value(coins) == 90
+    assert {c.serial for c in coins}.isdisjoint({c.serial for c in paid})
+    assert shop.peek(("stock", "widget")) == 5
+    assert shop.peek("fees") == 10
+
+
+def test_refund_after_window_issues_credit_note():
+    shop, mint = make_shop(RefundPolicy(cash_window=10.0))
+    t = tx()
+    receipt, _ = shop.buy(t, "widget", 1, coins_for(mint, t, 100), now=1.0)
+    t.commit()
+    t2 = tx()
+    coins, note, fee = shop.refund(t2, receipt.receipt_id, now=100.0)
+    t2.commit()
+    assert coins == []
+    assert note is not None and note.value == 100
+    assert fee == 0
+
+
+def test_refund_after_window_cash_policy():
+    shop, mint = make_shop(RefundPolicy(cash_window=10.0,
+                                        after_window="cash"))
+    t = tx()
+    receipt, _ = shop.buy(t, "widget", 1, coins_for(mint, t, 100), now=1.0)
+    t.commit()
+    coins, note, _ = shop.refund(tx(), receipt.receipt_id, now=100.0)
+    assert purse_value(coins) == 100 and note is None
+
+
+def test_refund_twice_fails():
+    shop, mint = make_shop()
+    t = tx()
+    receipt, _ = shop.buy(t, "widget", 1, coins_for(mint, t, 100), now=1.0)
+    t.commit()
+    t2 = tx()
+    shop.refund(t2, receipt.receipt_id, now=2.0)
+    t2.commit()
+    with pytest.raises(CompensationFailed):
+        shop.refund(tx(), receipt.receipt_id, now=3.0)
+
+
+def test_refund_unknown_receipt_fails():
+    shop, _ = make_shop()
+    with pytest.raises(CompensationFailed):
+        shop.refund(tx(), "ghost", now=1.0)
+
+
+def test_aborted_refund_leaves_receipt_open():
+    shop, mint = make_shop()
+    t = tx()
+    receipt, _ = shop.buy(t, "widget", 1, coins_for(mint, t, 100), now=1.0)
+    t.commit()
+    t2 = tx()
+    shop.refund(t2, receipt.receipt_id, now=2.0)
+    t2.abort()
+    # Retry succeeds: the abort restored the receipt and the till.
+    t3 = tx()
+    coins, _, _ = shop.refund(t3, receipt.receipt_id, now=2.0)
+    t3.commit()
+    assert purse_value(coins) == 100

@@ -1,0 +1,210 @@
+"""Integration tests: the basic rollback mechanism (Fig 4, Section 4.3)."""
+
+import pytest
+
+from repro import AgentStatus, MobileAgent, RollbackMode, World
+from repro.compensation.registry import agent_compensation
+
+from tests.helpers import LinearAgent, bank_of, build_line_world
+
+
+@agent_compensation("t.trace_order")
+def t_trace_order(wro, params, ctx):
+    """Record execution order of compensations: (step, index, node)."""
+    wro.setdefault("comp_trace", []).append(
+        (params["step"], params["index"], ctx.node))
+
+
+class TraceAgent(MobileAgent):
+    """3 steps on 3 nodes, several ACEs per step, rollback at the end."""
+
+    def __init__(self, agent_id, nodes):
+        super().__init__(agent_id)
+        self.nodes = list(nodes)
+        self.sro["pos"] = 0
+
+    def step(self, ctx):
+        pos = self.sro["pos"]
+        for index in range(3):
+            ctx.log_agent_compensation("t.trace_order",
+                                       {"step": pos, "index": index})
+        self.sro["pos"] = pos + 1
+        if pos + 1 < len(self.nodes):
+            ctx.goto(self.nodes[pos + 1], "step")
+        else:
+            ctx.goto(self.nodes[0], "wrap")
+        if pos == 0:
+            ctx.savepoint("after-first")
+
+    def wrap(self, ctx):
+        if not self.wro.get("comp_trace"):
+            ctx.rollback("after-first")
+        ctx.finish(self.wro["comp_trace"])
+
+
+def test_compensations_run_in_reverse_order_on_the_right_nodes():
+    """Figure 2/4: within a step OE_n,p..OE_n,1; steps newest first.
+
+    With the basic mechanism every compensation transaction executes on
+    the node where the step ran.
+    """
+    world = build_line_world(3)
+    record = world.launch(TraceAgent("trace", ["n0", "n1", "n2"]),
+                          at="n0", method="step", mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.status is AgentStatus.FINISHED
+    assert record.result == [
+        (2, 2, "n2"), (2, 1, "n2"), (2, 0, "n2"),
+        (1, 2, "n1"), (1, 1, "n1"), (1, 0, "n1"),
+    ]
+
+
+def test_basic_rollback_transfers_agent_to_every_compensated_node():
+    world = build_line_world(4)
+    plan = ["n0", "n1", "n2", "n3"]
+    agent = LinearAgent("mover", plan, savepoints={0: "sp"},
+                        rollback_to="sp")
+    record = world.launch(agent, at="n0", method="step",
+                          mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.status is AgentStatus.FINISHED
+    # Rollback from wrap (on n0) compensates steps on n3, n2, n1: the
+    # first compensation node (n3) differs from n0 => transfer, then
+    # n3->n2, n2->n1: 3 compensation transfers.
+    assert world.metrics.count("agent.transfers.compensation") == 3
+    assert record.rollbacks_completed == 1
+
+
+def test_resources_restored_and_wro_keeps_compensation_info():
+    world = build_line_world(3)
+    plan = ["n0", "n1", "n2"]
+    agent = LinearAgent("undo", plan, savepoints={0: "sp"},
+                        rollback_to="sp")
+    record = world.launch(agent, at="n0", method="step",
+                          mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.status is AgentStatus.FINISHED
+    # Steps 1 and 2 were compensated, then re-executed once (the agent
+    # proceeds after rollback): each bank shows exactly one net
+    # transfer.
+    for i in range(3):
+        assert bank_of(world, f"n{i}").peek("a")["balance"] == 990
+    # The WRO records the compensations that happened (2 forgotten
+    # notes), and the notes list reflects the re-execution.
+    assert record.result["compensations"] == 2
+    assert record.result["notes"] == ["visited-0", "visited-1", "visited-2"]
+
+
+def test_sro_restored_from_image_not_compensated():
+    """The position counter (SRO) snaps back to the savepoint value and
+    is re-advanced by re-execution — it is never 'compensated'."""
+    world = build_line_world(3)
+    agent = LinearAgent("sro", ["n0", "n1", "n2"], savepoints={0: "sp"},
+                        rollback_to="sp")
+    record = world.launch(agent, at="n0", method="step",
+                          mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.result["pos"] == 3
+
+
+class SavepointDirectlyBefore(MobileAgent):
+    """Rollback whose target sits directly before the aborting step."""
+
+    def first(self, ctx):
+        bank = ctx.resource("bank")
+        bank.transfer("a", "b", 10)
+        ctx.log_resource_compensation(
+            "t.undo_transfer", {"src": "a", "dst": "b", "amount": 10},
+            resource="bank")
+        ctx.savepoint("right-here")
+        ctx.goto("n0", "second")
+
+    def second(self, ctx):
+        attempts = self.sro.get("attempts", 0)
+        self.sro["attempts"] = attempts + 1  # aborted with the rollback
+        bank = ctx.resource("bank")
+        before = bank.balance("a")
+        if self.wro.get("tries", 0) < 1:
+            self.wro["tries"] = 1           # also aborted
+            ctx.rollback("right-here")
+        ctx.finish({"balance_seen": before})
+
+
+def test_trivial_rollback_restarts_step_without_compensation():
+    """Figure 4a's first case: the target savepoint was set directly
+    before the aborting step, so no compensation transaction runs —
+    the rollback finishes immediately and the step re-executes.
+
+    An agent in this situation observes *no state difference* on
+    re-execution (nothing was committed after the savepoint), so an
+    agent that unconditionally rolls back loops forever — exactly what
+    the model predicts.  We bound the run by virtual time and assert
+    the liveness properties: trivial completions happen, and no
+    compensation transaction ever runs.
+    """
+    world = build_line_world(1)
+    agent = SavepointDirectlyBefore("trivial")
+    record = world.launch(agent, at="n0", method="first",
+                          mode=RollbackMode.BASIC)
+    world.run(until=2.0)
+    assert world.metrics.count("rollback.completed_trivially") >= 2
+    assert world.metrics.count("compensation.tx_attempted") == 0
+    # The savepoint-time state stays committed throughout.
+    assert bank_of(world, "n0").peek("b")["balance"] == 1_010
+    assert record.status is AgentStatus.RUNNING  # still looping, by design
+
+
+def test_rollback_across_multiple_savepoints_pops_passed_ones():
+    world = build_line_world(4)
+    agent = LinearAgent("deep", ["n0", "n1", "n2", "n3"],
+                        savepoints={0: "sp0", 1: "sp1", 2: "sp2"},
+                        rollback_to="sp0")
+    record = world.launch(agent, at="n0", method="step",
+                          mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.status is AgentStatus.FINISHED
+    assert record.result["compensations"] == 3  # steps 1..3 compensated
+    assert record.rollbacks_completed == 1
+
+
+def test_rollback_to_intermediate_savepoint_compensates_only_above_it():
+    world = build_line_world(4)
+    agent = LinearAgent("partial", ["n0", "n1", "n2", "n3"],
+                        savepoints={0: "sp0", 2: "sp2"},
+                        rollback_to="sp2")
+    record = world.launch(agent, at="n0", method="step",
+                          mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.status is AgentStatus.FINISHED
+    # Only step 3 lies above sp2.
+    assert record.result["compensations"] == 1
+    # n1, n2 keep exactly one transfer; n3 was compensated then re-run.
+    assert bank_of(world, "n1").peek("a")["balance"] == 990
+    assert bank_of(world, "n3").peek("a")["balance"] == 990
+
+
+class NonCompensatableBlocker(MobileAgent):
+    def first(self, ctx):
+        ctx.savepoint("sp")
+        ctx.goto("n1", "purge")
+
+    def purge(self, ctx):
+        store_less = ctx.resource("bank")  # any resource op
+        store_less.deposit("a", 1)
+        ctx.mark_non_compensatable()
+        ctx.goto("n0", "regret")
+
+    def regret(self, ctx):
+        try:
+            ctx.rollback("sp")
+        except Exception as exc:  # NotCompensatable
+            ctx.finish({"blocked": type(exc).__name__})
+
+
+def test_non_compensatable_step_blocks_rollback():
+    world = build_line_world(2)
+    record = world.launch(NonCompensatableBlocker("blocked"), at="n0",
+                          method="first", mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.status is AgentStatus.FINISHED
+    assert record.result == {"blocked": "NotCompensatable"}

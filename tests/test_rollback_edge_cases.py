@@ -1,0 +1,232 @@
+"""Edge-case integration tests for the rollback mechanisms."""
+
+import pytest
+
+from repro import (
+    AgentStatus,
+    DataStore,
+    Itinerary,
+    MobileAgent,
+    RollbackMode,
+    StepEntry,
+    SubItinerary,
+    World,
+)
+from repro.core.checker import assert_clean
+
+from tests.helpers import LinearAgent, bank_of, build_line_world
+from tests.test_itinerary import Walker
+
+
+def test_rollback_to_virtual_savepoint_target():
+    """A nested sub-itinerary entered at the same boundary as its
+    parent gets a *virtual* savepoint; rolling back to it restores the
+    real savepoint's state without deleting either entry."""
+    inner = SubItinerary("inner", [StepEntry("visit", "n1"),
+                                   StepEntry("maybe_rollback", "n2")])
+    outer = SubItinerary("outer", [inner, StepEntry("visit", "n0")])
+    itinerary = Itinerary().add(outer)
+    world = build_line_world(3)
+    agent = Walker(itinerary, "virtual-target")
+    # levels=0 targets inner's savepoint — virtual, because inner was
+    # entered in the same advance as outer (no step in between).
+    agent.sro["rollback_plan"] = {"levels": 0, "until_ticks": 1}
+    record = world.launch_itinerary(agent)
+    world.run(max_events=1_000_000)
+    assert record.status is AgentStatus.FINISHED, record.failure
+    assert record.rollbacks_completed == 1
+    assert record.result["ticks"] == 1
+    trace = record.result["trace"]
+    assert [n for _, n in trace] == ["n1", "n2", "n0"]
+    assert_clean(world)
+
+
+class MultiSp(MobileAgent):
+    def start(self, ctx):
+        ctx.savepoint("deep")
+        ctx.goto("n1", "mid")
+
+    def mid(self, ctx):
+        bank = ctx.resource("bank")
+        bank.transfer("a", "b", 5)
+        ctx.log_resource_compensation(
+            "t.undo_transfer",
+            {"src": "a", "dst": "b", "amount": 5}, resource="bank")
+        ctx.log_agent_compensation("t.mark", {"tag": "mid"})
+        # Two savepoints constituted at the same step end.
+        ctx.savepoint("upper-1")
+        ctx.savepoint("upper-2", virtual=True)
+        ctx.goto("n2", "end")
+
+    def end(self, ctx):
+        if not self.wro.get("marks"):
+            ctx.rollback("deep")  # crosses upper-1 AND upper-2
+        ctx.finish(self.wro["marks"])
+
+
+def test_stacked_savepoints_popped_when_crossed():
+    """Rolling back across several adjacent savepoints pops them all
+    (the while-loop generalisation of Figure 4b's single pop)."""
+    world = build_line_world(3)
+    record = world.launch(MultiSp("stacked"), at="n0", method="start",
+                          mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.status is AgentStatus.FINISHED
+    assert record.result == ["mid"]
+    assert bank_of(world, "n1").peek("a")["balance"] == 995  # one net run
+    assert_clean(world)
+
+
+class PurgingAgent(MobileAgent):
+    """Commits a non-compensatable bulk delete mid-tour."""
+
+    def start(self, ctx):
+        ctx.savepoint("sp")
+        ctx.goto("n1", "purge")
+
+    def purge(self, ctx):
+        store = ctx.resource("records")
+        deleted = store.purge("temp-")
+        self.sro["deleted"] = deleted
+        ctx.mark_non_compensatable()
+        ctx.goto("n0", "regret")
+
+    def regret(self, ctx):
+        try:
+            ctx.rollback("sp")
+        except Exception as exc:
+            ctx.finish({"refused": type(exc).__name__,
+                        "deleted": self.sro["deleted"]})
+
+
+def test_non_compensatable_purge_blocks_rollback_e2e():
+    """Section 3.2's bulk-delete: once committed, rollback across the
+    purging step is refused and the deletion stands."""
+    world = build_line_world(2)
+    store = DataStore("records")
+    for i in range(10):
+        store.seed(("rec", f"temp-{i}"), i)
+    store.seed("count", 10)
+    world.node("n1").add_resource(store)
+    record = world.launch(PurgingAgent("purger"), at="n0", method="start",
+                          mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.status is AgentStatus.FINISHED
+    assert record.result == {"refused": "NotCompensatable", "deleted": 10}
+    assert store.record_count() == 0  # the purge stands
+    assert world.metrics.count("rollback.initiated") == 0
+
+
+def test_rollback_with_consecutive_steps_on_same_node():
+    """Adjacent steps on one node need no transfer between their
+    compensation transactions — basic mode matches the prediction."""
+    world = build_line_world(2)
+    plan = ["n0", "n1", "n1", "n1"]  # three consecutive steps on n1
+    agent = LinearAgent("samenode", plan, savepoints={0: "sp"},
+                        rollback_to="sp")
+    record = world.launch(agent, at="n0", method="step",
+                          mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.status is AgentStatus.FINISHED
+    # Wrap runs on n0; compensations: n1 (transfer), n1, n1 (local).
+    assert world.metrics.count("agent.transfers.compensation") == 1
+    assert record.result["compensations"] == 3
+    assert_clean(world)
+
+
+class TwoPhase(MobileAgent):
+    def start(self, ctx):
+        ctx.savepoint("sp-a")
+        ctx.goto("n1", "work1")
+
+    def work1(self, ctx):
+        if self.wro.get("phase2"):
+            ctx.savepoint("sp-b")
+            ctx.goto("n2", "work2")
+            return
+        ctx.log_agent_compensation("t.mark", {"tag": "w1"})
+        ctx.goto("n0", "decide1")
+
+    def decide1(self, ctx):
+        if not self.wro.get("marks"):
+            ctx.rollback("sp-a")
+        self.wro["phase2"] = True
+        ctx.goto("n1", "work1")
+
+    def work2(self, ctx):
+        ctx.log_agent_compensation("t.mark", {"tag": "w2"})
+        ctx.goto("n0", "decide2")
+
+    def decide2(self, ctx):
+        marks = self.wro.get("marks", [])
+        if "w2" not in marks:
+            ctx.rollback("sp-b")
+        ctx.finish(marks)
+
+
+def test_two_sequential_rollbacks_to_different_savepoints():
+    """An agent may roll back, proceed, and roll back again to a later
+    savepoint; the log shrinks and regrows correctly."""
+    world = build_line_world(3)
+    record = world.launch(TwoPhase("twophase"), at="n0", method="start",
+                          mode=RollbackMode.OPTIMIZED)
+    world.run(max_events=1_000_000)
+    assert record.status is AgentStatus.FINISHED, record.failure
+    assert record.rollbacks_completed == 2
+    assert record.result == ["w1", "w2"]
+    assert_clean(world)
+
+
+class PureResourceAgent(MobileAgent):
+    """Stop signal lives in committed resource state, not in the WROs.
+
+    The 'attempted' flag is deposited WITHOUT a compensation entry —
+    the developer chose not to compensate it (allowed; not every
+    operation needs compensation) — so it survives the rollback and
+    breaks the loop under any mechanism, including the saga baseline
+    that clobbers WROs.
+    """
+
+    def start(self, ctx):
+        ctx.savepoint("sp")
+        ctx.goto("n1", "work")
+
+    def work(self, ctx):
+        bank = ctx.resource("bank")
+        attempted = bank.balance("b") != 1_000
+        if attempted:
+            ctx.goto("n0", "wrap_up")
+            return
+        bank.deposit("b", 1)  # uncompensated marker
+        bank.transfer("a", "b", 7)
+        ctx.log_resource_compensation(
+            "t.undo_transfer",
+            {"src": "a", "dst": "b", "amount": 7}, resource="bank")
+        ctx.goto("n0", "regret")
+
+    def regret(self, ctx):
+        ctx.rollback("sp")
+
+    def wrap_up(self, ctx):
+        ctx.finish("ok")
+
+
+def test_saga_equivalent_when_no_wro_information_produced():
+    """When compensation produces NO new WRO information (pure resource
+    compensations, untouched WRO space), the saga baseline and the
+    paper's mechanism coincide — the divergence requires weakly
+    reversible data, which is the paper's §4.1 point inverted."""
+    balances = {}
+    for mode in (RollbackMode.BASIC, RollbackMode.SAGA):
+        world = build_line_world(2, seed=9)
+        agent = PureResourceAgent(f"pure-{mode.value}")
+        record = world.launch(agent, at="n0", method="start", mode=mode)
+        world.run(max_events=1_000_000)
+        assert record.status is AgentStatus.FINISHED, record.failure
+        assert record.rollbacks_completed == 1
+        bank = bank_of(world, "n1")
+        balances[mode] = (bank.peek("a")["balance"],
+                          bank.peek("b")["balance"])
+    assert balances[RollbackMode.BASIC] == balances[RollbackMode.SAGA]
+    # The transfer was compensated; only the uncompensated marker stays.
+    assert balances[RollbackMode.BASIC] == (1_000, 1_001)

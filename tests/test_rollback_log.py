@@ -1,0 +1,231 @@
+"""Unit tests: the agent rollback log (Section 4.2, Figure 2)."""
+
+import pytest
+
+from repro.errors import LogCorrupt, UsageError
+from repro.log.entries import (
+    BeginOfStepEntry,
+    EndOfStepEntry,
+    OperationEntry,
+    OperationKind,
+    SavepointEntry,
+)
+from repro.log.modes import LoggingMode
+from repro.log.rollback_log import RollbackLog
+from repro.tx.manager import Transaction
+
+
+def sp(sp_id, payload=None, virtual=False):
+    return SavepointEntry(sp_id=sp_id, mode="state",
+                          payload=payload if payload is not None else {},
+                          virtual=virtual)
+
+
+def bos(node, index):
+    return BeginOfStepEntry(node=node, step_index=index)
+
+
+def eos(node, index, mixed=False, **kw):
+    return EndOfStepEntry(node=node, step_index=index, has_mixed=mixed, **kw)
+
+
+def oe(name="op", kind=OperationKind.RESOURCE, node="n1", resource="bank"):
+    return OperationEntry(op_kind=kind, op_name=name, params={},
+                          node=node, resource=resource)
+
+
+def figure2_log():
+    """The exact shape of Figure 2: ... SP_k BOS_n OE*p EOS_n BOS_n+1..."""
+    log = RollbackLog()
+    log.append(sp("sp-k"))
+    log.append(bos("n5", 7))
+    for i in range(3):
+        log.append(oe(f"op-{i}"))
+    log.append(eos("n5", 7))
+    return log
+
+
+def test_figure2_entry_sequence():
+    log = figure2_log()
+    kinds = [e.kind.value for e in log.entries()]
+    assert kinds == ["SP", "BOS", "OE", "OE", "OE", "EOS"]
+    log.validate()
+
+
+def test_pop_yields_reverse_order_and_tx_abort_restores():
+    log = figure2_log()
+    before = log.entries()
+    t = Transaction("comp", "n5")
+    popped = [log.pop(t) for _ in range(4)]
+    assert [getattr(e, "op_name", e.kind.value) for e in popped] == \
+        ["EOS", "op-2", "op-1", "op-0"]
+    t.abort()
+    assert log.entries() == before
+
+
+def test_append_with_tx_abort_removes():
+    log = RollbackLog()
+    t = Transaction("step", "n1")
+    log.append(sp("s1"), t)
+    t.abort()
+    assert len(log) == 0
+
+
+def test_pop_empty_raises():
+    with pytest.raises(LogCorrupt):
+        RollbackLog().pop()
+
+
+def test_savepoint_reached_only_when_last():
+    log = figure2_log()
+    assert not log.savepoint_reached("sp-k")
+    t = Transaction("comp", "n5")
+    for _ in range(5):
+        log.pop(t)
+    assert log.savepoint_reached("sp-k")
+    assert not log.savepoint_reached("other")
+
+
+def test_last_end_of_step_skips_trailing_savepoints():
+    log = figure2_log()
+    assert log.last_end_of_step().node == "n5"
+    log.append(sp("sp-k+1"))
+    assert log.last_end_of_step().node == "n5"
+    # A trailing BOS (open frame) means no EOS is exposed.
+    log2 = RollbackLog()
+    log2.append(bos("n1", 0))
+    assert log2.last_end_of_step() is None
+
+
+def test_steps_to_rollback_counts_eos_entries():
+    log = RollbackLog()
+    log.append(sp("target"))
+    for i in range(3):
+        log.append(bos("n", i))
+        log.append(eos("n", i))
+    assert log.steps_to_rollback("target") == 3
+    with pytest.raises(UsageError):
+        log.steps_to_rollback("missing")
+
+
+def test_blocking_non_compensatable_detected():
+    log = RollbackLog()
+    log.append(sp("target"))
+    log.append(bos("n", 0))
+    log.append(eos("n", 0, non_compensatable=True))
+    log.append(bos("n", 1))
+    log.append(eos("n", 1))
+    blocker = log.blocking_non_compensatable("target")
+    assert blocker is not None and blocker.step_index == 0
+    # A savepoint *after* the blocker is unaffected.
+    log.append(sp("late"))
+    log.append(bos("n", 2))
+    log.append(eos("n", 2))
+    assert log.blocking_non_compensatable("late") is None
+
+
+def test_reconstruct_sro_state_logging_returns_deep_copy():
+    log = RollbackLog()
+    image = {"vec": [1, 2]}
+    log.append(sp("s1", payload=image))
+    restored = log.reconstruct_sro("s1")
+    restored["vec"].append(3)
+    assert log.reconstruct_sro("s1") == {"vec": [1, 2]}
+
+
+def test_reconstruct_virtual_savepoint_follows_to_real():
+    log = RollbackLog()
+    log.append(sp("real", payload={"x": 1}))
+    log.append(sp("virt", virtual=True, payload=None))
+    assert log.reconstruct_sro("virt") == {"x": 1}
+
+
+def test_virtual_savepoint_without_real_below_is_corrupt():
+    log = RollbackLog()
+    log.append(sp("virt", virtual=True, payload=None))
+    with pytest.raises(LogCorrupt):
+        log.reconstruct_sro("virt")
+
+
+def test_discard_savepoint_removes_only_the_savepoint():
+    log = figure2_log()
+    assert log.discard_savepoint("sp-k")
+    assert [e.kind.value for e in log.entries()] == \
+        ["BOS", "OE", "OE", "OE", "EOS"]
+    assert not log.discard_savepoint("sp-k")  # idempotent
+
+
+def test_discard_savepoint_tx_abort_restores():
+    log = figure2_log()
+    t = Transaction("step", "n1")
+    log.discard_savepoint("sp-k", t)
+    t.abort()
+    assert log.has_savepoint("sp-k")
+    assert log.entries()[0].sp_id == "sp-k"
+
+
+def test_truncate_drops_everything_and_tx_abort_restores():
+    log = figure2_log()
+    t = Transaction("step", "n1")
+    dropped = log.truncate(t)
+    assert dropped == 6 and len(log) == 0
+    t.abort()
+    assert len(log) == 6
+
+
+def test_size_bytes_tracks_content():
+    log = RollbackLog()
+    empty = log.size_bytes()
+    log.append(sp("s1", payload={"blob": b"x" * 5_000}))
+    assert log.size_bytes() > empty + 4_000
+
+
+def test_validate_rejects_malformed_logs():
+    bad_nested = RollbackLog()
+    bad_nested.append(bos("n", 0))
+    bad_nested.append(bos("n", 1))
+    with pytest.raises(LogCorrupt, match="nested BOS"):
+        bad_nested.validate()
+
+    bad_eos = RollbackLog()
+    bad_eos.append(eos("n", 0))
+    with pytest.raises(LogCorrupt, match="EOS without BOS"):
+        bad_eos.validate()
+
+    bad_match = RollbackLog()
+    bad_match.append(bos("n", 0))
+    bad_match.append(eos("m", 0))
+    with pytest.raises(LogCorrupt, match="does not match"):
+        bad_match.validate()
+
+    bad_oe = RollbackLog()
+    bad_oe.append(oe())
+    with pytest.raises(LogCorrupt, match="outside"):
+        bad_oe.validate()
+
+    bad_sp = RollbackLog()
+    bad_sp.append(bos("n", 0))
+    bad_sp.append(sp("s"))
+    with pytest.raises(LogCorrupt, match="savepoint inside"):
+        bad_sp.validate()
+
+    bad_flag = RollbackLog()
+    bad_flag.append(bos("n", 0))
+    bad_flag.append(oe(kind=OperationKind.MIXED))
+    bad_flag.append(eos("n", 0, mixed=False))
+    with pytest.raises(LogCorrupt, match="mixed flag"):
+        bad_flag.validate()
+
+    open_frame = RollbackLog()
+    open_frame.append(bos("n", 0))
+    with pytest.raises(LogCorrupt, match="open step frame"):
+        open_frame.validate()
+
+
+def test_savepoint_ids_in_order():
+    log = RollbackLog()
+    log.append(sp("a"))
+    log.append(bos("n", 0))
+    log.append(eos("n", 0))
+    log.append(sp("b"))
+    assert log.savepoint_ids() == ["a", "b"]

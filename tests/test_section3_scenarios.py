@@ -1,0 +1,237 @@
+"""End-to-end reproductions of Section 3.2's worked scenarios.
+
+Each subsection of the compensation-type taxonomy gets the full-system
+treatment: two agents (or an agent and an external transaction) racing
+on shared resources, with the paper's predicted outcome asserted.
+"""
+
+import pytest
+
+from repro import (
+    AgentStatus,
+    Mint,
+    MobileAgent,
+    RollbackMode,
+    Shop,
+    World,
+    mixed_compensation,
+)
+from repro.compensation.outcomes import CompensationOutcome
+from repro.resources.shop import RefundPolicy
+
+from tests.helpers import bank_of, build_line_world
+
+
+# ---------------------------------------------------------------------------
+# "if I have enough money, then ..." — commuting ops vs balance reader
+# ---------------------------------------------------------------------------
+
+class Depositor(MobileAgent):
+    """T: deposit 50, savepoint... then compensate (withdraw 50)."""
+
+    def run(self, ctx):
+        ctx.savepoint("sp")
+        ctx.goto("n0", "work")
+
+    def work(self, ctx):
+        if self.wro.get("marks"):
+            # Post-rollback pass: don't repeat the deposit.
+            ctx.goto("n1", "pause")
+            return
+        bank = ctx.resource("bank")
+        bank.deposit("shared", 50)
+        ctx.log_resource_compensation(
+            "t.undo_deposit", {"account": "shared", "amount": 50},
+            resource="bank")
+        ctx.log_agent_compensation("t.mark", {"tag": "undone"})
+        ctx.goto("n1", "pause")
+
+    def pause(self, ctx):
+        ctx.goto("n0", "decide")
+
+    def decide(self, ctx):
+        if not self.wro.get("marks"):
+            ctx.rollback("sp")
+        ctx.finish("compensated")
+
+
+class ConditionalSpender(MobileAgent):
+    """dep(T): spends only if the balance clears a threshold."""
+
+    def run(self, ctx):
+        bank = ctx.resource("bank")
+        spent = bank.conditional_withdraw("shared", 30, threshold=60)
+        self.sro["spent"] = spent
+        ctx.finish(spent)
+
+
+def race(seed, spender_delay):
+    world = build_line_world(2, seed=seed)
+    bank = bank_of(world, "n0")
+    bank.seed_account("shared", 20)
+    depositor = Depositor(f"T-{seed}-{spender_delay}")
+    spender = ConditionalSpender(f"dep-{seed}-{spender_delay}")
+    rd = world.launch(depositor, at="n0", method="run",
+                      mode=RollbackMode.BASIC)
+    rs_holder = {}
+
+    def launch_spender():
+        rs_holder["record"] = world.launch(spender, at="n0", method="run")
+
+    world.sim.schedule(spender_delay, launch_spender)
+    world.run(max_events=500_000)
+    return world, bank, rd, rs_holder["record"]
+
+
+def test_dependent_reader_breaks_soundness_concretely():
+    """The spender's outcome depends on WHEN it reads the balance
+    relative to T and CT — the concrete unsoundness of Section 3.2.
+
+    Before T commits (or after CT): balance 20 < 60 => no spend.
+    Between T and CT: balance 70 >= 60 => spend happens, and it is NOT
+    undone by T's compensation.
+    """
+    # Spender runs long after the rollback finished: sees 20, no spend.
+    world, bank, rd, rs = race(seed=61, spender_delay=5.0)
+    assert rd.status is AgentStatus.FINISHED
+    assert rs.result is False
+    assert bank.peek("shared")["balance"] == 20
+
+    # Spender sneaks in between T's commit and the compensation:
+    # balance 20+50=70 >= 60, so it spends 30.  The compensation must
+    # then withdraw 50 from the remaining 40 of a non-overdraftable
+    # account: it fails and keeps failing — the Section 3.2
+    # failing-compensation example emerging from the soundness example.
+    world, bank, rd, rs = race(seed=62, spender_delay=0.09)
+    assert rs.result is True
+    assert bank.peek("shared")["balance"] == 40
+    assert world.metrics.count("compensation.op_failures") >= 1
+    assert rd.status is AgentStatus.FAILED
+    assert "permanently failing" in rd.failure
+
+
+# ---------------------------------------------------------------------------
+# Out-of-stock race: T1 buys elsewhere because T2 took the last item
+# ---------------------------------------------------------------------------
+
+@mixed_compensation("s3.return_item")
+def s3_return_item(wro, shop, params, ctx):
+    coins, note, fee = shop.refund(params["receipt_id"], ctx.now)
+    wro["purse"] = list(wro.get("purse", [])) + list(coins)
+    wro["bought_at"] = None
+    wro["returned"] = True
+
+
+class Buyer(MobileAgent):
+    """Tries the preferred shop; if out of stock buys at the fallback."""
+
+    def __init__(self, agent_id, preferred, fallback):
+        super().__init__(agent_id)
+        self.preferred = preferred
+        self.fallback = fallback
+
+    def fund(self, ctx):
+        mint = ctx.resource("mint")
+        mint.fund(100)
+        self.wro["purse"] = mint.issue(100, 1)
+        ctx.goto(self.preferred, "try_buy")
+
+    def try_buy(self, ctx):
+        shop = ctx.resource("shop")
+        if shop.in_stock("gadget") < 1:
+            self.sro["fell_back"] = True
+            ctx.goto(self.fallback, "buy_fallback")
+            return
+        receipt, change = shop.buy("gadget", 1, self.wro["purse"], ctx.now)
+        self.wro["purse"] = list(change)
+        self.wro["bought_at"] = ctx.node_name
+        ctx.log_mixed_compensation("s3.return_item",
+                                   {"receipt_id": receipt.receipt_id},
+                                   resource="shop")
+        ctx.finish({"bought_at": ctx.node_name})
+
+    def buy_fallback(self, ctx):
+        shop = ctx.resource("shop")
+        receipt, change = shop.buy("gadget", 1, self.wro["purse"], ctx.now)
+        self.wro["purse"] = list(change)
+        self.wro["bought_at"] = ctx.node_name
+        ctx.finish({"bought_at": ctx.node_name, "fell_back": True})
+
+
+class RegretfulBuyer(Buyer):
+    """Buys at the preferred shop, then rolls its purchase back."""
+
+    def fund(self, ctx):
+        mint = ctx.resource("mint")
+        mint.fund(100)
+        self.wro["purse"] = mint.issue(100, 1)
+        ctx.savepoint("funded")
+        ctx.goto(self.preferred, "try_buy")
+
+    def try_buy(self, ctx):
+        if self.wro.get("returned"):
+            ctx.finish({"returned": True})
+            return
+        shop = ctx.resource("shop")
+        receipt, change = shop.buy("gadget", 1, self.wro["purse"], ctx.now)
+        self.wro["purse"] = list(change)
+        ctx.log_mixed_compensation("s3.return_item",
+                                   {"receipt_id": receipt.receipt_id},
+                                   resource="shop")
+        ctx.goto("home", "regret")
+
+    def regret(self, ctx):
+        if not self.wro.get("returned"):
+            ctx.rollback("funded")
+        ctx.finish({"returned": True})
+
+
+def test_out_of_stock_race_t1_unaffected_by_t2_compensation():
+    """Section 3.2: T2 takes the last item, T1 buys from another shop;
+    compensating T2 later does not disturb T1's completed purchase —
+    an acceptable non-sound history."""
+    world = World(seed=63)
+    world.add_nodes("home", "shop-a", "shop-b")
+    mint = Mint("mint")
+    world.node("home").add_resource(mint)
+    shop_a = Shop("shop", mint, RefundPolicy())
+    shop_a.stock_item("gadget", 1, 100)  # exactly one on the shelf
+    world.node("shop-a").add_resource(shop_a)
+    world.node("shop-a").share_resource(mint)
+    shop_b = Shop("shop", mint, RefundPolicy())
+    shop_b.stock_item("gadget", 5, 100)
+    world.node("shop-b").add_resource(shop_b)
+    world.node("shop-b").share_resource(mint)
+
+    t2 = RegretfulBuyer("T2", preferred="shop-a", fallback="shop-b")
+    t1 = Buyer("T1", preferred="shop-a", fallback="shop-b")
+    r2 = world.launch(t2, at="home", method="fund",
+                      mode=RollbackMode.BASIC)
+    # T1 arrives after T2 bought the last gadget but before T2's
+    # rollback returns it.
+    holder = {}
+    world.sim.schedule(
+        0.06, lambda: holder.update(
+            record=world.launch(t1, at="home", method="fund")))
+    world.run(max_events=500_000)
+    r1 = holder["record"]
+    assert r2.status is AgentStatus.FINISHED
+    assert r1.status is AgentStatus.FINISHED
+    # T1 fell back to shop-b (shelf was empty when it looked)...
+    assert r1.result["bought_at"] == "shop-b"
+    # ...and T2's later compensation restocked shop-a without touching
+    # T1's purchase.
+    assert shop_a.peek(("stock", "gadget")) == 1
+    assert shop_b.peek(("stock", "gadget")) == 4
+    assert r2.result == {"returned": True}
+
+
+# ---------------------------------------------------------------------------
+# taxonomy sanity
+# ---------------------------------------------------------------------------
+
+def test_outcome_taxonomy_flags():
+    assert CompensationOutcome.SOUND.restores_exactly
+    assert not CompensationOutcome.EQUIVALENT.restores_exactly
+    assert CompensationOutcome.FAILABLE.rollback_possible
+    assert not CompensationOutcome.IMPOSSIBLE.rollback_possible

@@ -1,0 +1,77 @@
+"""Unit tests: failure injector."""
+
+import pytest
+
+from repro.sim.failures import CrashPlan, FailureInjector, PartitionPlan
+from repro.sim.kernel import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator(seed=1)
+
+
+def test_planned_crash_and_recovery(sim):
+    injector = FailureInjector(sim)
+    injector.apply_plan([CrashPlan("n1", at=1.0, duration=2.0)])
+    states = []
+    for t in (0.5, 1.5, 2.5, 3.5):
+        sim.schedule_at(t, lambda: states.append(injector.node_up("n1")))
+    sim.run()
+    assert states == [True, False, False, True]
+
+
+def test_crash_and_recover_handlers_fire(sim):
+    injector = FailureInjector(sim)
+    events = []
+    injector.on_crash("n1", lambda: events.append(("crash", sim.now)))
+    injector.on_recover("n1", lambda: events.append(("recover", sim.now)))
+    injector.apply_plan([CrashPlan("n1", at=1.0, duration=0.5)])
+    sim.run()
+    assert events == [("crash", 1.0), ("recover", 1.5)]
+
+
+def test_double_crash_is_idempotent(sim):
+    injector = FailureInjector(sim)
+    count = []
+    injector.on_crash("n1", lambda: count.append(1))
+    injector.force_crash("n1")
+    injector.force_crash("n1")
+    assert len(count) == 1
+    injector.force_recover("n1")
+    assert injector.node_up("n1")
+
+
+def test_partition_blocks_link_both_ways(sim):
+    injector = FailureInjector(sim)
+    injector.apply_partitions([PartitionPlan("a", "b", at=1.0, duration=1.0)])
+    checks = []
+    sim.schedule_at(1.5, lambda: checks.append(
+        (injector.link_up("a", "b"), injector.link_up("b", "a"),
+         injector.link_up("a", "c"))))
+    sim.schedule_at(2.5, lambda: checks.append(
+        (injector.link_up("a", "b"),)))
+    sim.run()
+    assert checks[0] == (False, False, True)
+    assert checks[1] == (True,)
+
+
+def test_random_outages_respect_horizon_and_pair_recovery(sim):
+    injector = FailureInjector(sim)
+    plans = injector.random_outages(["n1", "n2"], horizon=10.0,
+                                    rate_per_s=0.5, mean_downtime=0.2)
+    for plan in plans:
+        assert 0 < plan.at < 10.0
+        assert plan.duration >= 0.01
+    sim.run()
+    # Every outage recovered: all nodes up at the end.
+    assert injector.node_up("n1") and injector.node_up("n2")
+    assert injector.crashes_injected == len(plans)
+
+
+def test_random_outages_deterministic_per_seed():
+    a = FailureInjector(Simulator(seed=3)).random_outages(
+        ["x"], 10.0, 0.5, 0.2)
+    b = FailureInjector(Simulator(seed=3)).random_outages(
+        ["x"], 10.0, 0.5, 0.2)
+    assert a == b

@@ -1,0 +1,115 @@
+"""Unit tests: discrete-event kernel."""
+
+import pytest
+
+from repro.errors import UsageError
+from repro.sim.kernel import Simulator
+
+
+def test_events_run_in_time_order():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.3, lambda: seen.append("c"))
+    sim.schedule(0.1, lambda: seen.append("a"))
+    sim.schedule(0.2, lambda: seen.append("b"))
+    sim.run()
+    assert seen == ["a", "b", "c"]
+    assert sim.now == pytest.approx(0.3)
+
+
+def test_same_time_priority_then_fifo():
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.1, lambda: seen.append("normal-1"))
+    sim.schedule(0.1, lambda: seen.append("high"), priority=-10)
+    sim.schedule(0.1, lambda: seen.append("normal-2"))
+    sim.run()
+    assert seen == ["high", "normal-1", "normal-2"]
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        seen.append(("first", sim.now))
+        sim.schedule(0.5, lambda: seen.append(("second", sim.now)))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == [("first", 1.0), ("second", 1.5)]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    seen = []
+    event = sim.schedule(0.1, lambda: seen.append("x"))
+    event.cancel()
+    sim.run()
+    assert seen == []
+    assert sim.pending() == 0
+
+
+def test_run_until_stops_the_clock():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.0, lambda: seen.append("early"))
+    sim.schedule(5.0, lambda: seen.append("late"))
+    sim.run(until=2.0)
+    assert seen == ["early"]
+    assert sim.now == pytest.approx(2.0)
+    sim.run()
+    assert seen == ["early", "late"]
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(UsageError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    sim = Simulator()
+    times = []
+    sim.schedule(1.0, lambda: sim.schedule_at(3.0, lambda: times.append(sim.now)))
+    sim.run()
+    assert times == [3.0]
+
+
+def test_max_events_guards_livelock():
+    sim = Simulator()
+
+    def loop():
+        sim.schedule(0.001, loop)
+
+    sim.schedule(0.0, loop)
+    with pytest.raises(UsageError, match="livelock"):
+        sim.run(max_events=100)
+
+
+def test_determinism_same_seed_same_draws():
+    a = Simulator(seed=5)
+    b = Simulator(seed=5)
+    assert [a.rng.random() for _ in range(5)] == \
+        [b.rng.random() for _ in range(5)]
+
+
+def test_forked_rngs_are_independent_streams():
+    sim = Simulator(seed=5)
+    r1 = sim.fork_rng("one")
+    r2 = sim.fork_rng("two")
+    r1_again = Simulator(seed=5).fork_rng("one")
+    assert [r1.random() for _ in range(3)] == \
+        [r1_again.random() for _ in range(3)]
+    assert r1.random() != r2.random()
+
+
+def test_simulator_not_reentrant():
+    sim = Simulator()
+
+    def inner():
+        with pytest.raises(UsageError):
+            sim.run()
+
+    sim.schedule(0.1, inner)
+    sim.run()

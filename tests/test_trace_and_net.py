@@ -1,0 +1,154 @@
+"""Tests: tracer/diagnostics and network-layer behaviours."""
+
+import pytest
+
+from repro import AgentStatus, RollbackMode
+from repro.sim.failures import CrashPlan
+from repro.sim.kernel import Simulator
+from repro.sim.metrics import Metrics
+from repro.sim.failures import FailureInjector
+from repro.sim.timing import NetworkParams
+from repro.net.network import Network
+from repro.sim.trace import describe_world, render_timeline, timeline_rows
+
+from tests.helpers import LinearAgent, build_line_world
+
+
+# -- tracer ---------------------------------------------------------------------
+
+def run_scenario():
+    world = build_line_world(3)
+    world.failures.apply_plan([CrashPlan("n1", at=0.05, duration=0.2)])
+    agent = LinearAgent("traced", ["n0", "n1", "n2"],
+                        savepoints={0: "sp"}, rollback_to="sp")
+    record = world.launch(agent, at="n0", method="step",
+                          mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.status is AgentStatus.FINISHED
+    return world
+
+
+def test_render_timeline_contains_protocol_events():
+    world = run_scenario()
+    text = render_timeline(world)
+    assert "node crashed" in text
+    assert "node recovered" in text
+    assert "rollback initiated" in text
+    assert "rollback completed" in text
+    assert "agent finished" in text
+
+
+def test_render_timeline_filter_and_limit():
+    world = run_scenario()
+    only_rollback = render_timeline(world, kinds=["rollback-completed"])
+    assert "rollback completed" in only_rollback
+    assert "crashed" not in only_rollback
+    assert len(render_timeline(world, limit=2).splitlines()) == 2
+
+
+def test_timeline_rows_are_flat_dicts():
+    world = run_scenario()
+    rows = timeline_rows(world)
+    assert all("time" in row and "kind" in row for row in rows)
+    kinds = {row["kind"] for row in rows}
+    assert "rollback-initiated" in kinds
+
+
+def test_describe_world_snapshot():
+    world = run_scenario()
+    text = describe_world(world)
+    assert "n0" in text and "n1" in text and "n2" in text
+    assert "traced" in text
+    assert "finished" in text
+    assert "steps.committed" in text
+
+
+def test_describe_world_shows_queued_packages_and_down_nodes():
+    world = build_line_world(2)
+    world.failures.force_crash("n1")
+    agent = LinearAgent("stuck", ["n0", "n1"])
+    world.launch(agent, at="n0", method="step")
+    world.run(until=1.0)
+    text = describe_world(world)
+    assert "DOWN" in text
+    assert "running" in text
+
+
+# -- network ---------------------------------------------------------------------
+
+def make_net(jitter=0.0):
+    sim = Simulator(seed=3)
+    failures = FailureInjector(sim)
+    metrics = Metrics()
+    net = Network(sim, failures,
+                  NetworkParams(jitter=jitter, retry_backoff=0.05),
+                  metrics)
+    return sim, failures, metrics, net
+
+
+def test_send_delivers_and_counts_bytes():
+    sim, _failures, metrics, net = make_net()
+    got = []
+    net.register("b", lambda msg: got.append(msg.payload))
+    net.send("a", "b", "test", {"x": 1}, 500)
+    sim.run()
+    assert got == [{"x": 1}]
+    assert metrics.count("net.messages.test") == 1
+    assert metrics.total_bytes("net.test") == 500
+
+
+def test_send_retries_until_destination_recovers():
+    sim, failures, metrics, net = make_net()
+    got = []
+    net.register("b", lambda msg: got.append(sim.now))
+    failures.force_crash("b")
+    sim.schedule(0.5, lambda: failures.force_recover("b"))
+    net.send("a", "b", "test", "hi", 100)
+    sim.run()
+    assert len(got) == 1
+    assert got[0] > 0.5
+    assert metrics.count("net.retries") >= 1
+
+
+def test_send_retries_when_destination_dies_in_flight():
+    sim, failures, metrics, net = make_net()
+    got = []
+    net.register("b", lambda msg: got.append(sim.now))
+    # Crash b while the (large => slow) message is in the air.
+    sim.schedule(0.005, lambda: failures.force_crash("b"))
+    sim.schedule(1.0, lambda: failures.force_recover("b"))
+    net.send("a", "b", "big", "payload", 5_000_000)  # ~4s transfer
+    sim.run()
+    assert len(got) == 1
+
+
+def test_partitioned_link_blocks_and_heals():
+    sim, failures, metrics, net = make_net()
+    got = []
+    net.register("b", lambda msg: got.append(sim.now))
+    failures.force_partition("a", "b")
+    sim.schedule(0.3, lambda: failures.force_heal("a", "b"))
+    net.send("a", "b", "test", "hi", 10)
+    sim.run()
+    assert len(got) == 1 and got[0] > 0.3
+
+
+def test_transfer_time_scales_with_size_and_jitter_bounded():
+    _sim, _failures, _metrics, net = make_net(jitter=0.5)
+    small = net.transfer_time(100)
+    big = net.transfer_time(1_000_000)
+    assert big > small
+    base = NetworkParams().transfer_time(100)
+    for _ in range(20):
+        t = net.transfer_time(100)
+        assert base <= t <= base * 1.5 + 1e-9
+
+
+def test_on_delivered_callback_fires_after_handler():
+    sim, _failures, _metrics, net = make_net()
+    order = []
+    net.register("b", lambda msg: order.append("handler"))
+    net.send("a", "b", "test", "x", 10,
+             on_delivered=lambda msg: order.append("callback"))
+    sim.run()
+    assert order == ["handler", "callback"]

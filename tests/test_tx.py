@@ -1,0 +1,155 @@
+"""Unit tests: transactions, locks, commit coordinator."""
+
+import pytest
+
+from repro.errors import LockConflict, TransactionAborted, UsageError
+from repro.sim.metrics import Metrics
+from repro.sim.timing import NetworkParams, TimingModel
+from repro.tx.coordinator import CommitCoordinator
+from repro.tx.locks import LockManager
+from repro.tx.manager import Transaction, TransactionManager, TxState
+
+
+def test_undo_runs_in_reverse_order_on_abort():
+    t = Transaction("test", "n1")
+    order = []
+    t.register_undo(lambda: order.append(1))
+    t.register_undo(lambda: order.append(2))
+    t.abort()
+    assert order == [2, 1]
+    assert t.state is TxState.ABORTED
+
+
+def test_commit_actions_run_on_commit_not_abort():
+    t = Transaction("test", "n1")
+    fired = []
+    t.register_commit(lambda: fired.append("yes"))
+    t.commit()
+    assert fired == ["yes"]
+
+    t2 = Transaction("test", "n1")
+    t2.register_commit(lambda: fired.append("no"))
+    t2.abort()
+    assert fired == ["yes"]
+
+
+def test_abort_is_idempotent_commit_after_abort_fails():
+    t = Transaction("test", "n1")
+    t.abort()
+    t.abort()
+    with pytest.raises(TransactionAborted):
+        t.commit()
+
+
+def test_register_after_finish_rejected():
+    t = Transaction("test", "n1")
+    t.commit()
+    with pytest.raises(TransactionAborted):
+        t.register_undo(lambda: None)
+
+
+def test_charge_accumulates_and_rejects_negative():
+    t = Transaction("test", "n1")
+    t.charge(0.1)
+    t.charge(0.2)
+    assert t.cost == pytest.approx(0.3)
+    with pytest.raises(UsageError):
+        t.charge(-1)
+
+
+def test_manager_tracks_active_and_aborts_all_on_crash():
+    manager = TransactionManager("n1")
+    t1 = manager.begin("step")
+    t2 = manager.begin("step")
+    undone = []
+    t1.register_undo(lambda: undone.append(1))
+    t2.register_undo(lambda: undone.append(2))
+    assert manager.abort_all() == 2
+    assert sorted(undone) == [1, 2]
+    assert not manager.active
+
+
+# -- locks -----------------------------------------------------------------------
+
+def test_lock_conflict_raises_and_counts():
+    locks = LockManager("bank")
+    t1 = Transaction("a", "n1")
+    t2 = Transaction("b", "n1")
+    locks.acquire("acct", t1)
+    with pytest.raises(LockConflict):
+        locks.acquire("acct", t2)
+    assert locks.conflicts == 1
+
+
+def test_lock_reentrant_for_holder():
+    locks = LockManager("bank")
+    t = Transaction("a", "n1")
+    locks.acquire("acct", t)
+    locks.acquire("acct", t)  # no raise
+    assert locks.holder_of("acct") is t
+
+
+def test_locks_released_on_commit_and_abort():
+    locks = LockManager("bank")
+    t1 = Transaction("a", "n1")
+    locks.acquire("x", t1)
+    locks.acquire("y", t1)
+    t1.commit()
+    t2 = Transaction("b", "n1")
+    locks.acquire("x", t2)
+    locks.acquire("y", t2)
+    t2.abort()
+    t3 = Transaction("c", "n1")
+    locks.acquire("x", t3)
+
+
+def test_stale_finished_holder_does_not_block():
+    locks = LockManager("bank")
+    t1 = Transaction("a", "n1")
+    # Acquire without going through note_lock release (simulates a
+    # holder that finished without cleanup).
+    locks._holders["acct"] = t1
+    t1.abort()
+    t2 = Transaction("b", "n1")
+    locks.acquire("acct", t2)
+    assert locks.holder_of("acct") is t2
+
+
+# -- coordinator ------------------------------------------------------------------
+
+def make_coordinator(reachable_pairs):
+    return CommitCoordinator(
+        TimingModel(), NetworkParams(),
+        lambda a, b: (a, b) in reachable_pairs, Metrics())
+
+
+def test_local_tx_commits():
+    coordinator = make_coordinator(set())
+    t = Transaction("step", "n1")
+    assert coordinator.try_commit(t)
+    assert t.state is TxState.COMMITTED
+
+
+def test_remote_participant_reachable_commits():
+    coordinator = make_coordinator({("n1", "n2")})
+    t = Transaction("step", "n1")
+    t.add_participant("n2")
+    assert coordinator.try_commit(t)
+
+
+def test_remote_participant_unreachable_aborts_with_undo():
+    coordinator = make_coordinator(set())
+    t = Transaction("step", "n1")
+    t.add_participant("n2")
+    undone = []
+    t.register_undo(lambda: undone.append(1))
+    assert not coordinator.try_commit(t)
+    assert t.state is TxState.ABORTED
+    assert undone == [1]
+
+
+def test_already_aborted_tx_cannot_commit():
+    coordinator = make_coordinator(set())
+    t = Transaction("step", "n1")
+    t.abort()
+    assert not coordinator.try_commit(t)
