@@ -34,6 +34,7 @@ from repro.errors import (
 )
 from repro.log.entries import OperationEntry, OperationKind, SavepointEntry
 from repro.resources.base import ResourceView
+from repro.storage.serialization import snapshot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agent.agent import MobileAgent
@@ -169,8 +170,11 @@ class StepContext:
         if kind is not OperationKind.AGENT and resource is None:
             raise UsageError(
                 f"{kind.value} entry {op_name!r} must name its resource")
+        # Deep-freeze the parameters: the entry is serialised when it
+        # enters the log, so later mutations of caller-owned values must
+        # not leak into (or diverge from) the durable record.
         entry = OperationEntry(op_kind=kind, op_name=op_name,
-                               params=dict(params or {}),
+                               params=snapshot(dict(params or {})),
                                node=self._node.name if kind is not
                                OperationKind.AGENT else None,
                                resource=resource)

@@ -7,10 +7,25 @@ savepoint and mode ("(spID, agent, LOG)" of Figures 4/5); *shadow*
 packages are the fault-tolerant protocol's replicas, inert until
 promoted.
 
-Keeping agent+log as one opaque blob gives the clean state boundary of
-a real migration: a transaction that aborts after mutating the restored
-copy leaves the durable blob untouched — undo for free — and the blob
-length is the honest transfer/migration payload size.
+Framing is **incremental**: instead of one monolithic
+``pickle((agent, log))`` blob, a package holds the agent blob plus one
+frame per log entry (``agent_blob + per-entry log blobs``).  Entries
+cache their serialised form (:meth:`~repro.log.entries.LogEntry.blob`),
+so packing an n-entry log after one more step re-pickles only the
+entries that step appended — the rest are reused byte-for-byte from the
+previous migration.  An n-step tour therefore does O(n) total entry
+pickling instead of the O(n²) a monolithic re-pickle per hop costs.
+
+The framing preserves the two properties the monolithic blob provided:
+
+* **State boundary** — :meth:`AgentPackage.unpack` re-instantiates the
+  agent and every entry from bytes, so a transaction that aborts after
+  mutating the restored copies leaves the durable frames untouched
+  (undo for free).
+* **Honest sizes** — :attr:`AgentPackage.size_bytes` is the sum of the
+  actual serialised frames plus fixed framing overhead (length
+  prefixes), i.e. exactly what a length-prefixed wire format would
+  move.
 """
 
 from __future__ import annotations
@@ -20,11 +35,22 @@ import itertools
 from dataclasses import dataclass, field, replace
 from typing import Any, Optional
 
-from repro.log.rollback_log import RollbackLog
+from repro.log.modes import LoggingMode
+from repro.log.rollback_log import (
+    FRAME_PREFIX_BYTES,
+    LOG_HEADER_BYTES,
+    RollbackLog,
+)
 from repro.storage.serialization import capture, restore
 
 
 _WORK_IDS = itertools.count(1)
+
+
+def reset_work_ids() -> None:
+    """Restart the work-id sequence (test isolation only)."""
+    global _WORK_IDS
+    _WORK_IDS = itertools.count(1)
 
 
 class PackageKind(str, enum.Enum):
@@ -56,8 +82,13 @@ class AgentPackage:
 
     kind: PackageKind
     agent_id: str
-    blob: bytes  # capture((agent, log))
+    blob: bytes  # capture(agent)
     step_index: int
+    log_blobs: tuple[bytes, ...] = ()  # one frame per log entry
+    log_mode: str = LoggingMode.STATE.value
+    # Total framed payload size; pack() fills it in O(1) from the log's
+    # running size sum.  None → derived from the frames on demand.
+    payload_bytes: Optional[int] = None
     sp_id: Optional[str] = None  # rollback target (compensation packages)
     mode: RollbackMode = RollbackMode.BASIC
     protocol: Protocol = Protocol.BASIC
@@ -74,20 +105,38 @@ class AgentPackage:
     @classmethod
     def pack(cls, kind: PackageKind, agent: Any, log: RollbackLog,
              step_index: int, **meta: Any) -> "AgentPackage":
-        """Capture ``agent`` and ``log`` into a package."""
+        """Capture ``agent`` and ``log`` into a package.
+
+        The agent blob is always fresh (the agent mutates every step);
+        the log frames come from the log's incrementally maintained
+        frame list, so only entries never framed before are serialised.
+        """
+        blob = capture(agent)
         return cls(kind=kind, agent_id=agent.agent_id,
-                   blob=capture((agent, log)), step_index=step_index,
+                   blob=blob, step_index=step_index,
+                   log_blobs=log.entry_blobs(), log_mode=log.mode.value,
+                   payload_bytes=(FRAME_PREFIX_BYTES + len(blob)
+                                  + log.size_bytes()),
                    **meta)
 
     def unpack(self) -> tuple[Any, RollbackLog]:
-        """Re-instantiate (agent, log) from the blob."""
-        agent, log = restore(self.blob)
+        """Re-instantiate (agent, log) from the serialised frames."""
+        agent = restore(self.blob)
+        log = RollbackLog.from_blobs(self.log_mode, self.log_blobs)
         return agent, log
 
     @property
     def size_bytes(self) -> int:
-        """Serialised payload size (the migration transfer cost)."""
-        return len(self.blob)
+        """Serialised payload size (the migration transfer cost).
+
+        O(1) when packed via :meth:`pack`; otherwise summed from the
+        already-serialised frame lengths — either way no pickling
+        happens here, unlike the monolithic blob this replaced.
+        """
+        if self.payload_bytes is not None:
+            return self.payload_bytes
+        return (FRAME_PREFIX_BYTES + len(self.blob) + LOG_HEADER_BYTES
+                + sum(FRAME_PREFIX_BYTES + len(b) for b in self.log_blobs))
 
     def as_kind(self, kind: PackageKind, **meta: Any) -> "AgentPackage":
         """Copy with a different kind (shadow promotion etc.)."""

@@ -47,6 +47,36 @@ class RegisteredOp:
     fn: Callable[..., Any]
 
 
+def _same_function(a: Callable[..., Any], b: Callable[..., Any]) -> bool:
+    """Whether ``a`` and ``b`` are the same source-level function.
+
+    A module imported twice under different names (e.g. pytest
+    collecting ``test_x`` while another test imports ``tests.test_x``)
+    re-executes its decorators with *distinct* function objects for the
+    same ``def``.  Two closure-free functions defined at the same
+    source location with the same qualified name and defaults are the
+    same function for registry purposes; anything else — including
+    factory-produced closures, whose behaviour depends on captured
+    state the source location cannot see — is a genuine conflict.
+    """
+    if a is b:
+        return True
+    code_a = getattr(a, "__code__", None)
+    code_b = getattr(b, "__code__", None)
+    if code_a is None or code_b is None:
+        return False
+    if getattr(a, "__closure__", None) or getattr(b, "__closure__", None):
+        return False
+    return (getattr(a, "__qualname__", None) == getattr(b, "__qualname__",
+                                                        None)
+            and code_a.co_filename == code_b.co_filename
+            and code_a.co_firstlineno == code_b.co_firstlineno
+            and getattr(a, "__defaults__", None) == getattr(b, "__defaults__",
+                                                            None)
+            and getattr(a, "__kwdefaults__", None)
+            == getattr(b, "__kwdefaults__", None))
+
+
 class CompensationRegistry:
     """Name → compensating operation mapping."""
 
@@ -55,11 +85,27 @@ class CompensationRegistry:
 
     def register(self, name: str, kind: OperationKind,
                  fn: Callable[..., Any]) -> None:
-        """Register ``fn`` under ``name``; re-registration must agree."""
+        """Register ``fn`` under ``name``; re-registration must agree.
+
+        Re-registering the *identical* function (same object, or the
+        same def re-executed by a duplicate module import) is an
+        idempotent refresh; registering a different function under an
+        existing name stays an error.
+        """
         existing = self._ops.get(name)
-        if existing is not None and existing.fn is not fn:
-            raise UsageError(f"compensation {name!r} already registered")
+        if existing is not None:
+            if existing.kind is not kind or not _same_function(existing.fn,
+                                                               fn):
+                raise UsageError(f"compensation {name!r} already registered")
         self._ops[name] = RegisteredOp(name=name, kind=kind, fn=fn)
+
+    def snapshot_ops(self) -> dict[str, RegisteredOp]:
+        """Copy of the current registrations (for scoped restore)."""
+        return dict(self._ops)
+
+    def restore_ops(self, ops: dict[str, RegisteredOp]) -> None:
+        """Replace the registrations with a previous snapshot."""
+        self._ops = dict(ops)
 
     def resolve(self, name: str) -> RegisteredOp:
         """Look up ``name`` or raise :class:`UnknownCompensation`."""

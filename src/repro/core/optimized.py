@@ -31,8 +31,7 @@ from repro.log.entries import (
     OperationEntry,
     OperationKind,
 )
-from repro.log.rollback_log import RollbackLog
-from repro.storage.serialization import size_of
+from repro.log.rollback_log import FRAME_PREFIX_BYTES, RollbackLog
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.node.node import Node
@@ -96,7 +95,10 @@ class OptimizedRollback(RollbackDriverBase):
             if not world.reachable(node.name, eos.node):
                 raise NodeDown(eos.node)
             world.enlist_participant(tx, eos.node)
-            rce_bytes = size_of(rce_list)
+            # Ship the already-framed entry blobs: no re-pickling, and
+            # the byte count matches the framed wire format.
+            rce_bytes = sum(FRAME_PREFIX_BYTES + op.blob_size()
+                            for op in rce_list)
             world.metrics.incr("net.messages.rce-list")
             world.metrics.add_bytes("net.rce-list", rce_bytes)
             world.metrics.incr("net.messages.rce-ack")

@@ -58,6 +58,7 @@ from repro.log.rollback_log import RollbackLog
 from repro.node.execution import abort_and_count, finalize
 from repro.node.runtime import AgentStatus
 from repro.storage.queues import QueueItem
+from repro.storage.serialization import snapshot
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.node.node import Node
@@ -291,20 +292,25 @@ class RollbackDriverBase:
         host = resource_node if resource_node is not None else node
         ctx = CompensationContext(now=node.sim.now + tx.cost, node=host.name)
         tx.charge(world.timing.compensation_op)
+        # Hand the operation a copy: the entry's params are durable log
+        # state (already serialised into the entry's cached frame), so a
+        # param-mutating compensation must not desynchronise the live
+        # entry from its frame across an abort/retry.
+        params = snapshot(entry.params)
         if op.kind is OperationKind.RESOURCE:
             view = ResourceView(host.get_resource(entry.resource), tx,
                                 world.timing, compensating=True)
-            op.fn(view, entry.params, ctx)
+            op.fn(view, params, ctx)
         elif op.kind is OperationKind.AGENT:
             if agent is None:
                 raise UsageError("agent compensation entry without agent")
-            op.fn(WROView(agent), entry.params, ctx)
+            op.fn(WROView(agent), params, ctx)
         else:
             if agent is None:
                 raise UsageError("mixed compensation entry without agent")
             view = ResourceView(host.get_resource(entry.resource), tx,
                                 world.timing, compensating=True)
-            op.fn(WROView(agent), view, entry.params, ctx)
+            op.fn(WROView(agent), view, params, ctx)
         world.metrics.incr("compensation.ops_executed")
         world.metrics.incr(f"compensation.ops.{entry.op_kind.value}")
 

@@ -129,7 +129,7 @@ class FaultTolerance:
     def _shadow_arrived(self, alt_name: str, message) -> None:
         node = self.world.node(alt_name)
         shadow: AgentPackage = message.payload
-        item = node.queue.enqueue(shadow, shadow.size_bytes)
+        item = node.queue.enqueue(shadow)
         self._schedule_check(node, item.item_id, rounds=0)
 
     def _schedule_check(self, node: "Node", item_id: int,

@@ -259,7 +259,7 @@ class StepProtocol:
             world.enlist_participant(tx, dest_name)
             tx.charge(world.network.transfer_time(package.size_bytes))
         tx.charge(world.timing.stable_write(package.size_bytes))
-        dest.queue.enqueue(package, package.size_bytes, tx)
+        dest.queue.enqueue(package, tx=tx)
         if package.protocol is Protocol.FAULT_TOLERANT:
             alternates = world.ft.alternates_for(dest_name, package)
             if alternates:

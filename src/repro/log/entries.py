@@ -29,7 +29,15 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.storage import serialization
+
 _SP_SEQ = itertools.count(1)
+
+
+def reset_savepoint_ids() -> None:
+    """Restart the savepoint id sequence (test isolation only)."""
+    global _SP_SEQ
+    _SP_SEQ = itertools.count(1)
 
 
 class EntryKind(enum.Enum):
@@ -51,11 +59,51 @@ class OperationKind(enum.Enum):
 
 @dataclass
 class LogEntry:
-    """Common base; concrete entries define :attr:`kind`."""
+    """Common base; concrete entries define :attr:`kind`.
+
+    Every entry lazily caches its own serialised form (``_blob``): log
+    entries are immutable once written — the single exception is the
+    savepoint-diff compose performed by
+    :meth:`~repro.log.rollback_log.RollbackLog.discard_savepoint`, which
+    must call :meth:`invalidate_blob`.  The cache is what makes agent
+    packaging incremental: an entry is pickled once when first packed
+    (or appended to a size-tracking log) and the bytes are reused for
+    every later migration, shadow copy and size query.  The cache never
+    travels — :meth:`__getstate__` drops it, so ``capture(entry)`` is
+    byte-stable regardless of cache state.
+    """
 
     @property
     def kind(self) -> EntryKind:
         raise NotImplementedError
+
+    def blob(self) -> bytes:
+        """The serialised form of this entry, cached after first use."""
+        cached = self.__dict__.get("_blob")
+        if cached is not None:
+            serialization.STATS["entry_blob_reused"] += 1
+            return cached
+        blob = serialization.capture(self)
+        self.__dict__["_blob"] = blob
+        serialization.STATS["entry_blob_serialized"] += 1
+        return blob
+
+    def blob_size(self) -> int:
+        """Serialised size in bytes (cached alongside the blob)."""
+        return len(self.blob())
+
+    def seed_blob(self, blob: bytes) -> None:
+        """Adopt ``blob`` as the cached serialised form (unpack path)."""
+        self.__dict__["_blob"] = blob
+
+    def invalidate_blob(self) -> None:
+        """Drop the cached blob after an in-place payload mutation."""
+        self.__dict__.pop("_blob", None)
+
+    def __getstate__(self) -> dict[str, Any]:
+        state = dict(self.__dict__)
+        state.pop("_blob", None)
+        return state
 
 
 @dataclass

@@ -50,8 +50,13 @@ def sro_diff(old: dict[str, Any], new: dict[str, Any]) -> SRODiff:
     """Diff two SRO mappings (values compared by serialised form)."""
     changed = {}
     for key, value in new.items():
-        if key not in old or capture(old[key]) != capture(value):
-            changed[key] = snapshot(value)
+        if key in old:
+            previous = old[key]
+            # ``old`` is a reconstructed snapshot, so a shared identity
+            # can only be an immutable interned value — unchanged.
+            if previous is value or capture(previous) == capture(value):
+                continue
+        changed[key] = snapshot(value)
     removed = tuple(sorted(k for k in old if k not in new))
     return SRODiff(changed=changed, removed=removed)
 

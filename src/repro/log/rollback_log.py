@@ -10,6 +10,17 @@ Mutating operations accept an optional transaction and register undos,
 because log manipulation during rollback happens *inside* compensation
 transactions: when one aborts (crash, deadlock), the popped entries must
 still be in the log for the retry.
+
+Serialisation is **incremental**: alongside ``_entries`` the log keeps
+``_frames`` — the serialised form of each entry, one blob per entry —
+and ``_payload_bytes``, the running sum of the frame lengths.  Every
+mutation (append, pop, truncate, discard, and all their transactional
+undos) maintains both, so
+
+* :meth:`entry_blobs` (the migration payload) serialises only entries
+  the log has never framed before — an n-step tour does O(n) total
+  pickling instead of the O(n²) a re-pickle per hop would cost, and
+* :meth:`size_bytes` is O(1) instead of a full re-pickle per query.
 """
 
 from __future__ import annotations
@@ -26,8 +37,14 @@ from repro.log.entries import (
     SavepointEntry,
 )
 from repro.log.modes import LoggingMode, SRODiff, sro_apply, sro_compose
-from repro.storage.serialization import size_of, snapshot
+from repro.storage import serialization
+from repro.storage.serialization import restore, snapshot
 from repro.tx.manager import Transaction
+
+#: Fixed framing overhead of a serialised log: mode tag + entry count.
+LOG_HEADER_BYTES = 8
+#: Per-entry length prefix in the framed representation.
+FRAME_PREFIX_BYTES = 4
 
 
 class RollbackLog:
@@ -36,6 +53,59 @@ class RollbackLog:
     def __init__(self, mode: LoggingMode = LoggingMode.STATE):
         self.mode = LoggingMode(mode)
         self._entries: list[LogEntry] = []
+        self._frames: list[bytes] = []  # serialised form, one per entry
+        self._payload_bytes = 0         # == sum(len(f) for f in _frames)
+
+    # -- incremental framing ------------------------------------------------------
+
+    @classmethod
+    def from_blobs(cls, mode: LoggingMode | str,
+                   blobs: tuple[bytes, ...]) -> "RollbackLog":
+        """Rebuild a log from per-entry blobs (the package unpack path).
+
+        Each restored entry adopts its source blob as its cached
+        serialised form, so re-packing an unchanged entry never pickles
+        it again — only entries appended after the unpack are new work.
+        """
+        log = cls(LoggingMode(mode))
+        for blob in blobs:
+            entry = restore(blob)
+            entry.seed_blob(blob)
+            log._entries.append(entry)
+            log._frames.append(blob)
+            log._payload_bytes += len(blob)
+        return log
+
+    def entry_blobs(self) -> tuple[bytes, ...]:
+        """Per-entry serialised frames, oldest first.
+
+        O(n) pointer copy; no pickling happens here — frames are
+        maintained incrementally by the mutating operations.
+        """
+        serialization.STATS["entry_blob_reused"] += len(self._frames)
+        return tuple(self._frames)
+
+    def payload_bytes(self) -> int:
+        """Serialised size of the entry frames alone (no framing)."""
+        return self._payload_bytes
+
+    def __getstate__(self) -> dict[str, Any]:
+        """Pickle without the frame cache (it is derived state).
+
+        Wholesale log pickling is not the migration path (packages ship
+        per-entry frames), but when it happens — stable-store dumps,
+        debugging — the bytes must describe the log once, not entries
+        plus their cached serialisations.
+        """
+        state = dict(self.__dict__)
+        state.pop("_frames", None)
+        state.pop("_payload_bytes", None)
+        return state
+
+    def __setstate__(self, state: dict[str, Any]) -> None:
+        self.__dict__.update(state)
+        self._frames = [entry.blob() for entry in self._entries]
+        self._payload_bytes = sum(len(f) for f in self._frames)
 
     # -- basic structure ---------------------------------------------------------
 
@@ -55,13 +125,22 @@ class RollbackLog:
 
     def append(self, entry: LogEntry,
                tx: Optional[Transaction] = None) -> None:
-        """Append ``entry`` (undone if ``tx`` aborts)."""
+        """Append ``entry`` (undone if ``tx`` aborts).
+
+        The entry is serialised here, once — every later pack, shadow
+        copy and size query reuses the frame.
+        """
+        frame = entry.blob()
         self._entries.append(entry)
+        self._frames.append(frame)
+        self._payload_bytes += len(frame)
         if tx is not None:
             def _undo() -> None:
                 for i in range(len(self._entries) - 1, -1, -1):
                     if self._entries[i] is entry:
                         del self._entries[i]
+                        self._payload_bytes -= len(self._frames[i])
+                        del self._frames[i]
                         return
             tx.register_undo(_undo)
 
@@ -70,13 +149,25 @@ class RollbackLog:
         if not self._entries:
             raise LogCorrupt("pop on empty rollback log")
         entry = self._entries.pop()
+        frame = self._frames.pop()
+        self._payload_bytes -= len(frame)
+
         if tx is not None:
-            tx.register_undo(lambda: self._entries.append(entry))
+            def _undo() -> None:
+                self._entries.append(entry)
+                self._frames.append(frame)
+                self._payload_bytes += len(frame)
+            tx.register_undo(_undo)
         return entry
 
     def size_bytes(self) -> int:
-        """Serialised size of the whole log (migration payload share)."""
-        return size_of(self._entries)
+        """Serialised size of the whole log (migration payload share).
+
+        O(1): framing header plus the maintained running sum of the
+        entry frames and their length prefixes.
+        """
+        return (LOG_HEADER_BYTES + self._payload_bytes
+                + FRAME_PREFIX_BYTES * len(self._entries))
 
     # -- savepoint queries ------------------------------------------------------------
 
@@ -207,16 +298,18 @@ class RollbackLog:
         if index is None:
             return False
         entry = self._entries[index]
-        restore: list[Callable[[], None]] = []
+        restore_fns: list[Callable[[], None]] = []
         if (self.mode is LoggingMode.TRANSITION and not entry.virtual
                 and isinstance(entry.payload, SRODiff)):
             above = self._first_real_savepoint_after(index)
             if above is not None:
                 if isinstance(above.payload, SRODiff):
                     old_payload = above.payload
-                    above.payload = sro_compose(entry.payload, above.payload)
-                    restore.append(
-                        lambda a=above, p=old_payload: setattr(a, "payload", p))
+                    self._mutate_payload(
+                        above, sro_compose(entry.payload, above.payload))
+                    restore_fns.append(
+                        lambda a=above, p=old_payload:
+                        self._mutate_payload(a, p))
                 # A full image above needs no merge.
         elif (self.mode is LoggingMode.TRANSITION and not entry.virtual
                 and not isinstance(entry.payload, SRODiff)):
@@ -225,17 +318,41 @@ class RollbackLog:
             above = self._first_real_savepoint_after(index)
             if above is not None and isinstance(above.payload, SRODiff):
                 old_payload = above.payload
-                above.payload = sro_apply(entry.payload, above.payload)
-                restore.append(
-                    lambda a=above, p=old_payload: setattr(a, "payload", p))
+                self._mutate_payload(
+                    above, sro_apply(entry.payload, above.payload))
+                restore_fns.append(
+                    lambda a=above, p=old_payload:
+                    self._mutate_payload(a, p))
+        frame = self._frames[index]
         del self._entries[index]
+        del self._frames[index]
+        self._payload_bytes -= len(frame)
         if tx is not None:
-            def _undo(e: LogEntry = entry, i: int = index) -> None:
+            def _undo(e: LogEntry = entry, f: bytes = frame,
+                      i: int = index) -> None:
                 self._entries.insert(i, e)
-                for fn in restore:
+                self._frames.insert(i, f)
+                self._payload_bytes += len(f)
+                for fn in restore_fns:
                     fn()
             tx.register_undo(_undo)
         return True
+
+    def _mutate_payload(self, entry: SavepointEntry, payload: Any) -> None:
+        """Replace ``entry.payload`` in place, keeping frame/size honest.
+
+        The only sanctioned in-place entry mutation: savepoint-diff
+        composition during :meth:`discard_savepoint` (and its undo).
+        """
+        for i in range(len(self._entries) - 1, -1, -1):
+            if self._entries[i] is entry:
+                entry.payload = payload
+                entry.invalidate_blob()
+                frame = entry.blob()
+                self._payload_bytes += len(frame) - len(self._frames[i])
+                self._frames[i] = frame
+                return
+        raise LogCorrupt("payload mutation of an entry not in the log")
 
     def _first_real_savepoint_after(self, index: int) -> Optional[SavepointEntry]:
         for entry in self._entries[index + 1:]:
@@ -249,11 +366,17 @@ class RollbackLog:
         Returns the number of entries dropped.
         """
         dropped = self._entries
+        dropped_frames = self._frames
+        dropped_bytes = self._payload_bytes
         count = len(dropped)
         self._entries = []
+        self._frames = []
+        self._payload_bytes = 0
         if tx is not None:
             def _undo() -> None:
                 self._entries = dropped
+                self._frames = dropped_frames
+                self._payload_bytes = dropped_bytes
             tx.register_undo(_undo)
         return count
 
@@ -268,8 +391,18 @@ class RollbackLog:
           ("a savepoint can only be written after the execution of a
           step ... no savepoint entries can be found between a BOS entry
           and an EOS entry");
-        * the EOS mixed flag matches the presence of MCE entries.
+        * the EOS mixed flag matches the presence of MCE entries;
+        * the incremental frame/size accounting matches the entries.
         """
+        if len(self._frames) != len(self._entries):
+            raise LogCorrupt(
+                f"size accounting drift: {len(self._frames)} frames for "
+                f"{len(self._entries)} entries")
+        actual = sum(len(frame) for frame in self._frames)
+        if actual != self._payload_bytes:
+            raise LogCorrupt(
+                f"size accounting drift: cached {self._payload_bytes}, "
+                f"actual {actual}")
         open_bos: Optional[BeginOfStepEntry] = None
         saw_mixed = False
         for entry in self._entries:

@@ -206,7 +206,7 @@ class World:
         package = AgentPackage.pack(PackageKind.STEP, agent, log,
                                     step_index=0, mode=record.mode,
                                     protocol=record.protocol, primary=at)
-        node.queue.enqueue(package, package.size_bytes)
+        node.queue.enqueue(package)
         return record
 
     def launch_itinerary(self, agent: MobileAgent,

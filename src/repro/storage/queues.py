@@ -24,9 +24,16 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.errors import UsageError
+from repro.storage.serialization import size_of
 from repro.tx.manager import Transaction
 
 _ITEM_IDS = itertools.count(1)
+
+
+def reset_item_ids() -> None:
+    """Restart the queue item id sequence (test isolation only)."""
+    global _ITEM_IDS
+    _ITEM_IDS = itertools.count(1)
 
 
 @dataclass
@@ -64,9 +71,19 @@ class AgentInputQueue:
 
     # -- transactional operations ----------------------------------------------
 
-    def enqueue(self, payload: Any, size_bytes: int,
+    def enqueue(self, payload: Any, size_bytes: Optional[int] = None,
                 tx: Optional[Transaction] = None) -> QueueItem:
-        """Append ``payload``; visible at commit (immediately if no tx)."""
+        """Append ``payload``; visible at commit (immediately if no tx).
+
+        ``size_bytes`` defaults to the payload's own ``size_bytes``
+        (agent packages know their framed size in O(1)); arbitrary
+        payloads fall back to a fresh serialisation.
+        """
+        if size_bytes is None:
+            size_bytes = getattr(payload, "size_bytes", None)
+            if not isinstance(size_bytes, int):
+                # e.g. objects exposing size_bytes() as a method
+                size_bytes = size_of(payload)
         item = QueueItem(payload=payload, size_bytes=size_bytes)
         if tx is None:
             self._append(item)

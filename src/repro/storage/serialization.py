@@ -1,4 +1,4 @@
-"""Pickle-based state capture.
+"""Pickle-based state capture with a structural fast path.
 
 The paper's platform (Mole) captures an agent's code, data and execution
 state with Java object serialisation before every migration.  We use
@@ -7,6 +7,22 @@ classes are importable, so a pickle carries a code *reference* (module +
 qualified name) plus the full private data space — the exact analogue of
 Mole's serialized agent, including realistic byte sizes for the transfer
 cost model.
+
+Two kinds of copies dominate the hot path:
+
+* :func:`capture` / :func:`restore` — honest byte serialisation, used
+  for anything that actually travels (agent blobs, log-entry blobs).
+* :func:`snapshot` — a deep, reference-free copy used for before-images
+  of strongly reversible objects.  The generic implementation is a
+  capture/restore round trip; since SRO spaces are overwhelmingly plain
+  dict/list/scalar structures, a structural copier (with an aliasing
+  memo, like :func:`copy.deepcopy`) handles the common case without
+  touching pickle at all and falls back to the round trip the moment it
+  meets a type it does not understand.
+
+Module-level :data:`STATS` counters make the cache/fast-path behaviour
+observable from benches and tests without threading a metrics object
+through every call site.
 """
 
 from __future__ import annotations
@@ -18,9 +34,31 @@ T = TypeVar("T")
 
 PROTOCOL = pickle.HIGHEST_PROTOCOL
 
+#: Instrumentation for the incremental-serialization subsystem.  Keys:
+#: ``snapshot_fast`` / ``snapshot_pickle`` — structural vs round-trip
+#: snapshots; ``entry_blob_serialized`` / ``entry_blob_reused`` — log
+#: entry pickles actually performed vs satisfied from an entry's cache.
+STATS: dict[str, int] = {
+    "snapshot_fast": 0,
+    "snapshot_pickle": 0,
+    "entry_blob_serialized": 0,
+    "entry_blob_reused": 0,
+}
+
+
+def reset_stats() -> None:
+    """Zero the :data:`STATS` counters (test/bench isolation)."""
+    for key in STATS:
+        STATS[key] = 0
+
+
+def stats() -> dict[str, int]:
+    """A point-in-time copy of the :data:`STATS` counters."""
+    return dict(STATS)
+
 
 def capture(obj: Any) -> bytes:
-    """Serialise ``obj`` (agent, log, package...) to bytes."""
+    """Serialise ``obj`` (agent, log entry, package...) to bytes."""
     return pickle.dumps(obj, protocol=PROTOCOL)
 
 
@@ -34,11 +72,75 @@ def size_of(obj: Any) -> int:
     return len(capture(obj))
 
 
+# -- structural snapshot fast path -------------------------------------------
+
+#: Immutable leaves that may be shared between the live state and its
+#: snapshot without breaking the no-aliasing guarantee.
+_ATOMIC = (type(None), bool, int, float, complex, str, bytes)
+
+
+class _NeedsPickle(Exception):
+    """Internal: the structure contains a type the fast path can't copy."""
+
+
+def _structural_copy(obj: Any, memo: dict[int, tuple[Any, Any]]) -> Any:
+    if isinstance(obj, _ATOMIC):
+        return obj
+    key = id(obj)
+    hit = memo.get(key)
+    if hit is not None:
+        return hit[1]
+    cls = type(obj)  # exact types only: subclasses keep pickle semantics
+    if cls is dict:
+        out: Any = {}
+        memo[key] = (obj, out)
+        for k, v in obj.items():
+            out[_structural_copy(k, memo)] = _structural_copy(v, memo)
+        return out
+    if cls is list:
+        out = []
+        memo[key] = (obj, out)
+        for v in obj:
+            out.append(_structural_copy(v, memo))
+        return out
+    if cls is tuple:
+        out = tuple(_structural_copy(v, memo) for v in obj)
+        memo[key] = (obj, out)
+        return out
+    if cls is set:
+        out = set()
+        memo[key] = (obj, out)
+        for v in obj:
+            out.add(_structural_copy(v, memo))
+        return out
+    if cls is frozenset:
+        out = frozenset(_structural_copy(v, memo) for v in obj)
+        memo[key] = (obj, out)
+        return out
+    if cls is bytearray:
+        out = bytearray(obj)
+        memo[key] = (obj, out)
+        return out
+    raise _NeedsPickle
+
+
 def snapshot(obj: T) -> T:
-    """Deep, reference-free copy via a capture/restore round trip.
+    """Deep, reference-free copy of ``obj``.
 
     Used for before-images of strongly reversible objects: the image must
     not alias live agent state, otherwise later mutations would corrupt
     the savepoint (paper, Section 4.1).
+
+    Plain dict/list/tuple/set/scalar structures are copied structurally
+    (preserving internal aliasing via a memo, exactly like the pickle
+    round trip would); any custom class, dataclass or exotic container
+    anywhere in the structure falls back to the capture/restore round
+    trip for the whole object, so semantics never change.
     """
-    return restore(capture(obj))
+    try:
+        copy = _structural_copy(obj, {})
+    except _NeedsPickle:
+        STATS["snapshot_pickle"] += 1
+        return restore(capture(obj))
+    STATS["snapshot_fast"] += 1
+    return copy

@@ -1,0 +1,35 @@
+"""Shared fixtures: isolate process-global state so test order is moot.
+
+Several subsystems hand out ids from module-level counters (queue
+items, fault-tolerance work units, savepoints) and register
+compensating operations in a process-global registry.  Without a reset
+between tests, outcomes could depend on how many tests ran before —
+ids embedded in pickled entries would change sizes, and registrations
+made inside one test would leak into the next.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.agent import packages
+from repro.compensation.registry import GLOBAL_REGISTRY
+from repro.log import entries
+from repro.storage import queues, serialization
+
+
+@pytest.fixture(autouse=True)
+def _reset_process_globals():
+    """Reset global counters and scope registry changes to each test.
+
+    Import-time registrations (tests/helpers.py, test modules) are part
+    of the snapshot taken here and therefore survive; registrations
+    performed *inside* a test body are rolled back afterwards.
+    """
+    packages.reset_work_ids()
+    queues.reset_item_ids()
+    entries.reset_savepoint_ids()
+    serialization.reset_stats()
+    registered = GLOBAL_REGISTRY.snapshot_ops()
+    yield
+    GLOBAL_REGISTRY.restore_ops(registered)
