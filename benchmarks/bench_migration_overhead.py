@@ -10,6 +10,7 @@ network speeds.
 import pytest
 
 from repro import AgentStatus, RollbackMode
+from repro.agent.packages import Protocol
 from repro.bench import format_table, make_tour_plan, run_tour
 from repro.bench.harness import build_tour_world
 from repro.bench.workloads import TourAgent, TourPlan
@@ -103,3 +104,58 @@ def test_eval_migration_network_sensitivity(benchmark, record_table):
         title="EVAL-MIGRATION: completion time vs link speed "
               "(10 steps, savepoint per step)")
     record_table("migration_network", table)
+
+
+def test_eval_migration_batched_shadows(benchmark, record_table):
+    """Per-migration network events with and without transfer batching.
+
+    Every FT migration additionally ships the (agent, log) package as
+    shadow copies; with several co-located agents those copies share
+    links, and the batching transport collapses them into framed
+    transfers — the amortization lever for the log-transfer overhead
+    this bench file quantifies."""
+
+    def run(batch_window, n_agents=6):
+        nodes = [f"n{i}" for i in range(N_NODES)]
+        base = make_tour_plan(nodes, 6, rollback_times=0)
+        for spec in base.steps:
+            spec.kind = "ace"  # lock-free: co-located commits coincide
+        plan = TourPlan(steps=base.steps, decision_node=base.decision_node,
+                        rollback_to=None)
+        world = build_tour_world(
+            N_NODES, seed=47,
+            net_params=NetworkParams(batch_window=batch_window))
+        for i in range(N_NODES):
+            world.ft.set_alternates(f"n{i}", f"n{(i + 1) % N_NODES}")
+        for a in range(n_agents):
+            agent = TourAgent(f"mig-batch-{a}", plan)
+            world.launch(agent, at=nodes[0], method="run",
+                         protocol=Protocol.FAULT_TOLERANT)
+        world.run(max_events=5_000_000)
+        assert all(r.status is AgentStatus.FINISHED
+                   for r in world.agents.values())
+        return world.metrics
+
+    def sweep():
+        rows = []
+        for window in (0.0, 0.02):
+            m = run(window)
+            migrations = m.count("agent.transfers.step")
+            rows.append([window, migrations,
+                         m.count("net.messages.shadow-copy"),
+                         m.total_bytes("net.shadow-copy"),
+                         m.count("net.messages"),
+                         round(m.count("net.messages") / migrations, 2)])
+        plain, batched = rows
+        assert batched[3] == plain[3]  # equal payload bytes...
+        assert batched[4] < plain[4]   # ...fewer network events
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    table = format_table(
+        ["batch window (s)", "migrations", "shadow msgs", "shadow bytes",
+         "net.messages", "net events / migration"],
+        rows,
+        title="EVAL-MIGRATION: batched shadow transfers — network events "
+              "per migration (6 co-located FT agents)")
+    record_table("migration_batched_shadows", table)

@@ -39,7 +39,7 @@ from repro.errors import (
 )
 from repro.itinerary import Itinerary, ItineraryAgent, StepEntry, SubItinerary
 from repro.log import LoggingMode, RollbackLog
-from repro.node import AgentRecord, AgentStatus, Node, World
+from repro.node import AgentRecord, AgentStatus, Node, ShardedWorld, World
 from repro.resources import (
     AuctionHouse,
     Bank,
@@ -59,6 +59,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "World",
+    "ShardedWorld",
     "Node",
     "AgentRecord",
     "AgentStatus",

@@ -19,13 +19,18 @@ pickling instead of the O(n²) a monolithic re-pickle per hop costs.
 The framing preserves the two properties the monolithic blob provided:
 
 * **State boundary** — :meth:`AgentPackage.unpack` re-instantiates the
-  agent and every entry from bytes, so a transaction that aborts after
-  mutating the restored copies leaves the durable frames untouched
-  (undo for free).
+  agent (eagerly) and every log entry (lazily, on first read) from
+  bytes, so a transaction that aborts after mutating the restored
+  copies leaves the durable frames untouched (undo for free).
 * **Honest sizes** — :attr:`AgentPackage.size_bytes` is the sum of the
   actual serialised frames plus fixed framing overhead (length
-  prefixes), i.e. exactly what a length-prefixed wire format would
-  move.
+  prefixes) plus the packed savepoint index the package carries, i.e.
+  exactly what a length-prefixed wire format would move.
+
+The per-entry frames are also what the batching transport
+(:mod:`repro.net.batching`) coalesces: a batch frame carries whole
+packages whose sizes are already known from their cached frames, so
+batching co-located migrations serialises nothing extra.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from repro.log.rollback_log import (
     FRAME_PREFIX_BYTES,
     LOG_HEADER_BYTES,
     RollbackLog,
+    savepoint_index_bytes,
 )
 from repro.storage.serialization import capture, restore
 
@@ -86,6 +92,10 @@ class AgentPackage:
     step_index: int
     log_blobs: tuple[bytes, ...] = ()  # one frame per log entry
     log_mode: str = LoggingMode.STATE.value
+    # Packed savepoint index (sp_id -> position metadata + EOS total),
+    # so the unpacked log answers savepoint queries in O(1) without
+    # hydrating any entry frame.  None → rebuilt lazily on first query.
+    log_index: Optional[tuple] = None
     # Total framed payload size; pack() fills it in O(1) from the log's
     # running size sum.  None → derived from the frames on demand.
     payload_bytes: Optional[int] = None
@@ -112,17 +122,28 @@ class AgentPackage:
         frame list, so only entries never framed before are serialised.
         """
         blob = capture(agent)
+        index_state = log.savepoint_index_state()
         return cls(kind=kind, agent_id=agent.agent_id,
                    blob=blob, step_index=step_index,
                    log_blobs=log.entry_blobs(), log_mode=log.mode.value,
+                   log_index=index_state,
                    payload_bytes=(FRAME_PREFIX_BYTES + len(blob)
-                                  + log.size_bytes()),
+                                  + log.size_bytes()
+                                  + savepoint_index_bytes(index_state)),
                    **meta)
 
     def unpack(self) -> tuple[Any, RollbackLog]:
-        """Re-instantiate (agent, log) from the serialised frames."""
+        """Re-instantiate (agent, log) from the serialised frames.
+
+        Hydration is lazy: only the agent blob is unpickled here.  The
+        log adopts the entry frames (and the packed savepoint index)
+        as-is and re-instantiates an entry the first time something
+        reads it — rollback touches the tail, steps usually touch
+        nothing, so a hop no longer pays O(log length) ``loads``.
+        """
         agent = restore(self.blob)
-        log = RollbackLog.from_blobs(self.log_mode, self.log_blobs)
+        log = RollbackLog.from_blobs(self.log_mode, self.log_blobs,
+                                     index_state=self.log_index)
         return agent, log
 
     @property
@@ -136,7 +157,8 @@ class AgentPackage:
         if self.payload_bytes is not None:
             return self.payload_bytes
         return (FRAME_PREFIX_BYTES + len(self.blob) + LOG_HEADER_BYTES
-                + sum(FRAME_PREFIX_BYTES + len(b) for b in self.log_blobs))
+                + sum(FRAME_PREFIX_BYTES + len(b) for b in self.log_blobs)
+                + savepoint_index_bytes(self.log_index))
 
     def as_kind(self, kind: PackageKind, **meta: Any) -> "AgentPackage":
         """Copy with a different kind (shadow promotion etc.)."""

@@ -47,17 +47,33 @@ class OptimizedRollback(RollbackDriverBase):
 
     # -- destination choice (Figures 5a / 5b tail) ---------------------------------
 
+    def _stay_or_travel(self, node: "Node", eos: EndOfStepEntry) -> str:
+        """Transfer avoidance, bounded by split-execution feasibility.
+
+        Mixed entries always force the agent to the step's node.  Clear
+        steps normally stay put and ship the RCE list — but shipping
+        executes the entries against the resource node *inside this
+        kernel*, so when that node lives in another shard (sharded
+        multi-world runs) the agent travels instead, exactly like the
+        basic mechanism.
+        """
+        if eos.has_mixed:
+            return eos.node
+        if eos.node != node.name and eos.node not in self.world.nodes:
+            return eos.node
+        return node.name
+
     def _start_destination(self, node: "Node", log: RollbackLog) -> str:
         eos = log.last_end_of_step()
         if eos is None:
             raise LogCorrupt("rollback started but log has no EOS entry")
-        return eos.node if eos.has_mixed else node.name
+        return self._stay_or_travel(node, eos)
 
     def _next_destination(self, node: "Node", log: RollbackLog) -> str:
         eos = log.last_end_of_step()
         if eos is None:
             raise LogCorrupt("compensation continues but log has no EOS")
-        return eos.node if eos.has_mixed else node.name
+        return self._stay_or_travel(node, eos)
 
     # -- split execution (Figure 5b body) -----------------------------------------------
 
@@ -103,12 +119,12 @@ class OptimizedRollback(RollbackDriverBase):
             world.metrics.add_bytes("net.rce-list", rce_bytes)
             world.metrics.incr("net.messages.rce-ack")
             world.metrics.add_bytes("net.rce-ack", ACK_BYTES)
-            tx.charge(world.network.transfer_time(rce_bytes))
+            tx.charge(world.transport.transfer_time(rce_bytes))
             tx.charge(world.timing.rpc_request_fixed)
             for op in rce_list:
                 self.execute_entry(node, tx, None, op,
                                    resource_node=resource_node)
-            tx.charge(world.network.transfer_time(ACK_BYTES))
+            tx.charge(world.transport.transfer_time(ACK_BYTES))
             remote_delta = tx.cost - base_cost
             tx.cost = base_cost
 

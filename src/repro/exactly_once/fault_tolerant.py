@@ -114,17 +114,31 @@ class FaultTolerance:
         """Reliably send shadow copies of ``package`` to ``alternates``.
 
         Runs as a commit action of the transaction that enqueued the
-        primary package.
+        primary package.  Shadows travel through the world's Transport,
+        so co-located copies for the same alternate coalesce into one
+        framed transfer when the batching layer is active.  If the
+        transport gives up on a copy (retry budget exhausted), the loss
+        is surfaced — the primary still makes progress and the metric
+        lets operators see degraded replication instead of a silent
+        gap.
         """
         shadow = package.as_kind(PackageKind.SHADOW,
                                  primary=package.primary)
         for alt in alternates:
             self.shadows_shipped += 1
             self.world.metrics.incr("ft.shadows_shipped")
-            self.world.network.send(
+            self.world.transport.send(
                 origin.name, alt, "shadow-copy", shadow,
                 shadow.size_bytes,
-                on_delivered=lambda msg, a=alt: self._shadow_arrived(a, msg))
+                on_delivered=lambda msg, a=alt: self._shadow_arrived(a, msg),
+                on_gave_up=lambda msg, a=alt: self._shadow_lost(a, msg))
+
+    def _shadow_lost(self, alt_name: str, message) -> None:
+        """The transport gave up on a shadow copy: count, don't hang."""
+        self.world.metrics.incr("ft.shadows_lost")
+        self.world.metrics.record(self.world.sim.now, "ft-shadow-lost",
+                                  node=alt_name,
+                                  agent=message.payload.agent_id)
 
     def _shadow_arrived(self, alt_name: str, message) -> None:
         node = self.world.node(alt_name)

@@ -225,10 +225,8 @@ class StepProtocol:
         elif world.logging_mode is LoggingMode.STATE:
             payload = snapshot(agent.sro)
         else:
-            previous = None
-            for entry in log.entries():
-                if isinstance(entry, SavepointEntry) and not entry.virtual:
-                    previous = entry.sp_id
+            # O(#savepoints) via the savepoint index — no entry scan.
+            previous = log.last_real_savepoint_id()
             if previous is None:
                 payload = snapshot(agent.sro)
             else:
@@ -250,16 +248,19 @@ class StepProtocol:
 
         Charges capture, transfer (when remote) and the destination's
         stable write; enlists the destination in the distributed
-        commit; ships fault-tolerant shadow copies after commit.
+        commit; ships fault-tolerant shadow copies after commit.  The
+        transfer cost comes from the world's Transport, and the durable
+        hand-off goes through :meth:`~repro.node.runtime.World.
+        deliver_package` — in a sharded world that seam routes
+        cross-shard destinations over the bridge.
         """
         world = self.world
-        dest = world.node(dest_name)
         tx.charge(world.timing.serialize(package.size_bytes))
         if dest_name != node.name:
             world.enlist_participant(tx, dest_name)
-            tx.charge(world.network.transfer_time(package.size_bytes))
+            tx.charge(world.transport.transfer_time(package.size_bytes))
         tx.charge(world.timing.stable_write(package.size_bytes))
-        dest.queue.enqueue(package, tx=tx)
+        world.deliver_package(tx, package, dest_name)
         if package.protocol is Protocol.FAULT_TOLERANT:
             alternates = world.ft.alternates_for(dest_name, package)
             if alternates:

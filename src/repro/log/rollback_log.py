@@ -21,6 +21,24 @@ undos) maintains both, so
   the log has never framed before — an n-step tour does O(n) total
   pickling instead of the O(n²) a re-pickle per hop would cost, and
 * :meth:`size_bytes` is O(1) instead of a full re-pickle per query.
+
+Hydration is **lazy**: a log rebuilt from frames
+(:meth:`from_blobs`, the package unpack path) keeps the frames as-is
+and re-instantiates an entry only when something actually reads it.  A
+plain step touches none of the shipped entries (it only appends), and a
+rollback touches the tail, so per-hop unpickling is O(entries read)
+instead of O(n).
+
+Savepoint queries are **indexed**: the log maintains
+``sp_id → (position, EOS count below, virtual)`` plus a running EOS
+total, so :meth:`has_savepoint`, :meth:`steps_to_rollback` and the
+target lookups of :meth:`reconstruct_sro` / :meth:`discard_savepoint`
+are O(1) instead of scanning the entry list.  Tail mutations maintain
+the index incrementally; the rare mid-list surgery
+(:meth:`discard_savepoint`) marks it dirty for an O(n) rebuild on the
+next savepoint query.  The index travels with agent packages
+(:meth:`savepoint_index_state`), so an unpacked log answers savepoint
+queries without hydrating a single entry.
 """
 
 from __future__ import annotations
@@ -45,6 +63,28 @@ from repro.tx.manager import Transaction
 LOG_HEADER_BYTES = 8
 #: Per-entry length prefix in the framed representation.
 FRAME_PREFIX_BYTES = 4
+#: Fixed framing overhead of a packed savepoint index (entry count +
+#: EOS total).
+SP_INDEX_HEADER_BYTES = 8
+#: Per-savepoint fixed cost in the packed index: id length prefix,
+#: position, EOS count, virtual flag.
+SP_INDEX_ENTRY_BYTES = 13
+
+
+def savepoint_index_bytes(index_state: Optional[tuple]) -> int:
+    """Wire size of a packed savepoint index (see
+    :meth:`RollbackLog.savepoint_index_state`).
+
+    The index rides inside every agent package, so its bytes are part
+    of the honest migration payload, charged by
+    :meth:`~repro.agent.packages.AgentPackage.pack`.
+    """
+    if index_state is None:
+        return 0
+    sp_items, _eos_total = index_state
+    return SP_INDEX_HEADER_BYTES + sum(
+        SP_INDEX_ENTRY_BYTES + len(sp_id.encode("utf-8"))
+        for sp_id, _pos, _eos, _virtual in sp_items)
 
 
 class RollbackLog:
@@ -52,29 +92,61 @@ class RollbackLog:
 
     def __init__(self, mode: LoggingMode = LoggingMode.STATE):
         self.mode = LoggingMode(mode)
-        self._entries: list[LogEntry] = []
+        # _entries[i] is None while entry i is an unhydrated frame.
+        self._entries: list[Optional[LogEntry]] = []
         self._frames: list[bytes] = []  # serialised form, one per entry
         self._payload_bytes = 0         # == sum(len(f) for f in _frames)
+        # sp_id -> (position of first occurrence, EOS entries below it,
+        # virtual flag); _eos_count is the running EOS total.  Dirty
+        # after mid-list surgery; rebuilt on the next savepoint query.
+        self._sp_index: dict[str, tuple[int, int, bool]] = {}
+        self._eos_count = 0
+        self._index_dirty = False
 
     # -- incremental framing ------------------------------------------------------
 
     @classmethod
-    def from_blobs(cls, mode: LoggingMode | str,
-                   blobs: tuple[bytes, ...]) -> "RollbackLog":
+    def from_blobs(cls, mode: LoggingMode | str, blobs: tuple[bytes, ...],
+                   index_state: Optional[tuple] = None) -> "RollbackLog":
         """Rebuild a log from per-entry blobs (the package unpack path).
 
-        Each restored entry adopts its source blob as its cached
-        serialised form, so re-packing an unchanged entry never pickles
-        it again — only entries appended after the unpack are new work.
+        Entries are *not* unpickled here: each frame is adopted as-is
+        and hydrated on first read (rollback touches the tail, steps
+        usually touch nothing), so re-packing an unchanged entry never
+        pickles it again and unpacking never pays O(n) ``loads``.
+
+        ``index_state`` is the packed savepoint index
+        (:meth:`savepoint_index_state`): with it, savepoint queries on
+        the rebuilt log stay O(1) and hydration-free; without it the
+        index is rebuilt (hydrating every entry) on the first savepoint
+        query.
         """
         log = cls(LoggingMode(mode))
-        for blob in blobs:
-            entry = restore(blob)
-            entry.seed_blob(blob)
-            log._entries.append(entry)
-            log._frames.append(blob)
-            log._payload_bytes += len(blob)
+        log._entries = [None] * len(blobs)
+        log._frames = list(blobs)
+        log._payload_bytes = sum(len(blob) for blob in blobs)
+        serialization.STATS["entry_hydration_deferred"] += len(blobs)
+        if index_state is not None:
+            sp_items, eos_count = index_state
+            log._sp_index = {sp_id: (pos, eos_at, virtual)
+                             for sp_id, pos, eos_at, virtual in sp_items}
+            log._eos_count = eos_count
+        else:
+            log._index_dirty = True
         return log
+
+    def savepoint_index_state(self) -> tuple:
+        """The savepoint index in packable form (rides with packages).
+
+        A pair ``((sp_id, position, eos_below, virtual), ...), eos_total``
+        — positions stay valid across pack/unpack because the frame
+        order is preserved verbatim.
+        """
+        self._ensure_index()
+        return (tuple((sp_id, pos, eos_at, virtual)
+                      for sp_id, (pos, eos_at, virtual)
+                      in self._sp_index.items()),
+                self._eos_count)
 
     def entry_blobs(self) -> tuple[bytes, ...]:
         """Per-entry serialised frames, oldest first.
@@ -89,23 +161,86 @@ class RollbackLog:
         """Serialised size of the entry frames alone (no framing)."""
         return self._payload_bytes
 
+    def _entry_at(self, index: int) -> LogEntry:
+        """Entry ``index``, hydrating it from its frame on first read."""
+        entry = self._entries[index]
+        if entry is None:
+            frame = self._frames[index]
+            entry = restore(frame)
+            entry.seed_blob(frame)
+            self._entries[index] = entry
+            serialization.STATS["entry_hydrated"] += 1
+        return entry
+
+    def _hydrate_all(self) -> None:
+        for index in range(len(self._entries)):
+            self._entry_at(index)
+
     def __getstate__(self) -> dict[str, Any]:
         """Pickle without the frame cache (it is derived state).
 
         Wholesale log pickling is not the migration path (packages ship
         per-entry frames), but when it happens — stable-store dumps,
         debugging — the bytes must describe the log once, not entries
-        plus their cached serialisations.
+        plus their cached serialisations.  Hydrates everything first;
+        the savepoint index is derived state too and is rebuilt on load.
         """
+        self._hydrate_all()
         state = dict(self.__dict__)
-        state.pop("_frames", None)
-        state.pop("_payload_bytes", None)
+        for derived in ("_frames", "_payload_bytes", "_sp_index",
+                        "_eos_count", "_index_dirty"):
+            state.pop(derived, None)
         return state
 
     def __setstate__(self, state: dict[str, Any]) -> None:
         self.__dict__.update(state)
         self._frames = [entry.blob() for entry in self._entries]
         self._payload_bytes = sum(len(f) for f in self._frames)
+        self._sp_index = {}
+        self._eos_count = 0
+        self._index_dirty = True
+
+    # -- savepoint index maintenance ----------------------------------------------
+
+    def _ensure_index(self) -> None:
+        """Rebuild the savepoint index if mid-list surgery dirtied it."""
+        if not self._index_dirty:
+            return
+        self._sp_index = {}
+        eos = 0
+        for position in range(len(self._entries)):
+            entry = self._entry_at(position)
+            if isinstance(entry, EndOfStepEntry):
+                eos += 1
+            elif (isinstance(entry, SavepointEntry)
+                    and entry.sp_id not in self._sp_index):
+                self._sp_index[entry.sp_id] = (position, eos, entry.virtual)
+        self._eos_count = eos
+        self._index_dirty = False
+
+    def _index_note_append(self, entry: LogEntry, position: int) -> None:
+        if self._index_dirty:
+            return
+        if isinstance(entry, EndOfStepEntry):
+            self._eos_count += 1
+        elif (isinstance(entry, SavepointEntry)
+                and entry.sp_id not in self._sp_index):
+            self._sp_index[entry.sp_id] = (position, self._eos_count,
+                                           entry.virtual)
+
+    def _index_note_remove(self, entry: LogEntry, position: int) -> None:
+        if self._index_dirty:
+            return
+        if position != len(self._entries):
+            # Removal below the tail shifts later positions; rebuild.
+            self._index_dirty = True
+            return
+        if isinstance(entry, EndOfStepEntry):
+            self._eos_count -= 1
+        elif isinstance(entry, SavepointEntry):
+            indexed = self._sp_index.get(entry.sp_id)
+            if indexed is not None and indexed[0] == position:
+                del self._sp_index[entry.sp_id]
 
     # -- basic structure ---------------------------------------------------------
 
@@ -113,15 +248,18 @@ class RollbackLog:
         return len(self._entries)
 
     def __iter__(self) -> Iterator[LogEntry]:
-        return iter(self._entries)
+        return iter(self.entries())
 
     def entries(self) -> list[LogEntry]:
-        """Snapshot of the entries, oldest first."""
+        """Snapshot of the entries, oldest first (hydrates everything)."""
+        self._hydrate_all()
         return list(self._entries)
 
     def last(self) -> Optional[LogEntry]:
         """The newest entry (None when empty)."""
-        return self._entries[-1] if self._entries else None
+        if not self._entries:
+            return None
+        return self._entry_at(len(self._entries) - 1)
 
     def append(self, entry: LogEntry,
                tx: Optional[Transaction] = None) -> None:
@@ -134,6 +272,7 @@ class RollbackLog:
         self._entries.append(entry)
         self._frames.append(frame)
         self._payload_bytes += len(frame)
+        self._index_note_append(entry, len(self._entries) - 1)
         if tx is not None:
             def _undo() -> None:
                 for i in range(len(self._entries) - 1, -1, -1):
@@ -141,6 +280,7 @@ class RollbackLog:
                         del self._entries[i]
                         self._payload_bytes -= len(self._frames[i])
                         del self._frames[i]
+                        self._index_note_remove(entry, i)
                         return
             tx.register_undo(_undo)
 
@@ -148,15 +288,18 @@ class RollbackLog:
         """Read and remove the newest entry (restored if ``tx`` aborts)."""
         if not self._entries:
             raise LogCorrupt("pop on empty rollback log")
-        entry = self._entries.pop()
+        entry = self._entry_at(len(self._entries) - 1)
+        self._entries.pop()
         frame = self._frames.pop()
         self._payload_bytes -= len(frame)
+        self._index_note_remove(entry, len(self._entries))
 
         if tx is not None:
             def _undo() -> None:
                 self._entries.append(entry)
                 self._frames.append(frame)
                 self._payload_bytes += len(frame)
+                self._index_note_append(entry, len(self._entries) - 1)
             tx.register_undo(_undo)
         return entry
 
@@ -177,14 +320,36 @@ class RollbackLog:
         return isinstance(last, SavepointEntry) and last.sp_id == sp_id
 
     def has_savepoint(self, sp_id: str) -> bool:
-        """Whether SP(spID) exists anywhere in the log."""
-        return any(isinstance(e, SavepointEntry) and e.sp_id == sp_id
-                   for e in self._entries)
+        """Whether SP(spID) exists anywhere in the log.  O(1)."""
+        self._ensure_index()
+        return sp_id in self._sp_index
 
     def savepoint_ids(self) -> list[str]:
         """All savepoint identifiers, oldest first."""
-        return [e.sp_id for e in self._entries
-                if isinstance(e, SavepointEntry)]
+        self._ensure_index()
+        return [sp_id for sp_id, _info
+                in sorted(self._sp_index.items(), key=lambda kv: kv[1][0])]
+
+    def last_real_savepoint_id(self) -> Optional[str]:
+        """The newest non-virtual savepoint's id (None when absent).
+
+        O(#savepoints) via the index; used by transition logging to
+        find the diff base without touching the entry list.
+        """
+        self._ensure_index()
+        best: Optional[tuple[int, str]] = None
+        for sp_id, (position, _eos, virtual) in self._sp_index.items():
+            if virtual:
+                continue
+            if best is None or position > best[0]:
+                best = (position, sp_id)
+        return best[1] if best is not None else None
+
+    def _sp_position(self, sp_id: str) -> Optional[int]:
+        """Entry position of SP(spID)'s first occurrence, via the index."""
+        self._ensure_index()
+        info = self._sp_index.get(sp_id)
+        return info[0] if info is not None else None
 
     def last_end_of_step(self) -> Optional[EndOfStepEntry]:
         """The last EOS entry, skipping trailing savepoint entries.
@@ -194,7 +359,8 @@ class RollbackLog:
         the agent rollback log (which is the last entry if no savepoint
         entry has been written after the last end-of-step entry)".
         """
-        for entry in reversed(self._entries):
+        for position in range(len(self._entries) - 1, -1, -1):
+            entry = self._entry_at(position)
             if isinstance(entry, EndOfStepEntry):
                 return entry
             if not isinstance(entry, SavepointEntry):
@@ -202,18 +368,20 @@ class RollbackLog:
         return None
 
     def steps_to_rollback(self, sp_id: str) -> int:
-        """Committed steps that must be compensated to reach SP(spID)."""
-        count = 0
-        for entry in reversed(self._entries):
-            if isinstance(entry, SavepointEntry) and entry.sp_id == sp_id:
-                return count
-            if isinstance(entry, EndOfStepEntry):
-                count += 1
-        raise UsageError(f"no savepoint {sp_id!r} in log")
+        """Committed steps to compensate to reach SP(spID).  O(1)."""
+        self._ensure_index()
+        info = self._sp_index.get(sp_id)
+        if info is None:
+            raise UsageError(f"no savepoint {sp_id!r} in log")
+        _position, eos_below, _virtual = info
+        return self._eos_count - eos_below
 
     def blocking_non_compensatable(self, sp_id: str) -> Optional[EndOfStepEntry]:
         """First non-compensatable step between the end and SP(spID), if any."""
-        for entry in reversed(self._entries):
+        stop = self._sp_position(sp_id)
+        floor = stop if stop is not None else -1
+        for position in range(len(self._entries) - 1, floor, -1):
+            entry = self._entry_at(position)
             if isinstance(entry, SavepointEntry) and entry.sp_id == sp_id:
                 return None
             if isinstance(entry, EndOfStepEntry) and entry.non_compensatable:
@@ -225,23 +393,20 @@ class RollbackLog:
     def reconstruct_sro(self, sp_id: str) -> dict[str, Any]:
         """SRO state recorded at savepoint ``sp_id``.
 
-        State logging reads the image directly.  Transition logging folds
-        the oldest (full-image) savepoint with every diff up to the
-        target.  Virtual savepoints denote the state of the nearest real
+        State logging reads the image directly (O(1) target lookup via
+        the savepoint index).  Transition logging folds the oldest
+        (full-image) savepoint with every diff up to the target.
+        Virtual savepoints denote the state of the nearest real
         savepoint below them.
         """
-        target = None
-        for index, entry in enumerate(self._entries):
-            if isinstance(entry, SavepointEntry) and entry.sp_id == sp_id:
-                target = index
-                break
+        target = self._sp_position(sp_id)
         if target is None:
             raise UsageError(f"no savepoint {sp_id!r} in log")
-        entry = self._entries[target]
+        entry = self._entry_at(target)
         if entry.virtual:
             # Same agent state as the nearest real savepoint below.
             for index in range(target - 1, -1, -1):
-                below = self._entries[index]
+                below = self._entry_at(index)
                 if isinstance(below, SavepointEntry) and not below.virtual:
                     return self.reconstruct_sro(below.sp_id)
             raise LogCorrupt(
@@ -249,7 +414,8 @@ class RollbackLog:
         if self.mode is LoggingMode.STATE:
             return snapshot(entry.payload)
         state: Optional[dict[str, Any]] = None
-        for candidate in self._entries[:target + 1]:
+        for index in range(target + 1):
+            candidate = self._entry_at(index)
             if not isinstance(candidate, SavepointEntry) or candidate.virtual:
                 continue
             if isinstance(candidate.payload, SRODiff):
@@ -269,12 +435,13 @@ class RollbackLog:
         this accessor exists for the saga-style baseline (ref [4]) so
         benches can demonstrate the resulting incorrectness.
         """
-        for entry in self._entries:
-            if isinstance(entry, SavepointEntry) and entry.sp_id == sp_id:
-                if entry.wro_payload is None:
-                    return None
-                return snapshot(entry.wro_payload)
-        raise UsageError(f"no savepoint {sp_id!r} in log")
+        position = self._sp_position(sp_id)
+        if position is None:
+            raise UsageError(f"no savepoint {sp_id!r} in log")
+        entry = self._entry_at(position)
+        if entry.wro_payload is None:
+            return None
+        return snapshot(entry.wro_payload)
 
     # -- itinerary integration (Section 4.4.2) -----------------------------------------------
 
@@ -289,15 +456,15 @@ class RollbackLog:
         paper's "non-trivial task if transition logging is used".
         Returns False when the savepoint is absent (already discarded by
         an earlier, crashed-and-retried completion).
+
+        Mid-list surgery: positions above the removed entry shift, so
+        the savepoint index is marked dirty here (and by the undo) and
+        rebuilt on the next savepoint query.
         """
-        index = None
-        for i, entry in enumerate(self._entries):
-            if isinstance(entry, SavepointEntry) and entry.sp_id == sp_id:
-                index = i
-                break
+        index = self._sp_position(sp_id)
         if index is None:
             return False
-        entry = self._entries[index]
+        entry = self._entry_at(index)
         restore_fns: list[Callable[[], None]] = []
         if (self.mode is LoggingMode.TRANSITION and not entry.virtual
                 and isinstance(entry.payload, SRODiff)):
@@ -327,12 +494,14 @@ class RollbackLog:
         del self._entries[index]
         del self._frames[index]
         self._payload_bytes -= len(frame)
+        self._index_note_remove(entry, index)
         if tx is not None:
             def _undo(e: LogEntry = entry, f: bytes = frame,
                       i: int = index) -> None:
                 self._entries.insert(i, e)
                 self._frames.insert(i, f)
                 self._payload_bytes += len(f)
+                self._index_dirty = True
                 for fn in restore_fns:
                     fn()
             tx.register_undo(_undo)
@@ -355,7 +524,8 @@ class RollbackLog:
         raise LogCorrupt("payload mutation of an entry not in the log")
 
     def _first_real_savepoint_after(self, index: int) -> Optional[SavepointEntry]:
-        for entry in self._entries[index + 1:]:
+        for position in range(index + 1, len(self._entries)):
+            entry = self._entry_at(position)
             if isinstance(entry, SavepointEntry) and not entry.virtual:
                 return entry
         return None
@@ -368,15 +538,21 @@ class RollbackLog:
         dropped = self._entries
         dropped_frames = self._frames
         dropped_bytes = self._payload_bytes
+        dropped_index = (self._sp_index, self._eos_count, self._index_dirty)
         count = len(dropped)
         self._entries = []
         self._frames = []
         self._payload_bytes = 0
+        self._sp_index = {}
+        self._eos_count = 0
+        self._index_dirty = False
         if tx is not None:
             def _undo() -> None:
                 self._entries = dropped
                 self._frames = dropped_frames
                 self._payload_bytes = dropped_bytes
+                (self._sp_index, self._eos_count,
+                 self._index_dirty) = dropped_index
             tx.register_undo(_undo)
         return count
 
@@ -392,7 +568,8 @@ class RollbackLog:
           step ... no savepoint entries can be found between a BOS entry
           and an EOS entry");
         * the EOS mixed flag matches the presence of MCE entries;
-        * the incremental frame/size accounting matches the entries.
+        * the incremental frame/size accounting matches the entries;
+        * the savepoint index agrees with the entry list.
         """
         if len(self._frames) != len(self._entries):
             raise LogCorrupt(
@@ -405,7 +582,10 @@ class RollbackLog:
                 f"actual {actual}")
         open_bos: Optional[BeginOfStepEntry] = None
         saw_mixed = False
-        for entry in self._entries:
+        expected_index: dict[str, tuple[int, int, bool]] = {}
+        eos_seen = 0
+        for position in range(len(self._entries)):
+            entry = self._entry_at(position)
             if isinstance(entry, BeginOfStepEntry):
                 if open_bos is not None:
                     raise LogCorrupt("nested BOS")
@@ -420,6 +600,7 @@ class RollbackLog:
                 if entry.has_mixed != saw_mixed:
                     raise LogCorrupt("EOS mixed flag inconsistent")
                 open_bos = None
+                eos_seen += 1
             elif isinstance(entry, OperationEntry):
                 if open_bos is None:
                     raise LogCorrupt("operation entry outside a step frame")
@@ -428,7 +609,16 @@ class RollbackLog:
             elif isinstance(entry, SavepointEntry):
                 if open_bos is not None:
                     raise LogCorrupt("savepoint inside a step frame")
+                if entry.sp_id not in expected_index:
+                    expected_index[entry.sp_id] = (position, eos_seen,
+                                                   entry.virtual)
             else:  # pragma: no cover - defensive
                 raise LogCorrupt(f"unknown entry {entry!r}")
         if open_bos is not None:
             raise LogCorrupt("log ends inside an open step frame")
+        if not self._index_dirty:
+            if self._sp_index != expected_index or self._eos_count != eos_seen:
+                raise LogCorrupt(
+                    f"savepoint index drift: cached {self._sp_index} "
+                    f"(eos={self._eos_count}), actual {expected_index} "
+                    f"(eos={eos_seen})")

@@ -1,15 +1,32 @@
-"""Simulated network.
+"""Simulated network: the pluggable transport stack.
 
-Reliable message transfer between nodes with a latency + bandwidth cost
-model, partition awareness and byte accounting.  "Reliable" matches the
-paper's assumption (Section 4.3): messages are never silently lost —
-delivery is retried with backoff across node downtime and partitions —
-but a *currently* unreachable peer is visible to protocol layers that
-prefer to abort and retry at their own granularity (reachability
-checks at commit time).
+Architecture (bottom up):
+
+* :class:`~repro.net.transport.Transport` — the protocol every layer
+  above codes against: reachability checks, the transfer cost model,
+  and reliable ``send`` with explicit give-up surfacing.
+* :class:`~repro.net.network.SimTransport` — the concrete fabric: a
+  latency + bandwidth cost model, partition awareness, byte accounting
+  and backoff-retry across node downtime.  "Reliable" matches the
+  paper's assumption (Section 4.3): messages are never *silently* lost
+  — delivery is retried with backoff, and when the retry budget is
+  exhausted the failure is surfaced via the ``net.gave_up`` metric and
+  the ``on_gave_up`` callback so protocol drivers can react.
+* :class:`~repro.net.batching.BatchingTransport` — an optional
+  decorator (``NetworkParams.batch_window``) that coalesces co-located
+  messages for the same link into one framed transfer, amortizing
+  per-message latency at high agent counts while preserving
+  delivery semantics (retries, partitions, per-kind metrics,
+  split-on-give-up).
+
+``Network`` remains as an alias of :class:`SimTransport` for scenarios
+written against the pre-refactor monolithic class.
 """
 
-from repro.net.network import Network
+from repro.net.batching import BatchingTransport
 from repro.net.messages import Message
+from repro.net.network import Network, SimTransport
+from repro.net.transport import Transport
 
-__all__ = ["Network", "Message"]
+__all__ = ["Transport", "SimTransport", "BatchingTransport", "Network",
+           "Message"]

@@ -1,0 +1,225 @@
+"""Batched transfers: coalesce co-located traffic for the same link.
+
+The paper's migration cost model is dominated by per-hop transfer of
+the (agent, log) package; at high agent counts many packages (and FT
+shadow copies) leave one node for the same destination at nearly the
+same instant, and each pays the full link latency.  The
+:class:`BatchingTransport` decorator coalesces every message bound for
+the same ``(src, dst)`` link within a configurable window
+(``NetworkParams.batch_window``) into **one framed transfer**: one
+latency charge, summed payload bytes plus fixed framing overhead.
+
+Delivery semantics are exactly those of single sends:
+
+* the framed transfer travels through the inner transport, so retries
+  across downtime and partitions apply to the batch as a whole;
+* if the frame exhausts the retry budget, the batch **splits**: every
+  constituent message is re-injected individually with a fresh retry
+  budget and its own ``on_gave_up`` path — a batch is never less
+  reliable than the singles it replaced;
+* on arrival each constituent message is dispatched to the
+  destination handler and fires its own ``on_delivered``, in send
+  order, and is counted under its own kind
+  (``net.messages.<kind>`` / ``net.<kind>`` bytes) exactly as an
+  unbatched send would be.
+
+Metric conventions: ``net.messages`` counts *physical* transfers (one
+per frame), per-kind counters count *logical* messages, so benches can
+show fewer network events for equal payload bytes.  Per-batch metrics:
+``net.batches``, ``net.batched_messages``, ``net.batch.splits`` and the
+framing-byte overhead under ``bytes net.batch.framing``.
+
+A batch frame reuses the incremental blobs of PR 1: the coalesced
+payloads are :class:`~repro.agent.packages.AgentPackage` objects whose
+``size_bytes`` come from their cached per-entry frames, so framing a
+batch serialises nothing — the frame size is header + per-message
+length prefixes + the already-known payload sizes.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Optional
+
+from repro.net.messages import Message
+from repro.sim.timing import NetworkParams
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.net.network import SimTransport
+    from repro.sim.kernel import Event, Simulator
+    from repro.sim.metrics import Metrics
+
+#: Routing tag of a framed batch transfer on the inner transport.
+BATCH_KIND = "batch"
+#: Fixed framing overhead of one batch frame (header + message count).
+BATCH_HEADER_BYTES = 8
+#: Per-message length prefix inside a batch frame.
+BATCH_ENTRY_PREFIX_BYTES = 4
+
+
+def batch_frame_bytes(sizes: list[int]) -> int:
+    """Wire size of a batch frame carrying payloads of ``sizes``."""
+    return BATCH_HEADER_BYTES + sum(BATCH_ENTRY_PREFIX_BYTES + s
+                                    for s in sizes)
+
+
+class BatchingTransport:
+    """Transport decorator that coalesces same-link sends in a window.
+
+    Wraps an inner :class:`~repro.net.network.SimTransport` (or any
+    transport exposing ``transmit``).  A window of ``0`` disables
+    coalescing and turns every call into a passthrough, which is the
+    default — worlds opt in via ``NetworkParams.batch_window``.
+    """
+
+    def __init__(self, inner: "SimTransport", sim: "Simulator",
+                 params: NetworkParams, metrics: "Metrics"):
+        self.inner = inner
+        self.sim = sim
+        self.params = params
+        self.metrics = metrics
+        self.window = params.batch_window
+        self._handlers: dict[str, Callable[[Message], None]] = {}
+        # Per-link pending sends: (src, dst) -> [(message, cb, gcb)].
+        self._pending: dict[tuple[str, str], list[tuple]] = {}
+        self._flush_events: dict[tuple[str, str], "Event"] = {}
+
+    # -- wiring ---------------------------------------------------------------
+
+    def register(self, node: str, handler: Callable[[Message], None]) -> None:
+        """Install the delivery handler for ``node``.
+
+        The inner fabric gets a filtering wrapper: batch frames are
+        invisible to node handlers — their constituents are dispatched
+        individually by :meth:`_deliver_batch` — while unbatched
+        messages pass straight through.
+        """
+        self._handlers[node] = handler
+        self.inner.register(
+            node, lambda message, n=node: self._on_inner_message(n, message))
+
+    def _on_inner_message(self, node: str, message: Message) -> None:
+        if message.kind == BATCH_KIND:
+            return  # constituents are dispatched via the frame callback
+        handler = self._handlers.get(node)
+        if handler is not None:
+            handler(message)
+
+    @property
+    def on_gave_up(self) -> Optional[Callable[[Message], None]]:
+        """The inner transport's transport-wide give-up fallback."""
+        return self.inner.on_gave_up
+
+    @on_gave_up.setter
+    def on_gave_up(self, callback: Optional[Callable[[Message], None]]
+                   ) -> None:
+        self.inner.on_gave_up = callback
+
+    # -- queries ----------------------------------------------------------------
+
+    def reachable(self, a: str, b: str) -> bool:
+        return self.inner.reachable(a, b)
+
+    def transfer_time(self, size_bytes: int) -> float:
+        return self.inner.transfer_time(size_bytes)
+
+    def pending_messages(self) -> int:
+        """Messages buffered in not-yet-flushed batches (tests/benches)."""
+        return sum(len(batch) for batch in self._pending.values())
+
+    # -- transfer ------------------------------------------------------------------
+
+    def send(self, src: str, dst: str, kind: str, payload: Any,
+             size_bytes: int,
+             on_delivered: Optional[Callable[[Message], None]] = None,
+             on_gave_up: Optional[Callable[[Message], None]] = None
+             ) -> Message:
+        """Queue ``payload`` for the next framed transfer on the link.
+
+        The message joins the open batch for ``(src, dst)`` (opening
+        one, and scheduling its flush ``window`` seconds out, if none is
+        open).  Local traffic and zero-window transports pass straight
+        through to the inner fabric.
+        """
+        if self.window <= 0 or src == dst:
+            return self.inner.send(src, dst, kind, payload, size_bytes,
+                                   on_delivered, on_gave_up)
+        message = Message(src=src, dst=dst, kind=kind, payload=payload,
+                          size_bytes=size_bytes)
+        key = (src, dst)
+        self._pending.setdefault(key, []).append(
+            (message, on_delivered, on_gave_up))
+        if key not in self._flush_events:
+            self._flush_events[key] = self.sim.schedule(
+                self.window, lambda: self._flush(key),
+                label=f"net-batch:{src}->{dst}")
+        return message
+
+    def transmit(self, message: Message,
+                 on_delivered: Optional[Callable[[Message], None]] = None,
+                 on_gave_up: Optional[Callable[[Message], None]] = None
+                 ) -> None:
+        """Bypass coalescing: hand the message straight to the fabric."""
+        self.inner.transmit(message, on_delivered, on_gave_up)
+
+    def flush_all(self) -> None:
+        """Flush every open batch now (deterministic teardown, tests)."""
+        for key in list(self._pending):
+            event = self._flush_events.pop(key, None)
+            if event is not None:
+                event.cancel()
+            self._flush(key)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _flush(self, key: tuple[str, str]) -> None:
+        self._flush_events.pop(key, None)
+        batch = self._pending.pop(key, [])
+        if not batch:
+            return
+        if len(batch) == 1:
+            # A lone message gains nothing from framing; ship it as-is
+            # so sparse traffic keeps exact single-send accounting.
+            message, on_delivered, on_gave_up = batch[0]
+            self.inner.transmit(message, on_delivered, on_gave_up)
+            return
+        src, dst = key
+        frame_size = batch_frame_bytes([m.size_bytes for m, _, _ in batch])
+        payload_size = sum(m.size_bytes for m, _, _ in batch)
+        self.metrics.incr("net.batches")
+        self.metrics.incr("net.batched_messages", len(batch))
+        self.metrics.add_bytes("net.batch.framing",
+                               frame_size - payload_size)
+        self.metrics.observe("net.batch.size", self.sim.now, len(batch))
+        self.inner.send(
+            src, dst, BATCH_KIND, [m for m, _, _ in batch], frame_size,
+            on_delivered=lambda _frame, b=batch, d=dst:
+                self._deliver_batch(d, b),
+            on_gave_up=lambda _frame, b=batch: self._split(b))
+
+    def _deliver_batch(self, dst: str, batch: list[tuple]) -> None:
+        """Dispatch the constituents of a delivered frame, in send order.
+
+        Runs at the frame's delivery instant (the inner transport
+        already verified the destination is up and charged the frame's
+        bytes), so per-message handler + ``on_delivered`` ordering
+        matches single-send semantics.
+        """
+        handler = self._handlers.get(dst)
+        for message, on_delivered, _on_gave_up in batch:
+            self.metrics.incr(f"net.messages.{message.kind}")
+            self.metrics.add_bytes(f"net.{message.kind}", message.size_bytes)
+            if handler is not None:
+                handler(message)
+            if on_delivered is not None:
+                on_delivered(message)
+
+    def _split(self, batch: list[tuple]) -> None:
+        """The frame exhausted its retry budget: fall back to singles.
+
+        Each constituent re-enters the fabric with a *fresh* retry
+        budget and its own give-up path, so a batch is never less
+        reliable than the unbatched sends it replaced.
+        """
+        self.metrics.incr("net.batch.splits")
+        for message, on_delivered, on_gave_up in batch:
+            self.inner.transmit(message, on_delivered, on_gave_up)

@@ -1,4 +1,12 @@
-"""Reliable message transfer over the simulated topology."""
+"""The simulated fabric: latency/bandwidth-modelled reliable transfer.
+
+This module holds the concrete :class:`~repro.net.transport.Transport`
+implementation for the discrete-event simulation.  It used to be a
+monolithic ``Network`` class that every layer called directly; it is
+now one pluggable fabric behind the Transport interface (see
+:mod:`repro.net.transport` for the architecture), optionally wrapped by
+the batching layer (:mod:`repro.net.batching`).
+"""
 
 from __future__ import annotations
 
@@ -13,7 +21,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.metrics import Metrics
 
 
-class Network:
+class SimTransport:
     """Latency/bandwidth-modelled, partition-aware message fabric.
 
     Two services are offered:
@@ -24,6 +32,13 @@ class Network:
     * :meth:`send` — reliable delivery with backoff-retry across
       downtime; used for fire-and-forget traffic (FT shadow copies,
       acknowledgements) where the paper assumes reliable transfer.
+
+    Reliability is bounded by ``params.max_retries``: when a message
+    exhausts its retry budget the failure is *surfaced*, never
+    swallowed — the ``net.gave_up`` counter and timeline event fire,
+    and the per-send ``on_gave_up`` callback (or the transport-wide
+    :attr:`on_gave_up` default) lets protocol drivers react (re-ship,
+    fail over) instead of waiting for a delivery that will never come.
     """
 
     def __init__(self, sim: "Simulator", failures: "FailureInjector",
@@ -34,6 +49,9 @@ class Network:
         self.metrics = metrics
         self._handlers: dict[str, Callable[[Message], None]] = {}
         self._jitter_rng = sim.fork_rng("net-jitter")
+        #: Transport-wide fallback invoked when a send without its own
+        #: ``on_gave_up`` exhausts the retry budget.
+        self.on_gave_up: Optional[Callable[[Message], None]] = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -61,31 +79,55 @@ class Network:
 
     def send(self, src: str, dst: str, kind: str, payload: Any,
              size_bytes: int,
-             on_delivered: Optional[Callable[[Message], None]] = None) -> Message:
+             on_delivered: Optional[Callable[[Message], None]] = None,
+             on_gave_up: Optional[Callable[[Message], None]] = None
+             ) -> Message:
         """Reliably deliver ``payload`` from ``src`` to ``dst``.
 
         Delivery is attempted now and re-attempted with backoff while
         either endpoint is down or the link is partitioned.  Bytes are
         charged once per successful transfer (retries before the payload
         moves cost only time).  ``on_delivered`` fires at the delivery
-        instant, after the destination handler ran.
+        instant, after the destination handler ran; ``on_gave_up`` fires
+        if ``params.max_retries`` is exhausted first.
         """
         message = Message(src=src, dst=dst, kind=kind, payload=payload,
                           size_bytes=size_bytes)
-        self._attempt(message, on_delivered)
+        self.transmit(message, on_delivered, on_gave_up)
         return message
 
+    def transmit(self, message: Message,
+                 on_delivered: Optional[Callable[[Message], None]] = None,
+                 on_gave_up: Optional[Callable[[Message], None]] = None
+                 ) -> None:
+        """Deliver an already-constructed message (see :meth:`send`)."""
+        self._attempt(message, on_delivered, on_gave_up)
+
+    # -- internals -----------------------------------------------------------------
+
+    def _gave_up(self, message: Message,
+                 on_gave_up: Optional[Callable[[Message], None]]) -> None:
+        self.metrics.incr("net.gave_up")
+        self.metrics.record(self.sim.now, "net-gave-up",
+                            message_kind=message.kind, src=message.src,
+                            dst=message.dst)
+        callback = on_gave_up if on_gave_up is not None else self.on_gave_up
+        if callback is not None:
+            callback(message)
+
     def _attempt(self, message: Message,
-                 on_delivered: Optional[Callable[[Message], None]]) -> None:
+                 on_delivered: Optional[Callable[[Message], None]],
+                 on_gave_up: Optional[Callable[[Message], None]]) -> None:
         if not self.reachable(message.src, message.dst):
             message.retries += 1
             self.metrics.incr("net.retries")
             if message.retries > self.params.max_retries:
-                self.metrics.incr("net.gave_up")
+                self._gave_up(message, on_gave_up)
                 return
-            self.sim.schedule(self.params.retry_backoff,
-                              lambda: self._attempt(message, on_delivered),
-                              label=f"net-retry:{message.kind}")
+            self.sim.schedule(
+                self.params.retry_backoff,
+                lambda: self._attempt(message, on_delivered, on_gave_up),
+                label=f"net-retry:{message.kind}")
             return
         delay = self.transfer_time(message.size_bytes)
 
@@ -95,9 +137,13 @@ class Network:
                 # reliable transfer retries from the source.
                 message.retries += 1
                 self.metrics.incr("net.retries")
-                self.sim.schedule(self.params.retry_backoff,
-                                  lambda: self._attempt(message, on_delivered),
-                                  label=f"net-retry:{message.kind}")
+                if message.retries > self.params.max_retries:
+                    self._gave_up(message, on_gave_up)
+                    return
+                self.sim.schedule(
+                    self.params.retry_backoff,
+                    lambda: self._attempt(message, on_delivered, on_gave_up),
+                    label=f"net-retry:{message.kind}")
                 return
             self.metrics.incr("net.messages")
             self.metrics.incr(f"net.messages.{message.kind}")
@@ -110,3 +156,8 @@ class Network:
                 on_delivered(message)
 
         self.sim.schedule(delay, _deliver, label=f"deliver:{message.kind}")
+
+
+#: Backwards-compatible alias — the fabric was called ``Network`` before
+#: the Transport refactor; existing scenarios keep working.
+Network = SimTransport

@@ -1,0 +1,83 @@
+"""The Transport abstraction — how anything moves between nodes.
+
+Every layer that moves bytes between nodes (FT shadow copies, protocol
+acknowledgements, cross-shard packages) talks to a :class:`Transport`,
+never to a concrete network implementation.  A transport offers three
+services:
+
+* :meth:`Transport.reachable` — instantaneous reachability, used by
+  layers that implement their own retry policies (the commit
+  coordinator, the rollback drivers);
+* :meth:`Transport.transfer_time` — the cost model for one-way payload
+  movement, charged into transactions by the shipping helpers;
+* :meth:`Transport.send` / :meth:`Transport.transmit` — reliable
+  delivery with backoff-retry across downtime, used for
+  fire-and-forget traffic where the paper assumes reliable transfer.
+  A sender that wants to react when the transport finally gives up
+  (``max_retries`` exhausted) passes ``on_gave_up``.
+
+Implementations:
+
+* :class:`~repro.net.network.SimTransport` — the latency/bandwidth
+  modelled, partition-aware fabric (the former monolithic ``Network``);
+* :class:`~repro.net.batching.BatchingTransport` — a decorator that
+  coalesces co-located messages for the same link into one framed
+  transfer, amortizing per-message latency at high agent counts.
+
+The split keeps delivery *semantics* (retries, partitions, per-kind
+metrics) in one place while letting cost/aggregation policy stack on
+top — a new fabric (e.g. a real socket transport) only has to satisfy
+this protocol.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Protocol, runtime_checkable
+
+from repro.net.messages import Message
+
+#: Signature of a delivery handler installed per node.
+Handler = Callable[[Message], None]
+#: Signature of the delivery / give-up callbacks of one send.
+SendCallback = Callable[[Message], None]
+
+
+@runtime_checkable
+class Transport(Protocol):
+    """What the protocol layers require from a message fabric."""
+
+    def register(self, node: str, handler: Handler) -> None:
+        """Install the delivery handler for ``node``."""
+        ...
+
+    def reachable(self, a: str, b: str) -> bool:
+        """True when a message sent now from ``a`` would reach ``b``."""
+        ...
+
+    def transfer_time(self, size_bytes: int) -> float:
+        """One-way transfer duration for a payload of ``size_bytes``."""
+        ...
+
+    def send(self, src: str, dst: str, kind: str, payload: object,
+             size_bytes: int,
+             on_delivered: Optional[SendCallback] = None,
+             on_gave_up: Optional[SendCallback] = None) -> Message:
+        """Reliably deliver ``payload`` from ``src`` to ``dst``.
+
+        ``on_delivered`` fires at the delivery instant (after the
+        destination handler ran); ``on_gave_up`` fires if the transport
+        exhausts its retry budget — the caller can then re-ship, fail
+        over, or surface the loss instead of hanging forever.
+        """
+        ...
+
+    def transmit(self, message: Message,
+                 on_delivered: Optional[SendCallback] = None,
+                 on_gave_up: Optional[SendCallback] = None) -> None:
+        """Deliver an already-constructed :class:`Message`.
+
+        The low-level primitive behind :meth:`send`; decorators use it
+        to re-inject constituent messages (e.g. when a batch splits)
+        without minting new envelopes.
+        """
+        ...

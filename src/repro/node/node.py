@@ -26,6 +26,12 @@ class Node:
     in-flight transactions (aborted with full undo) and the dispatch
     schedule (rebuilt by a queue rescan at recovery) — this is exactly
     the recovery behaviour the paper's protocols rely on.
+
+    A node never talks to the network directly: packages leave through
+    the world's shipping helpers (which resolve the Transport stack and
+    the delivery seam, see :mod:`repro.node.runtime`) and arrive by
+    appearing in the durable input queue — whether enqueued by a local
+    commit, an FT shadow delivery, or a cross-shard bridge injection.
     """
 
     def __init__(self, name: str, world: "World"):

@@ -1,4 +1,4 @@
-"""The world: simulator + network + nodes + protocol drivers.
+"""The world: simulator + transport + nodes + protocol drivers.
 
 This is the facade everything above builds on::
 
@@ -8,6 +8,21 @@ This is the facade everything above builds on::
     record = world.launch(agent, at="n1", method="first_step")
     world.run()
     assert record.status is AgentStatus.FINISHED
+
+Architecture notes
+------------------
+
+All inter-node byte movement goes through the **Transport** interface
+(:mod:`repro.net.transport`): the world instantiates the simulated
+fabric (:class:`~repro.net.network.SimTransport`) and, when
+``NetworkParams.batch_window`` is set, stacks the batching layer
+(:class:`~repro.net.batching.BatchingTransport`) on top.  Protocol
+drivers never import a concrete network class — they use
+``world.transport`` for sends / cost queries and
+:meth:`World.deliver_package` for the durable hand-off of an agent
+package to its destination queue.  That seam is what lets
+:class:`~repro.node.sharded.ShardedWorld` reroute cross-shard
+deliveries through its bridge without touching any protocol code.
 """
 
 from __future__ import annotations
@@ -27,7 +42,9 @@ from repro.compensation.registry import GLOBAL_REGISTRY, CompensationRegistry
 from repro.errors import UsageError
 from repro.log.modes import LoggingMode
 from repro.log.rollback_log import RollbackLog
-from repro.net.network import Network
+from repro.net.batching import BatchingTransport
+from repro.net.network import SimTransport
+from repro.net.transport import Transport
 from repro.node.node import Node
 from repro.sim.failures import FailureInjector
 from repro.sim.kernel import Simulator
@@ -105,8 +122,16 @@ class World:
         self.retry_policy = retry_policy or RetryPolicy()
         self.ft_takeover_timeout = ft_takeover_timeout
         self.failures = FailureInjector(self.sim)
-        self.network = Network(self.sim, self.failures, net_params,
-                               self.metrics)
+        # The transport stack: the simulated fabric, with the batching
+        # layer stacked on top when the world opts into coalescing.
+        transport: Transport = SimTransport(self.sim, self.failures,
+                                            net_params, self.metrics)
+        if net_params.batch_window > 0:
+            transport = BatchingTransport(transport, self.sim, net_params,
+                                          self.metrics)
+        self.transport = transport
+        #: Legacy alias of :attr:`transport` (pre-refactor name).
+        self.network = transport
         self.coordinator = CommitCoordinator(
             timing, net_params, self.reachable, self.metrics)
         self.nodes: dict[str, Node] = {}
@@ -133,7 +158,7 @@ class World:
             raise UsageError(f"node {name!r} already exists")
         node = Node(name, self)
         self.nodes[name] = node
-        self.network.register(name, lambda message: None)
+        self.transport.register(name, lambda message: None)
         return node
 
     def add_nodes(self, *names: str) -> list[Node]:
@@ -155,7 +180,19 @@ class World:
         """
         if b == LEDGER_NODE:
             return self.failures.node_up(a)
-        return self.network.reachable(a, b)
+        return self.transport.reachable(a, b)
+
+    def deliver_package(self, tx: Transaction, package: AgentPackage,
+                        dest_name: str) -> None:
+        """Stage the durable enqueue of ``package`` at ``dest_name``.
+
+        The destination seam of the shipping path: a plain world
+        resolves the node locally and enqueues (visible at commit).
+        :class:`~repro.node.sharded.ShardedWorld` overrides this to
+        route packages whose destination lives in another shard through
+        the cross-shard bridge instead.
+        """
+        self.node(dest_name).queue.enqueue(package, tx=tx)
 
     def enlist_participant(self, tx: Transaction, node_name: str) -> None:
         """Make ``node_name`` a participant whose crash aborts ``tx``.

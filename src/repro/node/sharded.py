@@ -1,0 +1,349 @@
+"""Sharded multi-world execution: N kernels, one simulated system.
+
+One :class:`~repro.sim.kernel.Simulator` processes every event of a
+world in a single totally-ordered queue, which caps how many concurrent
+agents a run can hold.  :class:`ShardedWorld` scales past that by
+partitioning the node set across N independent shard worlds — each with
+its own kernel, transport stack, failure injector and metrics — and
+connecting them with a deterministic **cross-shard bridge**.
+
+Lockstep epochs
+---------------
+
+Virtual clocks stay consistent through barrier synchronisation: the
+driver picks the next epoch barrier (a multiple of ``epoch``), advances
+every shard's kernel exactly to it (:meth:`Simulator.run_epoch`), then
+exchanges the packages that crossed shard boundaries during the epoch.
+A cross-shard migration commits in its source shard with the same
+transfer / 2PC-round / stable-write charges as a remote migration in a
+plain world; the durable enqueue at the destination is carried by the
+bridge and injected into the destination kernel at the barrier.
+Because forwards are collected in deterministic order (shards run
+sequentially per epoch; transfers sort by commit time then sequence)
+and injected at deterministic times, a sharded run is fully
+reproducible — and because the bridge only *delays* the enqueue to the
+next barrier (never reorders per-link, never drops), per-agent
+outcomes match an equivalent unsharded run of the same topology at the
+same seed.
+
+Failure semantics across shards differ from the in-world case in two
+bounded ways.  Reachability checks against a remote-shard node consult
+that shard's failure injector, whose state may lag the querying shard
+by at most one epoch (kernels only synchronise at barriers).  And the
+destination's *transaction manager* cannot be enlisted across kernels,
+so a destination crash inside the shipping commit window aborts the
+transaction in an unsharded run but lets it commit in a sharded one —
+the bridged package then simply waits in the durable queue for the
+recovery rescan.  Both paths are correct executions of the same
+deterministic agent program (exactly-once is arbitrated by the durable
+queues either way), so per-agent *outcomes* still agree; aggregate
+*counters* are only shard-count-invariant for crash-free runs.
+
+Scope notes: per-agent records are shared across shards (an agent may
+migrate anywhere), while fault-tolerant shadow replication and its step
+ledger stay shard-local — configure FT alternates within the shard of
+the node they back.
+
+Knobs: ``n_shards`` (kernel count), ``epoch`` (barrier spacing;
+defaults to the network latency, the natural lookahead of the fabric),
+plus everything a plain :class:`~repro.node.runtime.World` accepts.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.errors import UsageError
+from repro.node.runtime import LEDGER_NODE, AgentRecord, World
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.agent.agent import MobileAgent
+    from repro.agent.packages import AgentPackage
+    from repro.node.node import Node
+    from repro.tx.manager import Transaction
+
+
+@dataclass
+class _Transfer:
+    """One package crossing a shard boundary."""
+
+    at: float          # source-shard commit time
+    seq: int           # global order among forwards of the same instant
+    dest_shard: int
+    dest_name: str
+    package: "AgentPackage"
+
+
+class CrossShardBridge:
+    """Deterministic package exchange between shard kernels.
+
+    Forwards accumulate while the shards run one epoch; at the barrier
+    the driver flushes them, sorted by ``(commit time, sequence)``, into
+    the destination kernels.  The transfer cost was already charged
+    into the shipping transaction (the commit instant includes it), so
+    injection happens at the barrier — the bridge adds at most one
+    epoch of staleness, never extra cost, and never reorders the
+    per-link package stream.
+    """
+
+    def __init__(self) -> None:
+        self._pending: list[_Transfer] = []
+        self._seq = itertools.count()
+        self.transfers_total = 0
+
+    def pending(self) -> int:
+        """Forwards awaiting the next barrier flush."""
+        return len(self._pending)
+
+    def forward(self, dest_shard: int, dest_name: str,
+                package: "AgentPackage", at: float) -> None:
+        """Hand a committed package to the bridge (source commit action)."""
+        self._pending.append(_Transfer(at=at, seq=next(self._seq),
+                                       dest_shard=dest_shard,
+                                       dest_name=dest_name, package=package))
+
+    def flush(self, shards: list["ShardWorld"], barrier: float) -> int:
+        """Inject every pending forward into its destination kernel.
+
+        Runs between epochs, when every shard's clock sits exactly at
+        ``barrier``; deliveries are scheduled at the barrier instant in
+        deterministic order.  Returns the number of packages moved.
+        """
+        pending = self._pending
+        self._pending = []
+        pending.sort(key=lambda t: (t.at, t.seq))
+        for transfer in pending:
+            world = shards[transfer.dest_shard]
+            when = max(transfer.at, world.sim.now)
+            world.metrics.incr("bridge.transfers")
+            world.metrics.add_bytes("bridge.bytes",
+                                    transfer.package.size_bytes)
+            world.sim.schedule_at(
+                when,
+                lambda w=world, t=transfer:
+                    w.node(t.dest_name).queue.enqueue(t.package),
+                label=f"bridge:{transfer.dest_name}")
+        self.transfers_total += len(pending)
+        return len(pending)
+
+
+class ShardWorld(World):
+    """One shard: a plain world whose remote deliveries may leave it.
+
+    Identical to :class:`~repro.node.runtime.World` except for the
+    delivery seam: a package whose destination node lives in another
+    shard is handed to the bridge as a commit action of the shipping
+    transaction, instead of being enqueued locally.
+    """
+
+    def __init__(self, shard_index: int, sharded: "ShardedWorld",
+                 **world_kwargs: Any):
+        super().__init__(**world_kwargs)
+        self.shard_index = shard_index
+        self._sharded = sharded
+
+    def reachable(self, a: str, b: str) -> bool:
+        """Reachability, extended to nodes hosted by other shards.
+
+        For a remote-shard destination the owning shard's failure
+        injector is consulted — its state lags this kernel by at most
+        one epoch (shards only synchronise at barriers), which bounds
+        how stale a cross-shard up/down answer can be.  Cross-shard
+        links have no partition model; node liveness is the signal.
+        """
+        if b != LEDGER_NODE and b not in self.nodes:
+            shard = self._sharded._node_shard.get(b)
+            if shard is not None:
+                other = self._sharded.shards[shard]
+                return (self.failures.node_up(a)
+                        and other.failures.node_up(b))
+        return super().reachable(a, b)
+
+    def deliver_package(self, tx: "Transaction", package: "AgentPackage",
+                        dest_name: str) -> None:
+        if dest_name in self.nodes:
+            super().deliver_package(tx, package, dest_name)
+            return
+        dest_shard = self._sharded.shard_of(dest_name)  # raises if unknown
+        bridge = self._sharded.bridge
+        self.metrics.incr("bridge.forwards")
+        tx.register_commit(
+            lambda: bridge.forward(dest_shard, dest_name, package,
+                                   self.sim.now))
+
+
+class ShardedWorld:
+    """A simulated mobile-agent system partitioned across N kernels.
+
+    The facade mirrors :class:`~repro.node.runtime.World` where it
+    matters (``add_node`` / ``launch`` / ``run`` / ``agents``), so
+    benches can swap one for the other.  ``n_shards=1`` runs the same
+    code path with the bridge idle — the reference configuration the
+    determinism tests compare against.
+    """
+
+    def __init__(self, n_shards: int = 2, seed: int = 0,
+                 epoch: Optional[float] = None, **world_kwargs: Any):
+        if n_shards < 1:
+            raise UsageError(f"need at least 1 shard, got {n_shards}")
+        self.n_shards = n_shards
+        self.seed = seed
+        net_params = world_kwargs.get("net_params")
+        if epoch is None:
+            epoch = net_params.latency if net_params is not None else 0.005
+        if epoch <= 0:
+            raise UsageError(f"epoch must be positive, got {epoch}")
+        self.epoch = epoch
+        self.bridge = CrossShardBridge()
+        #: Per-agent records, shared by every shard world: an agent may
+        #: migrate to any shard, and whichever shard executes its steps
+        #: updates the same record.
+        self.agents: dict[str, AgentRecord] = {}
+        self.shards: list[ShardWorld] = []
+        for index in range(n_shards):
+            world = ShardWorld(shard_index=index, sharded=self,
+                               seed=seed + 100_003 * index, **world_kwargs)
+            world.agents = self.agents
+            self.shards.append(world)
+        self._node_shard: dict[str, int] = {}
+        self.epochs_run = 0
+
+    # -- topology -------------------------------------------------------------------
+
+    def add_node(self, name: str, shard: Optional[int] = None) -> "Node":
+        """Create node ``name`` in ``shard`` (round-robin by default)."""
+        if name in self._node_shard:
+            raise UsageError(f"node {name!r} already exists")
+        if shard is None:
+            shard = len(self._node_shard) % self.n_shards
+        if not 0 <= shard < self.n_shards:
+            raise UsageError(f"no shard {shard} (have {self.n_shards})")
+        node = self.shards[shard].add_node(name)
+        self._node_shard[name] = shard
+        return node
+
+    def add_nodes(self, *names: str) -> list["Node"]:
+        """Create several nodes at once (round-robin placement)."""
+        return [self.add_node(n) for n in names]
+
+    def shard_of(self, name: str) -> int:
+        """Index of the shard hosting node ``name``."""
+        shard = self._node_shard.get(name)
+        if shard is None:
+            raise UsageError(f"no node {name!r}")
+        return shard
+
+    def world_of(self, name: str) -> ShardWorld:
+        """The shard world hosting node ``name``."""
+        return self.shards[self.shard_of(name)]
+
+    def node(self, name: str) -> "Node":
+        return self.world_of(name).node(name)
+
+    # -- agent management -----------------------------------------------------------------
+
+    def launch(self, agent: "MobileAgent", at: str, method: str,
+               **launch_kwargs: Any) -> AgentRecord:
+        """Launch ``agent`` at node ``at`` (in whichever shard hosts it)."""
+        return self.world_of(at).launch(agent, at=at, method=method,
+                                        **launch_kwargs)
+
+    def record_of(self, agent_id: str) -> AgentRecord:
+        record = self.agents.get(agent_id)
+        if record is None:
+            raise UsageError(f"no agent {agent_id!r}")
+        return record
+
+    def all_done(self) -> bool:
+        """True when no agent is still running."""
+        return self.shards[0].all_done()
+
+    # -- execution ------------------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The lockstep virtual clock (all shards agree at barriers)."""
+        return max(world.sim.now for world in self.shards)
+
+    def run(self, until: Optional[float] = None,
+            max_epochs: int = 1_000_000,
+            max_events_per_epoch: int = 10_000_000) -> None:
+        """Run all shards in lockstep epochs until drained (or ``until``).
+
+        Each iteration: pick the next barrier on the epoch grid (skipping
+        grid points no shard has work before — the barrier sequence is a
+        pure function of event times, so runs stay deterministic),
+        advance every shard to it, then flush the bridge.
+        """
+        for _ in range(max_epochs):
+            next_times = [t for t in (w.sim.peek_time() for w in self.shards)
+                          if t is not None]
+            if not next_times:
+                if self.bridge.pending():
+                    # Defensive: a forward committed on the last epoch's
+                    # final event must still reach its destination.
+                    self.bridge.flush(self.shards, self.now)
+                    continue
+                return  # every kernel drained, nothing left to bridge
+            soonest = min(next_times)
+            if until is not None and soonest > until:
+                for world in self.shards:
+                    world.sim.run_epoch(max(until, world.sim.now))
+                return
+            barrier = self.epoch * math.ceil(soonest / self.epoch)
+            if barrier < soonest:  # float guard: stay at-or-after the event
+                barrier += self.epoch
+            if until is not None and barrier > until:
+                barrier = until
+            for world in self.shards:
+                world.sim.run_epoch(barrier,
+                                    max_events=max_events_per_epoch)
+            self.bridge.flush(self.shards, barrier)
+            self.epochs_run += 1
+        raise UsageError(
+            f"sharded run exceeded {max_epochs} epochs; likely livelock")
+
+    # -- results ----------------------------------------------------------------------------
+
+    def outcomes(self) -> dict[str, dict[str, Any]]:
+        """Canonical per-agent outcomes, for cross-configuration checks.
+
+        Status, result, committed-step and rollback counts — everything
+        that must be identical between a sharded run and an equivalent
+        unsharded run at the same seed (timing may differ by bridge
+        staleness; outcomes may not).
+        """
+        return {
+            agent_id: {
+                "status": record.status.value,
+                "result": record.result,
+                "failure": record.failure,
+                "steps_committed": record.steps_committed,
+                "rollbacks_completed": record.rollbacks_completed,
+            }
+            for agent_id, record in sorted(self.agents.items())
+        }
+
+    def counters(self, exclude_prefixes: tuple[str, ...] = ()
+                 ) -> dict[str, int]:
+        """Aggregate counters/byte totals across every shard's metrics.
+
+        ``exclude_prefixes`` drops families that legitimately differ
+        between shard counts (e.g. ``bridge.`` traffic exists only when
+        N > 1).
+        """
+        totals: dict[str, int] = {}
+        for world in self.shards:
+            for key, value in world.metrics.summary().items():
+                if any(key.startswith(p) or key.startswith(f"bytes.{p}")
+                       for p in exclude_prefixes):
+                    continue
+                totals[key] = totals.get(key, 0) + value
+        return dict(sorted(totals.items()))
+
+    def events_processed(self) -> int:
+        """Total kernel events fired across all shards."""
+        return sum(world.sim.events_processed for world in self.shards)

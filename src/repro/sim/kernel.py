@@ -133,3 +133,39 @@ class Simulator:
     def pending(self) -> int:
         """Number of not-yet-cancelled events still queued."""
         return sum(1 for *_xs, e in self._queue if not e.cancelled)
+
+    # -- epoch / barrier hooks (sharded multi-world execution) --------------
+
+    def peek_time(self) -> Optional[float]:
+        """Virtual time of the next live event (None when idle).
+
+        Sharded runs use this as *lookahead*: the epoch driver can skip
+        barriers no shard has work before, without perturbing event
+        order.  Cancelled events at the head are discarded here (the
+        heap guarantees only that the *root* is the minimum, so
+        scanning past a cancelled root would return the wrong time).
+        """
+        while self._queue:
+            time, _priority, _seq, event = self._queue[0]
+            if event.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            return time
+        return None
+
+    def run_epoch(self, barrier: float,
+                  max_events: int = 10_000_000) -> int:
+        """Advance to the epoch ``barrier`` and stop there.
+
+        Runs every event with ``time <= barrier`` and leaves the clock
+        exactly at the barrier, so several kernels advanced to the same
+        barrier have consistent virtual clocks — the lockstep primitive
+        of :class:`~repro.node.sharded.ShardedWorld`.  Returns the
+        number of events fired this epoch.
+        """
+        if barrier < self.now:
+            raise UsageError(
+                f"epoch barrier {barrier} is in the past (now={self.now})")
+        before = self.events_processed
+        self.run(until=barrier, max_events=max_events)
+        return self.events_processed - before

@@ -37,12 +37,17 @@ PROTOCOL = pickle.HIGHEST_PROTOCOL
 #: Instrumentation for the incremental-serialization subsystem.  Keys:
 #: ``snapshot_fast`` / ``snapshot_pickle`` — structural vs round-trip
 #: snapshots; ``entry_blob_serialized`` / ``entry_blob_reused`` — log
-#: entry pickles actually performed vs satisfied from an entry's cache.
+#: entry pickles actually performed vs satisfied from an entry's cache;
+#: ``entry_hydration_deferred`` / ``entry_hydrated`` — frames adopted
+#: lazily at unpack vs actually unpickled later on first read (the gap
+#: is the per-hop ``pickle.loads`` work lazy hydration avoided).
 STATS: dict[str, int] = {
     "snapshot_fast": 0,
     "snapshot_pickle": 0,
     "entry_blob_serialized": 0,
     "entry_blob_reused": 0,
+    "entry_hydration_deferred": 0,
+    "entry_hydrated": 0,
 }
 
 

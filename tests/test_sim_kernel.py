@@ -113,3 +113,43 @@ def test_simulator_not_reentrant():
 
     sim.schedule(0.1, inner)
     sim.run()
+
+
+# -- epoch / barrier hooks (sharded execution) --------------------------------
+
+
+def test_peek_time_returns_next_live_event():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.schedule(3.0, lambda: None)
+    assert sim.peek_time() == 1.0
+    sim.run()
+    assert sim.peek_time() is None
+
+
+def test_peek_time_skips_cancelled_events_even_off_heap_order():
+    # A cancelled event at the heap root must not mask a later-inserted
+    # but earlier-firing live event: [cancelled@1, 10, 3] is a valid
+    # heap whose array order does not expose 3 before 10.
+    sim = Simulator()
+    first = sim.schedule(1.0, lambda: None)
+    sim.schedule(10.0, lambda: None)
+    sim.schedule(3.0, lambda: None)
+    first.cancel()
+    assert sim.peek_time() == 3.0
+
+
+def test_run_epoch_advances_exactly_to_the_barrier():
+    sim = Simulator()
+    fired = []
+    sim.schedule(0.004, lambda: fired.append("a"))
+    sim.schedule(0.010, lambda: sim.schedule(0.0, lambda: fired.append("c")))
+    sim.schedule(0.010, lambda: fired.append("b"))
+    assert sim.run_epoch(0.005) == 1
+    assert sim.now == 0.005 and fired == ["a"]
+    # Events exactly at the barrier fire in that epoch, including
+    # zero-delay follow-ups they schedule.
+    assert sim.run_epoch(0.010) == 3
+    assert fired == ["a", "b", "c"] or fired == ["a", "c", "b"]
+    with pytest.raises(UsageError):
+        sim.run_epoch(0.001)  # barrier in the past
