@@ -11,7 +11,6 @@ resurrects retired serials (fatal double-spend on next use) and inflates
 every savepoint with the WRO image.
 """
 
-import pytest
 
 from repro import AgentStatus, RollbackMode
 from repro.bench import format_table

@@ -6,7 +6,6 @@ ever exposing half-compensated state, and throughput degrades
 gracefully with contention (immediate-restart lock policy).
 """
 
-import pytest
 
 from repro import AgentStatus, RollbackMode
 from repro.bench import format_table

@@ -1,0 +1,212 @@
+"""EVAL-CROSS-SHARD-FT — surviving whole-shard outages exactly once.
+
+A new scenario class the pre-existing suite cannot express: partial-
+datacenter failure.  ``ShardedWorld.kill_shard`` takes a whole kernel
+down mid-run — every node of the shard crashes and the kernel stops
+advancing — while fault-tolerant agents keep touring.  With
+``FTParams.cross_shard_alternates`` (shadows preferentially hosted by
+*other* shards) and the bridge-replicated step ledger, the surviving
+shards promote the shadows and every itinerary still completes exactly
+once; with shard-local alternates (the pre-PR behaviour) the same
+outage strands the work.
+
+The sweep measures **completion rate** and **recovery latency** (first
+shadow promotion after the kill; plus makespan) against the
+shard-outage rate (0, 1 and 2 of 3 kernels killed, with and without
+restart), at several seeds.  Exactly-once is checked through effects:
+every executed tour step debits exactly one bank once, wherever it ran,
+so the debit sum equals 10 x committed tour steps — and the ledger
+replicas must agree on one holder per unit of work.
+
+Emits ``benchmarks/results/BENCH_cross_shard_ft.json`` (consumed by the
+CI bench-regression gate; redirect with ``BENCH_RESULTS_DIR``).
+``BENCH_QUICK=1`` shrinks the sweep for smoke runs.
+"""
+
+import json
+import os
+
+from repro import AgentStatus, Bank, FTParams, ShardedWorld
+from repro.agent.packages import Protocol
+from repro.bench import format_table
+from repro.resources.bank import OverdraftPolicy
+
+from tests.helpers import LinearAgent
+
+from bench_paths import results_dir
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+N_SHARDS = 3
+N_NODES = 9
+RING = [f"n{i}" for i in range(N_NODES)]
+N_AGENTS = 4 if QUICK else 6
+PLAN_LEN = 4
+SEEDS = (7,) if QUICK else (7, 23, 71)
+KILL_AT = 0.055          # inside the second hop's step transactions
+RESTART_AT = 2.0
+
+RESULTS_DIR = results_dir()
+JSON_PATH = RESULTS_DIR / "BENCH_cross_shard_ft.json"
+
+#: (name, shards killed, restart time, cross-shard alternates?)
+SCENARIOS = [
+    ("no-outage", (), None, True),
+    ("kill-1", (1,), None, True),
+    ("kill-1-restart", (1,), RESTART_AT, True),
+    ("kill-2", (1, 2), None, True),
+    ("kill-1-shard-local", (1,), None, False),
+]
+if QUICK:
+    SCENARIOS = [s for s in SCENARIOS if s[0] != "kill-2"]
+
+
+def build_world(seed, cross_shard):
+    world = ShardedWorld(
+        n_shards=N_SHARDS, seed=seed,
+        ft_params=FTParams(takeover_timeout=0.05,
+                           cross_shard_alternates=cross_shard))
+    for name in RING:
+        node = world.add_node(name)
+        bank = Bank("bank")
+        bank.seed_account("a", 1_000, overdraft=OverdraftPolicy.ALLOWED)
+        bank.seed_account("b", 1_000, overdraft=OverdraftPolicy.ALLOWED)
+        node.add_resource(bank)
+    for i, name in enumerate(RING):
+        if cross_shard:
+            # Round-robin placement: the next two ring nodes live in
+            # the two other shards.
+            world.set_alternates(name, RING[(i + 1) % N_NODES],
+                                 RING[(i + 2) % N_NODES])
+        else:
+            # The pre-PR posture: alternates confined to the same shard.
+            world.set_alternates(name, RING[(i + 3) % N_NODES])
+    return world
+
+
+def run_scenario(name, kills, restart_at, cross_shard, seed):
+    world = build_world(seed, cross_shard)
+    for offset, shard in enumerate(kills):
+        world.kill_shard(shard, at=KILL_AT + 0.005 * offset,
+                         restart_at=restart_at)
+    records = []
+    for a in range(N_AGENTS):
+        start = 3 * (a % 3)  # n0/n3/n6 — all shard 0, which survives
+        plan = [RING[(start + j) % N_NODES] for j in range(PLAN_LEN)]
+        agent = LinearAgent(f"xft-{name}-{seed}-{a}", plan)
+        records.append(world.launch(agent, at=plan[0], method="step",
+                                    protocol=Protocol.FAULT_TOLERANT))
+    # Bounded run: the degraded scenario retries against the dead shard
+    # forever (by design — that is the failure it demonstrates).
+    world.run(until=60.0)
+
+    finished = [r for r in records if r.status is AgentStatus.FINISHED]
+    debits = sum(
+        1_000 - world.node(n).get_resource("bank").peek("a")["balance"]
+        for n in RING)
+    # Each committed *tour* step (the wrap hop transfers nothing)
+    # debited one bank exactly once, wherever it executed.
+    committed_tour_steps = sum(min(r.steps_committed, PLAN_LEN)
+                               for r in records)
+    promotions = [t for w in world.shards
+                  for (t, _kind, _d) in w.metrics.events("ft-promotion")]
+    conflicts = sum(
+        w.metrics.count("ft.ledger.mirror_conflicts")
+        + w.metrics.count("ft.ledger.quorum_disagreement")
+        for w in world.shards)
+    makespan = max((r.finished_at for r in finished), default=None)
+    recovery = (min(p for p in promotions if p >= KILL_AT) - KILL_AT
+                if kills and promotions else None)
+    return {
+        "scenario": name,
+        "seed": seed,
+        "outage_rate": len(kills) / N_SHARDS,
+        "restarted": restart_at is not None,
+        "cross_shard_alternates": cross_shard,
+        "agents": len(records),
+        "finished": len(finished),
+        "completion_rate": len(finished) / len(records),
+        "debits": debits,
+        "expected_debits": 10 * committed_tour_steps,
+        "exactly_once": debits == 10 * committed_tour_steps,
+        "promotions": len(promotions),
+        "recovery_latency": recovery,
+        "makespan": makespan,
+        "ledger_agrees": world.ledger_quorum_agrees() and conflicts == 0,
+    }
+
+
+def test_eval_cross_shard_fault_tolerance(benchmark, record_table):
+    def sweep():
+        rows = []
+        for name, kills, restart_at, cross_shard in SCENARIOS:
+            for seed in SEEDS:
+                rows.append(run_scenario(name, kills, restart_at,
+                                         cross_shard, seed))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    for row in rows:
+        # Exactly-once effects and quorum agreement hold in *every*
+        # scenario — including the degraded one, where fewer agents
+        # finish but none double-executes.
+        assert row["exactly_once"], row
+        assert row["ledger_agrees"], row
+        if row["cross_shard_alternates"]:
+            # Cross-shard alternates: every outage rate completes fully.
+            assert row["completion_rate"] == 1.0, row
+        if row["scenario"] == "kill-1":
+            assert row["promotions"] >= 1, row
+            assert row["recovery_latency"] is not None, row
+    local = [r for r in rows if not r["cross_shard_alternates"]]
+    assert local and all(r["completion_rate"] < 1.0 for r in local), (
+        "shard-local alternates should strand work on a dead shard")
+
+    table_rows = [
+        [r["scenario"], r["seed"], f"{r['outage_rate']:.2f}",
+         "yes" if r["cross_shard_alternates"] else "no",
+         f"{r['completion_rate']:.2f}",
+         r["promotions"],
+         "-" if r["recovery_latency"] is None
+         else f"{r['recovery_latency']:.3f}",
+         "-" if r["makespan"] is None else f"{r['makespan']:.3f}",
+         "yes" if r["exactly_once"] else "NO"]
+        for r in rows]
+    table = format_table(
+        ["scenario", "seed", "outage rate", "x-shard alts",
+         "completion", "promotions", "recovery (s)", "makespan (s)",
+         "exactly once"],
+        table_rows,
+        title=f"EVAL-CROSS-SHARD-FT: {N_AGENTS} FT agents on {N_NODES} "
+              f"nodes / {N_SHARDS} kernels — completion and recovery "
+              f"vs whole-shard outage rate")
+    record_table("cross_shard_ft", table)
+
+    summary = {}
+    for name, *_rest in SCENARIOS:
+        per = [r for r in rows if r["scenario"] == name]
+        latencies = [r["recovery_latency"] for r in per
+                     if r["recovery_latency"] is not None]
+        summary[name] = {
+            "outage_rate": per[0]["outage_rate"],
+            "cross_shard_alternates": per[0]["cross_shard_alternates"],
+            "completion_rate": (sum(r["completion_rate"] for r in per)
+                                / len(per)),
+            "exactly_once": all(r["exactly_once"] for r in per),
+            "ledger_agrees": all(r["ledger_agrees"] for r in per),
+            "max_recovery_latency": max(latencies, default=None),
+            "max_makespan": max((r["makespan"] for r in per
+                                 if r["makespan"] is not None),
+                                default=None),
+        }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    JSON_PATH.write_text(json.dumps({
+        "bench": "cross_shard_fault_tolerance",
+        "quick_mode": QUICK,
+        "agents": N_AGENTS,
+        "seeds": list(SEEDS),
+        "kill_at": KILL_AT,
+        "scenarios": summary,
+        "rows": rows,
+    }, indent=2, sort_keys=True) + "\n")

@@ -11,7 +11,6 @@ true), the final agent state digest (always identical to the clean
 run), crash counts, transaction aborts, and latency inflation.
 """
 
-import pytest
 
 from repro import AgentStatus, RollbackMode
 from repro.bench import format_table, make_tour_plan, run_tour

@@ -7,7 +7,6 @@ bench regenerates that pipeline, checks its structural properties, and
 measures forward-execution cost as the tour length grows.
 """
 
-import pytest
 
 from repro import AgentStatus, RollbackMode
 from repro.bench import format_table, make_tour_plan, run_tour

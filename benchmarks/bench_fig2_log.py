@@ -7,7 +7,6 @@ exact structure for varying p, verifies the reverse-order property, and
 measures log operation cost and serialized entry sizes.
 """
 
-import pytest
 
 from repro.log.entries import (
     BeginOfStepEntry,

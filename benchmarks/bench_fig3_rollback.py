@@ -9,7 +9,6 @@ objects restored.  The bench regenerates exactly this scenario and
 checks every intermediate property the figure shows.
 """
 
-import pytest
 
 from repro import AgentStatus, MobileAgent, RollbackMode, World
 from repro.bench import format_table
@@ -58,7 +57,6 @@ class Fig3Agent(MobileAgent):
 
 
 def run_fig3(seed=3):
-    import repro.bench.workloads  # registers bench.undo_transfer
 
     world = World(seed=seed)
     banks = {}

@@ -8,7 +8,6 @@ moved and rollback latency — the linear-in-depth cost profile the
 optimized algorithm attacks.
 """
 
-import pytest
 
 from repro import AgentStatus, RollbackMode
 from repro.bench import format_table, make_tour_plan, run_tour

@@ -13,7 +13,6 @@ grow with agent state size (the heavier the agent, the more shipping
 entries beats shipping the agent).
 """
 
-import pytest
 
 from repro import AgentStatus, RollbackMode
 from repro.bench import format_table, make_tour_plan, run_tour

@@ -12,7 +12,6 @@ savepoint is discarded when SI4 completes, and completing a top-level
 sub-itinerary discards the whole log.
 """
 
-import pytest
 
 from repro import (
     AgentStatus,

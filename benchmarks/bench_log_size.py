@@ -15,7 +15,6 @@ bytes moved by migrations and the final log size:
   is truncated at each boundary; savepoints managed automatically).
 """
 
-import pytest
 
 from repro import (
     AgentStatus,
@@ -28,7 +27,6 @@ from repro import (
 )
 from repro.bench import format_table, make_tour_plan, run_tour
 from repro.bench.harness import build_tour_world
-from repro.agent.packages import RollbackMode
 
 N_NODES = 4
 N_STEPS = 12

@@ -10,7 +10,6 @@ changes) and SRO reconstruction cost (state is O(1) per restore,
 transition folds the diff chain).
 """
 
-import pytest
 
 from repro.bench import format_table
 from repro.log.entries import BeginOfStepEntry, EndOfStepEntry, SavepointEntry

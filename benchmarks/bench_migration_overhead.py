@@ -7,9 +7,8 @@ state vs rollback log share, across compensation-logging intensity and
 network speeds.
 """
 
-import pytest
 
-from repro import AgentStatus, RollbackMode
+from repro import AgentStatus
 from repro.agent.packages import Protocol
 from repro.bench import format_table, make_tour_plan, run_tour
 from repro.bench.harness import build_tour_world

@@ -1,0 +1,20 @@
+"""Shared results-dir resolution for the benches.
+
+Tables and JSON artifacts land in ``benchmarks/results/`` by default;
+the CI bench-regression gate redirects fresh emissions with
+``BENCH_RESULTS_DIR`` so they can be diffed against the committed
+baselines without overwriting them.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+
+def results_dir() -> pathlib.Path:
+    """The directory bench artifacts should be written to."""
+    override = os.environ.get("BENCH_RESULTS_DIR")
+    if override:
+        return pathlib.Path(override)
+    return pathlib.Path(__file__).resolve().parent / "results"

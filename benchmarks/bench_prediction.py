@@ -7,7 +7,6 @@ mixed-fraction sweep — the ablation showing the EOS mixed-flag carries
 exactly the information the optimized algorithm needs.
 """
 
-import pytest
 
 from repro import AgentStatus, RollbackMode
 from repro.bench import format_table, make_tour_plan

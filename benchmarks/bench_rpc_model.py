@@ -10,7 +10,6 @@ agent sizes, locates the crossover, and validates the decisions against
 measured costs in the simulator's network model.
 """
 
-import pytest
 
 from repro.bench import format_table
 from repro.core.decision import AccessPlan, DecisionModel

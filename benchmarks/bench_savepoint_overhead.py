@@ -10,7 +10,6 @@ rollback granularity bought (worst-case steps that must be compensated
 to reach the nearest savepoint).
 """
 
-import pytest
 
 from repro import AgentStatus
 from repro.bench import format_table, make_tour_plan, run_tour

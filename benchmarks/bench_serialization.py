@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import json
 import os
-import pathlib
 import time
 
 from repro.agent.packages import AgentPackage, PackageKind
@@ -40,7 +39,9 @@ from repro.log.entries import (
 from repro.log.rollback_log import RollbackLog
 from repro.storage.serialization import capture, size_of
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+from bench_paths import results_dir
+
+RESULTS_DIR = results_dir()
 JSON_PATH = RESULTS_DIR / "BENCH_serialization.json"
 
 QUICK = bool(os.environ.get("BENCH_QUICK"))

@@ -16,9 +16,6 @@ smoke runs.
 
 import json
 import os
-import pathlib
-
-import pytest
 
 from repro import AgentStatus, NetworkParams, RollbackMode, ShardedWorld
 from repro.agent.packages import Protocol
@@ -28,6 +25,8 @@ from repro.bench.workloads import TourAgent, TourPlan, make_tour_plan
 from repro.resources.bank import Bank, OverdraftPolicy
 from repro.resources.directory import InfoDirectory
 from repro.bench.workloads import BANK, DIRECTORY
+
+from bench_paths import results_dir
 
 QUICK = bool(os.environ.get("BENCH_QUICK"))
 
@@ -39,7 +38,7 @@ BASE_AGENTS = 4 if QUICK else 8
 SHARDED_AGENTS = 2 * BASE_AGENTS
 N_SHARDS = 4
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+RESULTS_DIR = results_dir()
 JSON_PATH = RESULTS_DIR / "BENCH_sharded_scale.json"
 
 
@@ -50,6 +49,9 @@ def record_json(section, payload):
     if JSON_PATH.exists():
         data = json.loads(JSON_PATH.read_text())
     data[section] = payload
+    # Top-level mode marker so the bench-regression gate can refuse to
+    # diff a quick-mode emission against a full-mode baseline.
+    data["quick_mode"] = QUICK
     JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
 
 

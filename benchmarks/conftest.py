@@ -9,11 +9,11 @@ can reference stable artifacts.
 
 from __future__ import annotations
 
-import pathlib
-
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+from bench_paths import results_dir
+
+RESULTS_DIR = results_dir()
 
 
 @pytest.fixture

@@ -37,6 +37,7 @@ from repro.errors import (
     ReproError,
     RollbackRequest,
 )
+from repro.exactly_once.fault_tolerant import FTParams
 from repro.itinerary import Itinerary, ItineraryAgent, StepEntry, SubItinerary
 from repro.log import LoggingMode, RollbackLog
 from repro.node import AgentRecord, AgentStatus, Node, ShardedWorld, World
@@ -72,6 +73,7 @@ __all__ = [
     "RollbackMode",
     "Protocol",
     "PackageKind",
+    "FTParams",
     "LoggingMode",
     "RollbackLog",
     "resource_compensation",

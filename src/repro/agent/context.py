@@ -26,7 +26,6 @@ import random
 from typing import TYPE_CHECKING, Any, Iterator, Optional
 
 from repro.errors import (
-    AgentFinished,
     NotCompensatable,
     RollbackRequest,
     StepAbortRequest,

@@ -107,9 +107,13 @@ class AgentPackage:
     # ``work_id`` uniquely identifies one unit of work so primary and
     # promoted-shadow executions exclude each other through the step
     # ledger; ``primary`` names the node originally responsible;
-    # ``promoted`` marks a shadow that took over.
+    # ``promoted`` marks a shadow that took over.  ``primary_shard`` is
+    # the placement of the primary in a sharded world — shadows carry
+    # it so a cross-shard alternate knows which kernel's outage it is
+    # watching for without a topology lookup (None when unsharded).
     work_id: int = field(default_factory=lambda: next(_WORK_IDS))
     primary: Optional[str] = None
+    primary_shard: Optional[int] = None
     promoted: bool = False
 
     @classmethod

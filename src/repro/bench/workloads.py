@@ -30,7 +30,7 @@ requested number of rollbacks has been observed, then finishes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.agent.agent import MobileAgent

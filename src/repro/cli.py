@@ -24,12 +24,7 @@ import argparse
 from typing import Optional, Sequence
 
 from repro.agent.packages import RollbackMode
-from repro.bench.harness import (
-    build_tour_world,
-    format_table,
-    rollback_latencies,
-    run_tour,
-)
+from repro.bench.harness import build_tour_world, format_table, run_tour
 from repro.bench.workloads import make_tour_plan
 from repro.sim.trace import describe_world, render_timeline
 
@@ -126,8 +121,7 @@ def cmd_predict(args) -> int:
     plan, world = _build(args)
     mode = RollbackMode(args.mode)
     agent = TourAgent(f"cli-predict-{args.seed}", plan)
-    record = world.launch(agent, at=plan.steps[0].node, method="run",
-                          mode=mode)
+    world.launch(agent, at=plan.steps[0].node, method="run", mode=mode)
     captured = {}
     driver = world.rollback_driver(mode)
     original = driver.start_rollback

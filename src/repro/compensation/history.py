@@ -20,7 +20,7 @@ are affine in the balance.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Iterable, Sequence
+from typing import Callable, Iterable, Sequence
 
 from repro.storage.serialization import capture, snapshot
 

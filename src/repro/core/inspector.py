@@ -19,14 +19,12 @@ rest.  The benchmarks validate prediction == measurement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
 
 from repro.agent.packages import RollbackMode
 from repro.errors import UsageError
 from repro.log.entries import (
     BeginOfStepEntry,
     EndOfStepEntry,
-    EntryKind,
     OperationEntry,
     OperationKind,
     SavepointEntry,

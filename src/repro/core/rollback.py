@@ -154,7 +154,14 @@ class RollbackDriverBase:
         node.queue.dequeue(tx, item.item_id)
 
         if package.protocol is Protocol.FAULT_TOLERANT:
-            outcome = world.ft.claim(tx, package.work_id, node.name)
+            try:
+                outcome = world.ft.claim(tx, package.work_id, node.name)
+            except LockConflict:
+                # A concurrent claimant (primary vs promoted shadow)
+                # holds the claim key on a shared ledger replica; abort
+                # and let the queue-driven retry re-read the ledger.
+                abort_and_count(node, tx, "claim-conflict")
+                return
             if outcome == "stale":
                 world.metrics.incr("ft.stale_discarded")
                 finalize(node, tx, label="discard-stale")
@@ -322,23 +329,14 @@ class RollbackDriverBase:
         control = agent.control
         if control is None:
             raise LogCorrupt("restored agent has no control record")
-        dest = control["node"]
-        promoted = False
-        if (package.protocol is Protocol.FAULT_TOLERANT
-                and not world.reachable(node.name, dest)):
-            # Ref [11]: the step "may be even restarted on another
-            # node" — divert the resume to a configured step alternate
-            # instead of waiting out the outage.
-            for alt in world.ft.step_alternates_for(dest):
-                if world.reachable(node.name, alt):
-                    world.metrics.incr("ft.step_diverted")
-                    dest = alt
-                    promoted = True
-                    break
+        # The resume step may divert around an unreachable destination
+        # under the FT protocol (shared with the forward step path).
+        dest, promoted = world.step_protocol.resolve_step_destination(
+            node, control["node"], package.protocol)
         new_package = AgentPackage.pack(
             PackageKind.STEP, agent, log, step_index=agent.step_count,
             mode=package.mode, protocol=package.protocol,
-            primary=control["node"], promoted=promoted)
+            primary=dest, promoted=promoted)
         world.step_protocol.ship(node, tx, new_package, dest)
         if dest != node.name:
             self._count_transfer(tx, package.agent_id, new_package,

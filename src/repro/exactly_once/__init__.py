@@ -17,6 +17,11 @@ rollback paper invokes in Section 4.3.
 """
 
 from repro.exactly_once.protocol import StepProtocol
-from repro.exactly_once.fault_tolerant import FaultTolerance
+from repro.exactly_once.fault_tolerant import (
+    BridgedFaultTolerance,
+    FaultTolerance,
+    FTParams,
+)
 
-__all__ = ["StepProtocol", "FaultTolerance"]
+__all__ = ["StepProtocol", "FaultTolerance", "BridgedFaultTolerance",
+           "FTParams"]

@@ -21,7 +21,7 @@ the input queue of the node that executed the aborted step".
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 from repro.agent.agent import MobileAgent
 from repro.agent.context import StepContext
@@ -75,7 +75,15 @@ class StepProtocol:
         node.queue.dequeue(tx, item.item_id)
 
         if package.protocol is Protocol.FAULT_TOLERANT:
-            outcome = world.ft.claim(tx, package.work_id, node.name)
+            try:
+                outcome = world.ft.claim(tx, package.work_id, node.name)
+            except LockConflict:
+                # A concurrent claimant (primary vs promoted shadow, or
+                # two promoted shadows in different shards) holds the
+                # claim key on a shared ledger replica.  Abort and let
+                # the queue-driven retry re-read the settled ledger.
+                abort_and_count(node, tx, "claim-conflict")
+                return
             if outcome == "stale":
                 # Someone else already committed this unit of work.
                 world.metrics.incr("ft.stale_discarded")
@@ -187,12 +195,13 @@ class StepProtocol:
             finalize(node, tx, on_committed=_finished, label="step-final")
             return
 
-        dest_name = next_hop["node"]
+        dest_name, promoted = self.resolve_step_destination(
+            node, next_hop["node"], package.protocol)
         new_package = AgentPackage.pack(
             PackageKind.STEP, agent, log,
             step_index=package.step_index + 1,
             mode=package.mode, protocol=package.protocol,
-            primary=dest_name)
+            primary=dest_name, promoted=promoted)
         self.ship(node, tx, new_package, dest_name)
 
         def _committed() -> None:
@@ -240,7 +249,33 @@ class StepProtocol:
                                   wro_payload=wro_payload), tx)
         world.metrics.incr("savepoints.written")
 
-    # -- shared shipping helper ---------------------------------------------------------
+    # -- shared shipping helpers ---------------------------------------------------------
+
+    def resolve_step_destination(self, node: "Node", dest: str,
+                                 protocol: Protocol) -> tuple[str, bool]:
+        """Divert a step hand-off around an unreachable destination.
+
+        Ref [11]: the step "may be even restarted on another node" —
+        under the fault-tolerant protocol an unreachable destination is
+        replaced by its first reachable configured step alternate
+        instead of retrying the distributed commit until it recovers.
+        In a sharded world the alternates prefer other shards, so this
+        is also how an itinerary routes around a whole-kernel outage it
+        is about to walk into.  Returns ``(destination, promoted)``;
+        the package's ``primary`` is the returned destination (the node
+        actually executing — what its shadows must watch).  Used by
+        both the forward step path and the rollback drivers' resume
+        path.
+        """
+        world = self.world
+        if (protocol is not Protocol.FAULT_TOLERANT
+                or world.reachable(node.name, dest)):
+            return dest, False
+        for alt in world.ft.step_alternates_for(dest):
+            if world.reachable(node.name, alt):
+                world.metrics.incr("ft.step_diverted")
+                return alt, True
+        return dest, False
 
     def ship(self, node: "Node", tx, package: AgentPackage,
              dest_name: str) -> None:

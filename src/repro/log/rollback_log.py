@@ -49,7 +49,6 @@ from repro.errors import LogCorrupt, UsageError
 from repro.log.entries import (
     BeginOfStepEntry,
     EndOfStepEntry,
-    EntryKind,
     LogEntry,
     OperationEntry,
     SavepointEntry,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.net.messages import Message
+from repro.net.transport import surface_give_up
 from repro.sim.timing import NetworkParams
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -107,13 +108,8 @@ class SimTransport:
 
     def _gave_up(self, message: Message,
                  on_gave_up: Optional[Callable[[Message], None]]) -> None:
-        self.metrics.incr("net.gave_up")
-        self.metrics.record(self.sim.now, "net-gave-up",
-                            message_kind=message.kind, src=message.src,
-                            dst=message.dst)
-        callback = on_gave_up if on_gave_up is not None else self.on_gave_up
-        if callback is not None:
-            callback(message)
+        surface_give_up(self.metrics, self.sim.now, message, on_gave_up,
+                        default=self.on_gave_up)
 
     def _attempt(self, message: Message,
                  on_delivered: Optional[Callable[[Message], None]],

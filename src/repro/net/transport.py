@@ -28,18 +28,50 @@ The split keeps delivery *semantics* (retries, partitions, per-kind
 metrics) in one place while letting cost/aggregation policy stack on
 top — a new fabric (e.g. a real socket transport) only has to satisfy
 this protocol.
+
+Give-up surfacing is shared: every path that abandons a message —
+the fabric's retry loop, a batch frame that splits and re-fails, or
+the cross-shard bridge mirroring path of
+:class:`~repro.node.sharded.CrossShardBridge` — funnels through
+:func:`surface_give_up`, so the ``net.gave_up`` counter, the
+``net-gave-up`` timeline event and the ``on_gave_up`` callback fire
+identically no matter which layer lost the message.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Optional, Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Callable, Optional, Protocol, \
+    runtime_checkable
 
 from repro.net.messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.metrics import Metrics
 
 #: Signature of a delivery handler installed per node.
 Handler = Callable[[Message], None]
 #: Signature of the delivery / give-up callbacks of one send.
 SendCallback = Callable[[Message], None]
+
+
+def surface_give_up(metrics: "Metrics", now: float, message: Message,
+                    on_gave_up: Optional[SendCallback],
+                    default: Optional[SendCallback] = None) -> None:
+    """Surface an abandoned message the way direct sends do.
+
+    One shared tail for every transfer path: increments ``net.gave_up``,
+    records the ``net-gave-up`` timeline event and invokes the per-send
+    ``on_gave_up`` callback (falling back to the transport-wide
+    ``default``).  Layered transports and the cross-shard bridge call
+    this instead of open-coding their own loss accounting, so a message
+    is never dropped silently regardless of which layer gave up on it.
+    """
+    metrics.incr("net.gave_up")
+    metrics.record(now, "net-gave-up", message_kind=message.kind,
+                   src=message.src, dst=message.dst)
+    callback = on_gave_up if on_gave_up is not None else default
+    if callback is not None:
+        callback(message)
 
 
 @runtime_checkable

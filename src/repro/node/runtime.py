@@ -27,9 +27,10 @@ deliveries through its bridge without touching any protocol code.
 
 from __future__ import annotations
 
+import dataclasses
 import enum
-from dataclasses import dataclass, field
-from typing import Any, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.agent.agent import MobileAgent
 from repro.agent.packages import (
@@ -57,6 +58,9 @@ from repro.sim.timing import (
 )
 from repro.tx.coordinator import CommitCoordinator
 from repro.tx.manager import Transaction
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.exactly_once.fault_tolerant import FTParams
 
 LEDGER_NODE = "__ledger__"
 
@@ -112,7 +116,10 @@ class World:
                  logging_mode: LoggingMode = LoggingMode.STATE,
                  registry: Optional[CompensationRegistry] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 ft_takeover_timeout: float = 1.0):
+                 ft_takeover_timeout: Optional[float] = None,
+                 ft_params: Optional["FTParams"] = None):
+        from repro.exactly_once.fault_tolerant import FTParams
+
         self.sim = Simulator(seed)
         self.metrics = Metrics()
         self.timing = timing
@@ -120,7 +127,14 @@ class World:
         self.logging_mode = LoggingMode(logging_mode)
         self.registry = registry if registry is not None else GLOBAL_REGISTRY
         self.retry_policy = retry_policy or RetryPolicy()
-        self.ft_takeover_timeout = ft_takeover_timeout
+        if ft_params is None:
+            ft_params = FTParams()
+        if ft_takeover_timeout is not None:
+            # Legacy knob, kept for existing call sites; overrides the
+            # corresponding FTParams field.
+            ft_params = dataclasses.replace(
+                ft_params, takeover_timeout=ft_takeover_timeout)
+        self.ft_params = ft_params
         self.failures = FailureInjector(self.sim)
         # The transport stack: the simulated fabric, with the batching
         # layer stacked on top when the world opts into coalescing.
@@ -141,14 +155,23 @@ class World:
         from repro.core.rollback import BasicRollback
         from repro.core.optimized import OptimizedRollback
         from repro.core.baseline import SagaRollback
-        from repro.exactly_once.fault_tolerant import FaultTolerance
         self.step_protocol = StepProtocol(self)
-        self.ft = FaultTolerance(self)
+        self.ft = self._make_fault_tolerance()
         self._drivers = {
             RollbackMode.BASIC: BasicRollback(self),
             RollbackMode.OPTIMIZED: OptimizedRollback(self),
             RollbackMode.SAGA: SagaRollback(self),
         }
+
+    def _make_fault_tolerance(self):
+        """FT driver factory; the sharded world installs the bridged one."""
+        from repro.exactly_once.fault_tolerant import FaultTolerance
+        return FaultTolerance(self)
+
+    @property
+    def ft_takeover_timeout(self) -> float:
+        """Legacy read alias — :attr:`ft_params` is the single source."""
+        return self.ft_params.takeover_timeout
 
     # -- topology -------------------------------------------------------------------
 
@@ -181,6 +204,16 @@ class World:
         if b == LEDGER_NODE:
             return self.failures.node_up(a)
         return self.transport.reachable(a, b)
+
+    def node_up(self, name: str) -> bool:
+        """Liveness of ``name`` as seen by this world's failure model.
+
+        The placement seam of the takeover watchdog: a plain world asks
+        its own injector; :class:`~repro.node.sharded.ShardWorld`
+        extends the answer to nodes hosted by other shards, so a shadow
+        can watch a primary in another kernel.
+        """
+        return self.failures.node_up(name)
 
     def deliver_package(self, tx: Transaction, package: AgentPackage,
                         dest_name: str) -> None:

@@ -13,7 +13,7 @@ Lockstep epochs
 Virtual clocks stay consistent through barrier synchronisation: the
 driver picks the next epoch barrier (a multiple of ``epoch``), advances
 every shard's kernel exactly to it (:meth:`Simulator.run_epoch`), then
-exchanges the packages that crossed shard boundaries during the epoch.
+exchanges the traffic that crossed shard boundaries during the epoch.
 A cross-shard migration commits in its source shard with the same
 transfer / 2PC-round / stable-write charges as a remote migration in a
 plain world; the durable enqueue at the destination is carried by the
@@ -26,27 +26,50 @@ next barrier (never reorders per-link, never drops), per-agent
 outcomes match an equivalent unsharded run of the same topology at the
 same seed.
 
-Failure semantics across shards differ from the in-world case in two
-bounded ways.  Reachability checks against a remote-shard node consult
-that shard's failure injector, whose state may lag the querying shard
-by at most one epoch (kernels only synchronise at barriers).  And the
-destination's *transaction manager* cannot be enlisted across kernels,
-so a destination crash inside the shipping commit window aborts the
-transaction in an unsharded run but lets it commit in a sharded one —
-the bridged package then simply waits in the durable queue for the
-recovery rescan.  Both paths are correct executions of the same
-deterministic agent program (exactly-once is arbitrated by the durable
-queues either way), so per-agent *outcomes* still agree; aggregate
-*counters* are only shard-count-invariant for crash-free runs.
+Besides agent packages the bridge now carries two further kinds of
+traffic for the fault-tolerant protocol: **shadow copies** bound for
+alternates in other shards (message semantics — retried across
+downtime, give-ups surfaced through the same
+:func:`~repro.net.transport.surface_give_up` path as direct sends,
+never silently dropped) and **ledger mirrors** that replicate step
+claims to every shard's ledger replica inside the epoch barrier (see
+:class:`~repro.exactly_once.fault_tolerant.BridgedFaultTolerance`).
 
-Scope notes: per-agent records are shared across shards (an agent may
-migrate anywhere), while fault-tolerant shadow replication and its step
-ledger stay shard-local — configure FT alternates within the shard of
-the node they back.
+Whole-shard outages
+-------------------
+
+:meth:`ShardedWorld.kill_shard` injects the failure mode a sharded
+deployment actually fears: at the kill instant every node of the shard
+crashes and the shard's *kernel* suspends
+(:meth:`Simulator.suspend`) — the dead kernel stops advancing while the
+surviving shards keep running, promote cross-shard shadows and complete
+itineraries exactly once.  An optional restart resumes the kernel at
+the restart time: the backlog replays (deliveries retry across the
+downtime, exactly like a node crash in a plain world), the ledger
+replica catches up from the bridge's mirror backlog, and the recovery
+rescan re-dispatches the durable queues — stale primaries then discard
+themselves against the replicated ledger.
+
+Failure semantics across shards differ from the in-world case in two
+bounded ways.  Reachability/liveness checks against a remote-shard node
+consult that shard's failure injector, whose state may lag the querying
+shard by at most one epoch (kernels only synchronise at barriers).  And
+the destination's *transaction manager* cannot be enlisted across
+kernels, so a destination crash inside the shipping commit window
+aborts the transaction in an unsharded run but lets it commit in a
+sharded one — the bridged package then simply waits in the durable
+queue for the recovery rescan.  Both paths are correct executions of
+the same deterministic agent program (exactly-once is arbitrated by the
+durable queues and the replicated step ledger either way), so per-agent
+*outcomes* still agree; aggregate *counters* are only
+shard-count-invariant for crash-free runs.
 
 Knobs: ``n_shards`` (kernel count), ``epoch`` (barrier spacing;
 defaults to the network latency, the natural lookahead of the fabric),
-plus everything a plain :class:`~repro.node.runtime.World` accepts.
+:meth:`kill_shard` (whole-kernel outage injection),
+``FTParams.cross_shard_alternates`` (prefer shadow placement in other
+shards), plus everything a plain :class:`~repro.node.runtime.World`
+accepts.
 """
 
 from __future__ import annotations
@@ -54,31 +77,50 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Optional
+from typing import TYPE_CHECKING, Any, Callable, Optional
 
 from repro.errors import UsageError
+from repro.net.transport import surface_give_up
 from repro.node.runtime import LEDGER_NODE, AgentRecord, World
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agent.agent import MobileAgent
     from repro.agent.packages import AgentPackage
+    from repro.net.messages import Message
     from repro.node.node import Node
     from repro.tx.manager import Transaction
 
 
 @dataclass
 class _Transfer:
-    """One package crossing a shard boundary."""
+    """One unit of traffic crossing a shard boundary."""
 
     at: float          # source-shard commit time
     seq: int           # global order among forwards of the same instant
+    kind: str          # "package" | "shadow" | "ledger"
     dest_shard: int
-    dest_name: str
-    package: "AgentPackage"
+    dest_name: str = ""
+    package: Optional["AgentPackage"] = None
+    message: Optional["Message"] = None        # shadow envelope
+    ledger_write: Optional[tuple] = None       # (work_id, holder)
+    max_retries: int = 0
+    retries: int = 0
+    source: Optional["ShardWorld"] = None
+    on_gave_up: Optional[Callable] = None
+
+
+@dataclass
+class _ShardOutage:
+    """One scheduled whole-shard outage (and optional restart)."""
+
+    shard: int
+    at: float
+    restart_at: Optional[float] = None
+    revived: bool = False
 
 
 class CrossShardBridge:
-    """Deterministic package exchange between shard kernels.
+    """Deterministic traffic exchange between shard kernels.
 
     Forwards accumulate while the shards run one epoch; at the barrier
     the driver flushes them, sorted by ``(commit time, sequence)``, into
@@ -86,13 +128,34 @@ class CrossShardBridge:
     into the shipping transaction (the commit instant includes it), so
     injection happens at the barrier — the bridge adds at most one
     epoch of staleness, never extra cost, and never reorders the
-    per-link package stream.
+    per-link stream.
+
+    Three kinds of traffic, three delivery contracts:
+
+    * **packages** — durable-queue semantics: always injected, even
+      into a suspended kernel (the enqueue fires when the kernel is
+      resumed; a shard that never restarts simply never sees it — the
+      outage the cross-shard shadows exist to survive);
+    * **shadows** — message semantics: a copy bound for a suspended
+      shard is retried at subsequent flushes, and exhausting its retry
+      budget surfaces the loss through
+      :func:`~repro.net.transport.surface_give_up` — the same
+      ``net.gave_up`` counter / timeline event / ``on_gave_up``
+      callback as a direct send, never a silent drop;
+    * **ledger mirrors** — replica semantics: applied to live replicas
+      at the barrier, banked for suspended ones and applied when the
+      shard's replica catches up at restart.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, n_shards: int) -> None:
+        self.n_shards = n_shards
         self._pending: list[_Transfer] = []
         self._seq = itertools.count()
+        self._ledger_backlog: dict[int, list[tuple]] = {}
         self.transfers_total = 0
+        #: Shadow copies abandoned after exhausting their flush-retry
+        #: budget (each was surfaced through the give-up path).
+        self.shadows_dropped = 0
 
     def pending(self) -> int:
         """Forwards awaiting the next barrier flush."""
@@ -101,22 +164,91 @@ class CrossShardBridge:
     def forward(self, dest_shard: int, dest_name: str,
                 package: "AgentPackage", at: float) -> None:
         """Hand a committed package to the bridge (source commit action)."""
-        self._pending.append(_Transfer(at=at, seq=next(self._seq),
-                                       dest_shard=dest_shard,
-                                       dest_name=dest_name, package=package))
+        self._pending.append(_Transfer(
+            at=at, seq=next(self._seq), kind="package",
+            dest_shard=dest_shard, dest_name=dest_name, package=package))
+
+    def forward_shadow(self, dest_shard: int, message: "Message",
+                       at: float, max_retries: int, source: "ShardWorld",
+                       on_gave_up: Optional[Callable] = None,
+                       retries: int = 0) -> None:
+        """Hand a committed FT shadow copy to the bridge.
+
+        ``retries`` carries over consumed budget when a dying kernel
+        sweeps an undelivered copy back onto the bridge.
+        """
+        self._pending.append(_Transfer(
+            at=at, seq=next(self._seq), kind="shadow",
+            dest_shard=dest_shard, dest_name=message.dst, message=message,
+            max_retries=max_retries, retries=retries, source=source,
+            on_gave_up=on_gave_up))
+
+    def forward_ledger(self, source_shard: int, work_id: int, holder: str,
+                       at: float) -> None:
+        """Mirror a committed ledger claim to every other replica."""
+        for dest in range(self.n_shards):
+            if dest == source_shard:
+                continue
+            self._pending.append(_Transfer(
+                at=at, seq=next(self._seq), kind="ledger", dest_shard=dest,
+                ledger_write=(work_id, holder)))
+
+    def catch_up(self, shard: int, world: "ShardWorld") -> int:
+        """Apply the mirror backlog to a restarted shard's replica."""
+        backlog = self._ledger_backlog.pop(shard, [])
+        for work_id, holder in backlog:
+            world.ft.apply_mirror(work_id, holder)
+        if backlog:
+            world.metrics.incr("ft.ledger.catch_up_applied", len(backlog))
+        return len(backlog)
 
     def flush(self, shards: list["ShardWorld"], barrier: float) -> int:
-        """Inject every pending forward into its destination kernel.
+        """Move every pending forward to its destination.
 
-        Runs between epochs, when every shard's clock sits exactly at
-        ``barrier``; deliveries are scheduled at the barrier instant in
-        deterministic order.  Returns the number of packages moved.
+        Runs between epochs, when every live shard's clock sits exactly
+        at ``barrier``; deliveries are scheduled at the barrier instant
+        in deterministic order.  Returns the number of transfers moved
+        (retained shadow retries for suspended shards don't count).
         """
         pending = self._pending
         self._pending = []
         pending.sort(key=lambda t: (t.at, t.seq))
+        retained: list[_Transfer] = []
+        moved = 0
         for transfer in pending:
             world = shards[transfer.dest_shard]
+            if transfer.kind == "ledger":
+                if world.sim.suspended:
+                    self._ledger_backlog.setdefault(
+                        transfer.dest_shard, []).append(transfer.ledger_write)
+                else:
+                    world.ft.apply_mirror(*transfer.ledger_write)
+                moved += 1
+                continue
+            if transfer.kind == "shadow":
+                if world.sim.suspended:
+                    transfer.retries += 1
+                    if transfer.retries > transfer.max_retries:
+                        # Surfaced as lost, not moved: transfers_total
+                        # counts only traffic that reached a shard.
+                        source = transfer.source
+                        surface_give_up(source.metrics, source.sim.now,
+                                        transfer.message,
+                                        transfer.on_gave_up)
+                        self.shadows_dropped += 1
+                    else:
+                        retained.append(transfer)
+                    continue
+                when = max(transfer.at, world.sim.now)
+                world.metrics.incr("bridge.shadows")
+                world.metrics.add_bytes("bridge.bytes",
+                                        transfer.message.size_bytes)
+                world.ft.receive_shadow(transfer.message,
+                                        transfer.max_retries,
+                                        transfer.retries, transfer.source,
+                                        transfer.on_gave_up, when)
+                moved += 1
+                continue
             when = max(transfer.at, world.sim.now)
             world.metrics.incr("bridge.transfers")
             world.metrics.add_bytes("bridge.bytes",
@@ -126,24 +258,47 @@ class CrossShardBridge:
                 lambda w=world, t=transfer:
                     w.node(t.dest_name).queue.enqueue(t.package),
                 label=f"bridge:{transfer.dest_name}")
-        self.transfers_total += len(pending)
-        return len(pending)
+            moved += 1
+        self._pending.extend(retained)
+        self.transfers_total += moved
+        return moved
 
 
 class ShardWorld(World):
     """One shard: a plain world whose remote deliveries may leave it.
 
-    Identical to :class:`~repro.node.runtime.World` except for the
-    delivery seam: a package whose destination node lives in another
-    shard is handed to the bridge as a commit action of the shipping
-    transaction, instead of being enqueued locally.
+    Identical to :class:`~repro.node.runtime.World` except for three
+    seams: the delivery seam (a package whose destination node lives in
+    another shard is handed to the bridge as a commit action of the
+    shipping transaction), the liveness seam (``node_up`` /
+    ``reachable`` consult the owning shard's failure injector for
+    foreign nodes), and the fault-tolerance driver (the bridged,
+    ledger-replicated variant).
     """
 
     def __init__(self, shard_index: int, sharded: "ShardedWorld",
                  **world_kwargs: Any):
-        super().__init__(**world_kwargs)
+        # Set before super().__init__: the FT factory runs inside it
+        # and needs the backrefs.
         self.shard_index = shard_index
         self._sharded = sharded
+        super().__init__(**world_kwargs)
+
+    def _make_fault_tolerance(self):
+        from repro.exactly_once.fault_tolerant import BridgedFaultTolerance
+        return BridgedFaultTolerance(self)
+
+    def node_up(self, name: str) -> bool:
+        """Liveness, extended to nodes hosted by other shards.
+
+        The answer for a foreign node may lag this kernel by at most
+        one epoch (kernels only synchronise at barriers).
+        """
+        if name != LEDGER_NODE and name not in self.nodes:
+            shard = self._sharded._node_shard.get(name)
+            if shard is not None:
+                return self._sharded.shards[shard].failures.node_up(name)
+        return super().node_up(name)
 
     def reachable(self, a: str, b: str) -> bool:
         """Reachability, extended to nodes hosted by other shards.
@@ -179,10 +334,10 @@ class ShardedWorld:
     """A simulated mobile-agent system partitioned across N kernels.
 
     The facade mirrors :class:`~repro.node.runtime.World` where it
-    matters (``add_node`` / ``launch`` / ``run`` / ``agents``), so
-    benches can swap one for the other.  ``n_shards=1`` runs the same
-    code path with the bridge idle — the reference configuration the
-    determinism tests compare against.
+    matters (``add_node`` / ``launch`` / ``run`` / ``agents`` /
+    ``set_alternates``), so benches can swap one for the other.
+    ``n_shards=1`` runs the same code path with the bridge idle — the
+    reference configuration the determinism tests compare against.
     """
 
     def __init__(self, n_shards: int = 2, seed: int = 0,
@@ -197,7 +352,16 @@ class ShardedWorld:
         if epoch <= 0:
             raise UsageError(f"epoch must be positive, got {epoch}")
         self.epoch = epoch
-        self.bridge = CrossShardBridge()
+        self.bridge = CrossShardBridge(n_shards)
+        self._node_shard: dict[str, int] = {}
+        #: Step-alternate policy shared by every shard's FT driver: the
+        #: shipping shard must know the alternates of destinations it
+        #: does not host.
+        self.ft_alternates: dict[str, tuple[str, ...]] = {}
+        #: Virtual time of the most recent bridge flush — the takeover
+        #: watchdog's mirror-settlement guard reads it.
+        self.last_flush_at = float("-inf")
+        self._outages: list[_ShardOutage] = []
         #: Per-agent records, shared by every shard world: an agent may
         #: migrate to any shard, and whichever shard executes its steps
         #: updates the same record.
@@ -208,7 +372,6 @@ class ShardedWorld:
                                seed=seed + 100_003 * index, **world_kwargs)
             world.agents = self.agents
             self.shards.append(world)
-        self._node_shard: dict[str, int] = {}
         self.epochs_run = 0
 
     # -- topology -------------------------------------------------------------------
@@ -243,6 +406,84 @@ class ShardedWorld:
     def node(self, name: str) -> "Node":
         return self.world_of(name).node(name)
 
+    def set_alternates(self, node: str, *alternates: str) -> None:
+        """Declare step alternates for ``node``, visible to all shards.
+
+        With ``FTParams.cross_shard_alternates`` (the default) the FT
+        drivers prefer the alternates hosted by other shards, so shadow
+        redundancy survives a whole-kernel outage.
+        """
+        self.ft_alternates[node] = tuple(alternates)
+
+    # -- whole-shard failure injection ------------------------------------------------
+
+    def kill_shard(self, shard: int, at: float,
+                   restart_at: Optional[float] = None) -> None:
+        """Schedule a whole-kernel outage of ``shard`` at time ``at``.
+
+        At the kill instant every node hosted by the shard crashes
+        (in-flight transactions abort with full undo) and the shard's
+        kernel suspends — it stops advancing, so nothing in it runs
+        while the surviving shards promote cross-shard shadows.  With
+        ``restart_at`` the kernel resumes at that time: its nodes
+        recover, the ledger replica catches up from the bridge's mirror
+        backlog, and the recovery rescan re-dispatches the durable
+        queues (stale primaries then discard themselves against the
+        replicated ledger).  Without it the shard stays dead for the
+        rest of the run.
+        """
+        if not 0 <= shard < self.n_shards:
+            raise UsageError(f"no shard {shard} (have {self.n_shards})")
+        world = self.shards[shard]
+        if at < world.sim.now:
+            raise UsageError(f"cannot kill shard {shard} in the past "
+                             f"(at={at}, now={world.sim.now})")
+        if restart_at is not None and restart_at <= at:
+            raise UsageError(f"restart_at ({restart_at}) must be after "
+                             f"the kill time ({at})")
+        self._outages.append(_ShardOutage(shard=shard, at=at,
+                                          restart_at=restart_at))
+        world.sim.schedule_at(at, lambda: self._kill_now(shard),
+                              label=f"kill-shard:{shard}", priority=-100)
+
+    def _kill_now(self, shard: int) -> None:
+        world = self.shards[shard]
+        for name, placed in self._node_shard.items():
+            if placed == shard:
+                world.failures.force_crash(name)
+        # Bridged shadows accepted at a barrier but not yet adopted
+        # would strand in the frozen kernel; hand them back to the
+        # bridge so they are delivered after a restart or surfaced.
+        world.ft.sweep_inbound_shadows()
+        world.metrics.incr("shard.kills")
+        world.metrics.record(world.sim.now, "shard-killed", shard=shard)
+        world.sim.suspend()
+
+    def _revive(self, outage: _ShardOutage) -> None:
+        world = self.shards[outage.shard]
+        outage.revived = True
+        world.sim.resume()
+        names = [n for n, placed in self._node_shard.items()
+                 if placed == outage.shard]
+
+        def _recover() -> None:
+            # Replica catch-up first, so recovered dispatches see the
+            # settled ledger before re-executing anything.
+            self.bridge.catch_up(outage.shard, world)
+            world.metrics.incr("shard.restarts")
+            world.metrics.record(world.sim.now, "shard-restarted",
+                                 shard=outage.shard)
+            for name in names:
+                world.failures.force_recover(name)
+
+        world.sim.schedule_at(outage.restart_at, _recover,
+                              label=f"restart-shard:{outage.shard}",
+                              priority=-10)
+
+    def shard_alive(self, shard: int) -> bool:
+        """False while ``shard``'s kernel is suspended by an outage."""
+        return not self.shards[shard].sim.suspended
+
     # -- agent management -----------------------------------------------------------------
 
     def launch(self, agent: "MobileAgent", at: str, method: str,
@@ -268,6 +509,12 @@ class ShardedWorld:
         """The lockstep virtual clock (all shards agree at barriers)."""
         return max(world.sim.now for world in self.shards)
 
+    def _due_restarts(self) -> list[_ShardOutage]:
+        """Outages with a pending restart of an already-dead kernel."""
+        return [o for o in self._outages
+                if o.restart_at is not None and not o.revived
+                and self.shards[o.shard].sim.suspended]
+
     def run(self, until: Optional[float] = None,
             max_epochs: int = 1_000_000,
             max_events_per_epoch: int = 10_000_000) -> None:
@@ -275,33 +522,53 @@ class ShardedWorld:
 
         Each iteration: pick the next barrier on the epoch grid (skipping
         grid points no shard has work before — the barrier sequence is a
-        pure function of event times, so runs stay deterministic),
-        advance every shard to it, then flush the bridge.
+        pure function of event times and outage schedules, so runs stay
+        deterministic), revive shards whose restart falls inside the
+        epoch, advance every live shard to the barrier, then flush the
+        bridge.  Suspended kernels are skipped — a dead shard stops
+        advancing — but their scheduled restarts count as work, so a run
+        never terminates with a revival pending.
         """
         for _ in range(max_epochs):
-            next_times = [t for t in (w.sim.peek_time() for w in self.shards)
+            running = [w for w in self.shards if not w.sim.suspended]
+            next_times = [t for t in (w.sim.peek_time() for w in running)
                           if t is not None]
+            next_times += [o.restart_at for o in self._due_restarts()]
             if not next_times:
                 if self.bridge.pending():
-                    # Defensive: a forward committed on the last epoch's
-                    # final event must still reach its destination.
+                    # Retained shadow retries and forwards committed on
+                    # the last epoch's final event must still resolve.
                     self.bridge.flush(self.shards, self.now)
+                    self.last_flush_at = self.now
                     continue
-                return  # every kernel drained, nothing left to bridge
+                return  # every live kernel drained, nothing left to bridge
             soonest = min(next_times)
             if until is not None and soonest > until:
-                for world in self.shards:
+                for world in running:
                     world.sim.run_epoch(max(until, world.sim.now))
                 return
             barrier = self.epoch * math.ceil(soonest / self.epoch)
             if barrier < soonest:  # float guard: stay at-or-after the event
                 barrier += self.epoch
+            # A revival may be due before the clocks of the running
+            # shards (they advanced while the dead kernel froze); the
+            # barrier can never move backwards.
+            floor_now = max((w.sim.now for w in running),
+                            default=self.now)
+            while barrier < floor_now:
+                barrier += self.epoch
             if until is not None and barrier > until:
                 barrier = until
+            for outage in self._due_restarts():
+                if outage.restart_at <= barrier:
+                    self._revive(outage)
             for world in self.shards:
+                if world.sim.suspended:
+                    continue
                 world.sim.run_epoch(barrier,
                                     max_events=max_events_per_epoch)
             self.bridge.flush(self.shards, barrier)
+            self.last_flush_at = barrier
             self.epochs_run += 1
         raise UsageError(
             f"sharded run exceeded {max_epochs} epochs; likely livelock")
@@ -347,3 +614,36 @@ class ShardedWorld:
     def events_processed(self) -> int:
         """Total kernel events fired across all shards."""
         return sum(world.sim.events_processed for world in self.shards)
+
+    # -- ledger inspection (tests / benches) -------------------------------------------------
+
+    def ledger_claims(self) -> dict[int, dict[int, str]]:
+        """Every replica's view of every claim: work_id -> shard -> holder."""
+        claims: dict[int, dict[int, str]] = {}
+        for world in self.shards:
+            for key in world.ft.ledger.keys():
+                if isinstance(key, tuple) and key and key[0] == "claim":
+                    claims.setdefault(key[1], {})[world.shard_index] = \
+                        world.ft.ledger.get(key)
+        return claims
+
+    def ledger_quorum_agrees(self) -> bool:
+        """Do the live replicas agree on every claim, with a majority?
+
+        The post-run invariant of the bridged ledger: each claimed
+        ``work_id`` has exactly one holder across the live replicas,
+        and a majority of them hold it (dead replicas may be behind —
+        they catch up at restart).
+        """
+        alive = {w.shard_index for w in self.shards if not w.sim.suspended}
+        if not alive:
+            return True
+        need = len(alive) // 2 + 1
+        for replicas in self.ledger_claims().values():
+            holders = [holder for shard, holder in replicas.items()
+                       if shard in alive]
+            if not holders:
+                continue  # only dead replicas hold it — unresolvable now
+            if len(set(holders)) != 1 or len(holders) < need:
+                return False
+        return True

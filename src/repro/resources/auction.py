@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import CompensationFailed, NotCompensatable, UsageError
+from repro.errors import CompensationFailed, UsageError
 from repro.resources.base import TransactionalResource
 from repro.tx.manager import Transaction
 

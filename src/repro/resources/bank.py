@@ -19,7 +19,6 @@ checks exact.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import CompensationFailed, UsageError
 from repro.resources.base import TransactionalResource

@@ -14,7 +14,7 @@ refuses to roll back across such a step
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from repro.errors import UsageError
 from repro.resources.base import TransactionalResource

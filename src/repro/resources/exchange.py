@@ -16,7 +16,6 @@ mint.  An optional spread makes round trips lossy, another source of
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.errors import UsageError
 from repro.resources.base import TransactionalResource

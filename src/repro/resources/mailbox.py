@@ -16,7 +16,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Optional
 
-from repro.errors import CompensationFailed, UsageError
+from repro.errors import CompensationFailed
 from repro.resources.base import TransactionalResource
 from repro.tx.manager import Transaction
 

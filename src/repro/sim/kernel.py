@@ -63,6 +63,7 @@ class Simulator:
         self._queue: list[tuple[float, int, int, Event]] = []
         self._seq = itertools.count()
         self._running = False
+        self._suspended = False
         self.events_processed = 0
 
     # -- scheduling ---------------------------------------------------------
@@ -106,6 +107,8 @@ class Simulator:
         """
         if self._running:
             raise UsageError("simulator is not re-entrant")
+        if self._suspended:
+            raise UsageError("simulator is suspended (dead kernel)")
         self._running = True
         try:
             fired = 0
@@ -120,6 +123,12 @@ class Simulator:
                 self.now = time
                 event.fn()
                 self.events_processed += 1
+                if self._suspended:
+                    # The event halted this kernel (whole-shard outage):
+                    # stop immediately, freezing the clock at the halt
+                    # instant.  Remaining events stay queued; they fire
+                    # only if the kernel is resumed and advanced again.
+                    return
                 fired += 1
                 if fired >= max_events:
                     raise UsageError(
@@ -135,6 +144,29 @@ class Simulator:
         return sum(1 for *_xs, e in self._queue if not e.cancelled)
 
     # -- epoch / barrier hooks (sharded multi-world execution) --------------
+
+    @property
+    def suspended(self) -> bool:
+        """True while the kernel is halted (a dead shard's machine)."""
+        return self._suspended
+
+    def suspend(self) -> None:
+        """Halt the kernel at the current instant.  Idempotent.
+
+        Models a whole-kernel outage in a sharded run: the clock
+        freezes, queued events stay pending, and :meth:`run` /
+        :meth:`run_epoch` refuse to advance until :meth:`resume`.  When
+        called from *inside* an event callback the run loop stops right
+        after that callback returns, so the kill event is the last
+        thing the dying kernel executes.  Scheduling onto a suspended
+        kernel stays legal — durable deliveries may be addressed to a
+        dead shard and fire after it is resumed.
+        """
+        self._suspended = True
+
+    def resume(self) -> None:
+        """Lift a :meth:`suspend`.  The backlog runs on the next advance."""
+        self._suspended = False
 
     def peek_time(self) -> Optional[float]:
         """Virtual time of the next live event (None when idle).

@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import enum
 import itertools
-from typing import TYPE_CHECKING, Callable, Hashable, Optional
+from typing import TYPE_CHECKING, Callable, Hashable
 
 from repro.errors import TransactionAborted, UsageError
 

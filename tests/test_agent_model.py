@@ -2,8 +2,8 @@
 
 import pytest
 
-from repro import MobileAgent, World
-from repro.agent.packages import AgentPackage, PackageKind, RollbackMode
+from repro import MobileAgent
+from repro.agent.packages import AgentPackage, PackageKind
 from repro.errors import UsageError
 from repro.log.rollback_log import RollbackLog
 from repro.node.runtime import AgentStatus

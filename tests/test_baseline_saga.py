@@ -6,11 +6,9 @@ spend on next use) and silently discards refunds — the paper's
 mechanism handles both correctly.
 """
 
-import pytest
 
 from repro import (
     AgentStatus,
-    Bank,
     Mint,
     MobileAgent,
     RollbackMode,

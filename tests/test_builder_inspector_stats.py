@@ -2,15 +2,14 @@
 
 import pytest
 
-from repro import AgentStatus, Itinerary, RollbackMode, StepEntry, SubItinerary
-from repro.bench import make_tour_plan, run_tour
+from repro import AgentStatus, RollbackMode, SubItinerary
+from repro.bench import make_tour_plan
 from repro.bench.stats import percentile, summarize
 from repro.bench.workloads import TourAgent
 from repro.core.inspector import format_log, predict_rollback
 from repro.errors import ItineraryError, UsageError
 from repro.itinerary.builder import format_itinerary, parse_itinerary
 
-from tests.helpers import build_line_world
 
 
 # -- DSL ------------------------------------------------------------------------
@@ -121,11 +120,10 @@ def test_prediction_matches_measurement(mode, mixed):
 def test_format_log_renders_every_entry_kind():
     plan, _ = make_logged_world(0.5)
     from repro.bench.harness import build_tour_world
-    from repro.log.entries import SavepointEntry
 
     world = build_tour_world(5, seed=32)
     agent = TourAgent("render", plan)
-    record = world.launch(agent, at=plan.steps[0].node, method="run")
+    world.launch(agent, at=plan.steps[0].node, method="run")
     captured = {}
     original = world.rollback_driver(RollbackMode.BASIC).start_rollback
 

@@ -81,8 +81,7 @@ def test_render_tree_shows_hierarchy():
     assert "SI3" in text and "SI4" in text
     assert "s4()/n2" in text
     # SI4's children are indented deeper than SI3.
-    si3_line = next(l for l in text.splitlines() if "SI3" in l)
-    s5_line = next(l for l in text.splitlines() if "s5()" in l)
+    s5_line = next(line for line in text.splitlines() if "s5()" in line)
     assert len(s5_line) - len(s5_line.lstrip("│ ├└─")) > 0
 
 

@@ -1,0 +1,90 @@
+"""The bench-regression gate must pass on identical artifacts and fail
+on artificially degraded ones (the CI job's contract)."""
+
+import importlib.util
+import json
+import pathlib
+import shutil
+import sys
+
+import pytest
+
+BENCHMARKS = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+BASELINES = BENCHMARKS / "results"
+
+spec = importlib.util.spec_from_file_location(
+    "compare_bench", BENCHMARKS / "compare_bench.py")
+compare_bench = importlib.util.module_from_spec(spec)
+# dataclasses resolves annotations through sys.modules at class
+# creation, so the module must be registered before exec.
+sys.modules["compare_bench"] = compare_bench
+spec.loader.exec_module(compare_bench)
+
+GATED_FILES = sorted({s.file for s in compare_bench.SPECS})
+
+
+@pytest.fixture
+def fresh_copy(tmp_path):
+    """A fresh-results dir that is byte-identical to the baselines."""
+    fresh = tmp_path / "fresh"
+    fresh.mkdir()
+    for name in GATED_FILES:
+        shutil.copy(BASELINES / name, fresh / name)
+    return fresh
+
+
+def test_baselines_exist_for_every_gated_file():
+    for name in GATED_FILES:
+        assert (BASELINES / name).exists(), name
+
+
+def test_identical_artifacts_pass(fresh_copy, tmp_path):
+    report = tmp_path / "report.md"
+    code = compare_bench.main(["--fresh", str(fresh_copy),
+                               "--baseline", str(BASELINES),
+                               "--report", str(report)])
+    assert code == 0
+    assert "**PASS**" in report.read_text()
+
+
+def test_degraded_artifact_fails(fresh_copy, tmp_path):
+    path = fresh_copy / "BENCH_serialization.json"
+    data = json.loads(path.read_text())
+    data["speedup"] = 1.1  # the incremental win evaporated
+    path.write_text(json.dumps(data))
+    report = tmp_path / "report.md"
+    code = compare_bench.main(["--fresh", str(fresh_copy),
+                               "--baseline", str(BASELINES),
+                               "--report", str(report)])
+    assert code == 1
+    text = report.read_text()
+    assert "**FAIL**" in text
+    assert "speedup" in text and "FAIL" in text
+
+
+def test_degraded_invariant_fails(fresh_copy):
+    path = fresh_copy / "BENCH_cross_shard_ft.json"
+    data = json.loads(path.read_text())
+    data["scenarios"]["kill-1"]["completion_rate"] = 0.8
+    data["scenarios"]["kill-1"]["exactly_once"] = False
+    path.write_text(json.dumps(data))
+    code = compare_bench.main(["--fresh", str(fresh_copy),
+                               "--baseline", str(BASELINES)])
+    assert code == 1
+
+
+def test_missing_fresh_artifact_is_a_gate_error(fresh_copy):
+    (fresh_copy / "BENCH_sharded_scale.json").unlink()
+    code = compare_bench.main(["--fresh", str(fresh_copy),
+                               "--baseline", str(BASELINES)])
+    assert code == 2
+
+
+def test_quick_full_mode_mismatch_is_a_gate_error(fresh_copy):
+    path = fresh_copy / "BENCH_serialization.json"
+    data = json.loads(path.read_text())
+    data["quick_mode"] = True
+    path.write_text(json.dumps(data))
+    code = compare_bench.main(["--fresh", str(fresh_copy),
+                               "--baseline", str(BASELINES)])
+    assert code == 2

@@ -6,9 +6,8 @@ resource state affected by the step which has to be compensated or the
 resource state after the compensation has taken place".
 """
 
-import pytest
 
-from repro import AgentStatus, MobileAgent, RollbackMode, World
+from repro import AgentStatus, MobileAgent, RollbackMode
 from repro.compensation.registry import resource_compensation
 
 from tests.helpers import LinearAgent, bank_of, build_line_world

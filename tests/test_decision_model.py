@@ -1,6 +1,5 @@
 """Unit tests: the RPC-vs-migration decision model (ref [16])."""
 
-import pytest
 
 from repro.core.decision import AccessPlan, DecisionModel
 from repro.sim.timing import NetworkParams

@@ -5,9 +5,8 @@ appear in the resources exactly once per committed execution, the agent
 is never lost and never duplicated.
 """
 
-import pytest
 
-from repro import AgentStatus, World
+from repro import AgentStatus
 from repro.sim.failures import CrashPlan
 
 from tests.helpers import LinearAgent, bank_of, build_line_world

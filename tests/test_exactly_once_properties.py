@@ -6,7 +6,6 @@ exactly once, the agent is neither lost nor duplicated, and the final
 agent state equals the crash-free run's.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -35,7 +34,6 @@ def run_world(plans, n_nodes=4, seed=0, protocol=Protocol.BASIC,
     # Drop overlapping outages for the same node (the injector ignores
     # a crash of an already-down node, but recovery pairing must stay
     # sane for the test's own bookkeeping).
-    seen = []
     filtered = []
     for plan in sorted(plans, key=lambda p: p.at):
         if all(not (p.node == plan.node

@@ -17,6 +17,7 @@ EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
     "fault_injection.py",
     "travel_agency.py",
     "active_messaging.py",
+    "cross_shard_outage.py",
 ])
 def test_example_runs_clean(script):
     path = EXAMPLES / script

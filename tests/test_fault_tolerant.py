@@ -1,8 +1,7 @@
 """Integration tests: fault-tolerant protocol (shadows + step ledger)."""
 
-import pytest
 
-from repro import AgentStatus, Bank, MobileAgent, RollbackMode, World
+from repro import AgentStatus, RollbackMode
 from repro.agent.packages import Protocol
 from repro.sim.failures import CrashPlan
 

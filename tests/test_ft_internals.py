@@ -1,9 +1,7 @@
 """Unit-level tests: fault-tolerance internals (shadows, watchdog)."""
 
-import pytest
 
-from repro import RollbackMode
-from repro.agent.packages import AgentPackage, PackageKind, Protocol
+from repro.agent.packages import AgentPackage, PackageKind
 from repro.log.rollback_log import RollbackLog
 
 from tests.helpers import LinearAgent, build_line_world
@@ -59,21 +57,17 @@ def test_shadow_discarded_once_work_claimed():
 
 
 def test_shadow_expires_after_max_rounds():
-    from repro.exactly_once import fault_tolerant as ft_mod
+    from repro import FTParams
 
-    world = build_line_world(3, ft_takeover_timeout=0.01)
-    original = ft_mod.MAX_TAKEOVER_ROUNDS
-    ft_mod.MAX_TAKEOVER_ROUNDS = 3
-    try:
-        package = make_package("ft-expire", primary="n1")
-        # Primary stays up and never claims: the shadow must expire.
-        world.ft.ship_shadows(world.node("n0"), package, ("n2",))
-        world.run(until=2.0)
-        assert len(world.node("n2").queue) == 0
-        assert world.metrics.count("ft.shadows_discarded") == 1
-        assert world.ft.promotions == 0
-    finally:
-        ft_mod.MAX_TAKEOVER_ROUNDS = original
+    world = build_line_world(
+        3, ft_params=FTParams(takeover_timeout=0.01, max_takeover_rounds=3))
+    package = make_package("ft-expire", primary="n1")
+    # Primary stays up and never claims: the shadow must expire.
+    world.ft.ship_shadows(world.node("n0"), package, ("n2",))
+    world.run(until=2.0)
+    assert len(world.node("n2").queue) == 0
+    assert world.metrics.count("ft.shadows_discarded") == 1
+    assert world.ft.promotions == 0
 
 
 def test_promotion_requires_primary_down_and_unclaimed():

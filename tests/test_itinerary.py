@@ -6,10 +6,8 @@ from repro import (
     AgentStatus,
     Itinerary,
     ItineraryAgent,
-    RollbackMode,
     StepEntry,
     SubItinerary,
-    World,
     agent_compensation,
 )
 from repro.errors import ItineraryError
@@ -99,7 +97,6 @@ def test_itinerary_executes_in_order_and_truncates_log():
     # One truncation per completed top-level sub-itinerary.
     assert world.metrics.count("log.truncations") == 2
     # The finished agent carries an empty log.
-    from repro.storage.serialization import capture
     assert record.final_agent is not None
 
 

@@ -1,6 +1,5 @@
 """Property tests: itinerary DSL round-trips and execution order."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -4,13 +4,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.log.entries import BeginOfStepEntry, EndOfStepEntry, SavepointEntry
-from repro.log.modes import (
-    LoggingMode,
-    SRODiff,
-    sro_apply,
-    sro_compose,
-    sro_diff,
-)
+from repro.log.modes import LoggingMode, sro_apply, sro_compose, sro_diff
 from repro.log.rollback_log import RollbackLog
 
 # SRO spaces: flat string keys to small picklable values.

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AgentStatus, MobileAgent, RollbackMode, World
+from repro import AgentStatus, MobileAgent, RollbackMode
 from repro.compensation.registry import resource_compensation
 from repro.errors import CompensationFailed, UsageError
 from repro.node.runtime import RetryPolicy

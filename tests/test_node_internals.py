@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import AgentStatus, MobileAgent, RollbackMode, World
+from repro import AgentStatus, RollbackMode
 from repro.agent.packages import AgentPackage, PackageKind
 from repro.errors import UsageError
 from repro.log.rollback_log import RollbackLog
@@ -72,7 +72,7 @@ def test_misrouted_package_fails_agent():
 def test_corrupt_blob_fails_agent_cleanly():
     world = build_line_world(1)
     agent = LinearAgent("corrupt", ["n0"])
-    record = world.launch(agent, at="n0", method="step")
+    world.launch(agent, at="n0", method="step")
     item = world.node("n0").queue.head()
     item.payload.blob = b"garbage"
     with pytest.raises(Exception):

@@ -1,6 +1,5 @@
 """Integration tests: network partitions (temporary, per the paper)."""
 
-import pytest
 
 from repro import AgentStatus, RollbackMode
 from repro.sim.failures import PartitionPlan

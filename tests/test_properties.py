@@ -9,7 +9,6 @@ These quantify the paper's invariants over generated scenarios:
 * the rollback log of a finished agent is empty of that tour's frames.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -71,7 +70,6 @@ def test_rollback_conserves_bank_money(params):
     plan = make_plan(params)
     world = build_tour_world(params["n_nodes"], seed=params["seed"])
     before = bank_total(world, params["n_nodes"])
-    mixed_withdrawn = 0
     result = run_tour(plan, params["n_nodes"], mode=RollbackMode.BASIC,
                       seed=params["seed"], world=world)
     assert result.status is AgentStatus.FINISHED

@@ -1,8 +1,7 @@
 """Integration tests: the basic rollback mechanism (Fig 4, Section 4.3)."""
 
-import pytest
 
-from repro import AgentStatus, MobileAgent, RollbackMode, World
+from repro import AgentStatus, MobileAgent, RollbackMode
 from repro.compensation.registry import agent_compensation
 
 from tests.helpers import LinearAgent, bank_of, build_line_world

@@ -1,6 +1,5 @@
 """Edge-case integration tests for the rollback mechanisms."""
 
-import pytest
 
 from repro import (
     AgentStatus,
@@ -10,7 +9,6 @@ from repro import (
     RollbackMode,
     StepEntry,
     SubItinerary,
-    World,
 )
 from repro.core.checker import assert_clean
 

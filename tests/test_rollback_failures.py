@@ -1,8 +1,7 @@
 """Integration tests: rollback under failures (Section 4.3 guarantees)."""
 
-import pytest
 
-from repro import AgentStatus, MobileAgent, RollbackMode, World
+from repro import AgentStatus, MobileAgent, RollbackMode
 from repro.bench import make_tour_plan, run_tour
 from repro.bench.harness import build_tour_world
 from repro.node.runtime import RetryPolicy

@@ -10,7 +10,6 @@ from repro.log.entries import (
     OperationKind,
     SavepointEntry,
 )
-from repro.log.modes import LoggingMode
 from repro.log.rollback_log import RollbackLog
 from repro.tx.manager import Transaction
 

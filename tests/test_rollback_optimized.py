@@ -97,8 +97,6 @@ def test_concurrency_saving_observed():
                           mixed_fraction=0.0, ace_fraction=0.5,
                           rollback_depth=5)
     result = run_tour(plan, 5, mode=RollbackMode.OPTIMIZED, seed=5)
-    savings = result.metrics.get("rollback.concurrency_saving")
-    # metric recorded as a series; check the counter exists via metrics
     assert result.status is AgentStatus.FINISHED
 
 

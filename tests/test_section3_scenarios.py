@@ -5,7 +5,6 @@ treatment: two agents (or an agent and an external transaction) racing
 on shared resources, with the paper's predicted outcome asserted.
 """
 
-import pytest
 
 from repro import (
     AgentStatus,

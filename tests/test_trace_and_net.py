@@ -1,6 +1,5 @@
 """Tests: tracer/diagnostics and network-layer behaviours."""
 
-import pytest
 
 from repro import AgentStatus, RollbackMode
 from repro.sim.failures import CrashPlan

@@ -19,7 +19,7 @@ from repro import (
 from repro.bench import make_tour_plan, run_tour
 from repro.bench.harness import build_tour_world
 
-from tests.helpers import LinearAgent, bank_of, build_line_world
+from tests.helpers import LinearAgent, build_line_world
 from tests.test_itinerary import Walker
 
 

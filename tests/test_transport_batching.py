@@ -12,7 +12,6 @@ Covers the two delivery-semantics contracts the refactor introduced:
   exhausts its budget splits back into singles with fresh budgets.
 """
 
-import pytest
 
 from repro import AgentStatus, NetworkParams
 from repro.agent.packages import Protocol
