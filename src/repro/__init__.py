@@ -40,7 +40,14 @@ from repro.errors import (
 from repro.exactly_once.fault_tolerant import FTParams
 from repro.itinerary import Itinerary, ItineraryAgent, StepEntry, SubItinerary
 from repro.log import LoggingMode, RollbackLog
-from repro.node import AgentRecord, AgentStatus, Node, ShardedWorld, World
+from repro.node import (
+    AgentRecord,
+    AgentStatus,
+    Node,
+    ProcShardedWorld,
+    ShardedWorld,
+    World,
+)
 from repro.resources import (
     AuctionHouse,
     Bank,
@@ -61,6 +68,7 @@ __version__ = "1.0.0"
 __all__ = [
     "World",
     "ShardedWorld",
+    "ProcShardedWorld",
     "Node",
     "AgentRecord",
     "AgentStatus",

@@ -52,11 +52,29 @@ from repro.storage.serialization import capture, restore
 
 _WORK_IDS = itertools.count(1)
 
+#: Width of one process's work-id namespace (see
+#: :func:`set_work_id_namespace`).  Far above any realistic number of
+#: work units a single run mints.
+WORK_ID_STRIDE = 10 ** 9
+
 
 def reset_work_ids() -> None:
     """Restart the work-id sequence (test isolation only)."""
     global _WORK_IDS
     _WORK_IDS = itertools.count(1)
+
+
+def set_work_id_namespace(index: int) -> None:
+    """Move this process's work-id sequence into a disjoint namespace.
+
+    A multiprocess sharded run mints packages in every worker process;
+    work ids arbitrate exactly-once execution globally (they key the
+    step ledger), so each worker claims the half-open range
+    ``[1 + index * WORK_ID_STRIDE, (index + 1) * WORK_ID_STRIDE)``
+    instead of the shared in-process counter.
+    """
+    global _WORK_IDS
+    _WORK_IDS = itertools.count(1 + index * WORK_ID_STRIDE)
 
 
 class PackageKind(str, enum.Enum):

@@ -125,5 +125,40 @@ class ItineraryError(UsageError):
     """Malformed itinerary (e.g. step entries directly in the main itinerary)."""
 
 
+class WorkerError(ReproError):
+    """A shard worker process reported a failure executing a command.
+
+    An infrastructure-level error (not caller misuse, so deliberately
+    *not* a UsageError): carries the remote traceback text so the
+    coordinator-side error reads like the worker-side one.
+    """
+
+    def __init__(self, shard: int, remote_error: str,
+                 remote_traceback: str = ""):
+        detail = f"\n--- worker traceback ---\n{remote_traceback}" \
+            if remote_traceback else ""
+        super().__init__(
+            f"shard {shard} worker failed: {remote_error}{detail}")
+        self.shard = shard
+        self.remote_error = remote_error
+
+
+class WorkerDied(ReproError):
+    """A shard worker process died (crash, SIGKILL, lost pipe).
+
+    An infrastructure-level error (not caller misuse, so deliberately
+    *not* a UsageError): the multiprocess driver surfaces a hard
+    worker death as an explicit shard outage instead of hanging on a
+    pipe that will never answer.
+    """
+
+    def __init__(self, shard: int, exitcode: object):
+        super().__init__(
+            f"shard {shard} worker process died (exitcode={exitcode}); "
+            f"the shard is lost — treat as a permanent shard outage")
+        self.shard = shard
+        self.exitcode = exitcode
+
+
 class LogCorrupt(ReproError):
     """The rollback log violated its structural invariants."""

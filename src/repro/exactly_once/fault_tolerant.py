@@ -68,6 +68,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.agent.packages import AgentPackage, PackageKind
 from repro.net.messages import Message
+from repro.net.transport import surface_give_up
 from repro.node.runtime import LEDGER_NODE
 from repro.storage.queues import QueueItem
 from repro.storage.stable import StableStore
@@ -320,6 +321,14 @@ class BridgedFaultTolerance(FaultTolerance):
 
     def __init__(self, world: "World"):
         super().__init__(world)
+        #: The shard context — the :class:`~repro.node.sharded.
+        #: ShardedWorld` in-process, or a :class:`~repro.node.procshard.
+        #: RemoteShardContext` inside a worker process.  Everything this
+        #: driver needs from *other* shards goes through its narrow
+        #: surface (placement map, foreign liveness, replica locks and
+        #: claim reads, the bridge), which is what lets the same
+        #: protocol code run against live sibling worlds or against
+        #: barrier-synchronised views without behavioural difference.
         self.sharded: "ShardedWorld" = world._sharded
         # Shared across every shard's FT instance (set_alternates on
         # any shard, or on the ShardedWorld facade, is visible to all).
@@ -338,7 +347,7 @@ class BridgedFaultTolerance(FaultTolerance):
     def _placement_of(self, node: Optional[str]) -> Optional[int]:
         if node is None:
             return None
-        return self.sharded._node_shard.get(node)
+        return self.sharded.placement_of(node)
 
     def _order_alternates(self, node: str,
                           alternates: tuple[str, ...]) -> tuple[str, ...]:
@@ -359,39 +368,31 @@ class BridgedFaultTolerance(FaultTolerance):
 
     # -- the bridged ledger quorum ----------------------------------------------------
 
-    def _replicas(self) -> list["FaultTolerance"]:
-        """The reachable replicas: every non-suspended shard's FT.
-
-        A suspended kernel (whole-shard outage) takes its replica down
-        with it; individual node crashes do not — each shard's ledger
-        replica models that shard's always-available observer set.
-        Deterministic shard order.
-        """
-        return [world.ft for world in self.sharded.shards
-                if not world.sim.suspended]
-
     def _lock_claim(self, tx: "Transaction", work_id: int) -> None:
         # Locking the claim key on every live replica is what a quorum
         # write's replica-side ordering gives a real system: two
         # concurrent claimants always collide on at least one common
         # replica, so the loser aborts and retries (and then reads the
-        # winner's claim).
-        for ft in self._replicas():
-            ft.ledger_locks.acquire(("claim", work_id), tx)
+        # winner's claim).  A suspended kernel (whole-shard outage)
+        # takes its replica down with it; individual node crashes do
+        # not — each shard's ledger replica models that shard's
+        # always-available observer set.  Deterministic shard order.
+        for shard in self.sharded.live_shard_indices():
+            self.sharded.claim_lock(tx, shard, work_id)
 
     def _read_claim(self, work_id: int) -> Optional[str]:
-        replicas = self._replicas()
+        live = self.sharded.live_shard_indices()
         metrics = self.world.metrics
         metrics.incr("ft.ledger.quorum_reads")
-        if 2 * len(replicas) <= self.sharded.n_shards:
+        if 2 * len(live) <= self.sharded.n_shards:
             # Fewer than a majority of replicas reachable: answer from
             # what is left (availability over strictness — claims are
             # write-once, so a reported holder is always real), but
             # make the degraded read observable.
             metrics.incr("ft.ledger.quorum_degraded")
         holders = []
-        for ft in replicas:
-            value = ft.ledger.get(("claim", work_id))
+        for shard in live:
+            value = self.sharded.read_claim(shard, work_id)
             if value is not None and value not in holders:
                 holders.append(value)
         if not holders:
@@ -442,12 +443,30 @@ class BridgedFaultTolerance(FaultTolerance):
         self.sharded.bridge.forward_shadow(
             dest_shard, message, at=self.world.sim.now,
             max_retries=self.world.net_params.max_retries,
-            source=self.world,
-            on_gave_up=lambda msg, a=alt: self._shadow_lost(a, msg))
+            source_shard=self.world.shard_index,
+            give_up=("shadow-lost", alt))
+
+    def apply_bridge_give_up(self, message: Message,
+                             give_up: Optional[tuple]) -> None:
+        """Surface a bridged transfer the routing layer abandoned.
+
+        The bridge carries a declarative ``give_up`` tag instead of a
+        closure (closures cannot cross the worker-process boundary);
+        this method — running on the *source* shard, at the barrier —
+        resolves the tag to the concrete loss handler and funnels
+        through :func:`~repro.net.transport.surface_give_up` exactly
+        like a direct send's give-up.
+        """
+        callback = None
+        if give_up is not None and give_up[0] == "shadow-lost":
+            alt = give_up[1]
+            callback = lambda msg: self._shadow_lost(alt, msg)
+        surface_give_up(self.world.metrics, self.world.sim.now, message,
+                        callback)
 
     def receive_shadow(self, message: Message, max_retries: int,
-                       retries: int, source: "World", on_gave_up,
-                       when: float) -> None:
+                       retries: int, source_shard: int,
+                       give_up: Optional[tuple], when: float) -> None:
         """Arrival half of a bridged shadow (called at the flush barrier).
 
         Adoption into the destination node's durable queue is scheduled
@@ -470,7 +489,7 @@ class BridgedFaultTolerance(FaultTolerance):
         event = self.world.sim.schedule_at(
             when, _arrive, label=f"bridge-shadow:{message.dst}")
         self._inbound_shadows[key] = (event, message, max_retries, retries,
-                                      source, on_gave_up)
+                                      source_shard, give_up)
 
     def sweep_inbound_shadows(self) -> int:
         """This kernel is dying: re-route undelivered bridged shadows.
@@ -484,12 +503,13 @@ class BridgedFaultTolerance(FaultTolerance):
         """
         swept = list(self._inbound_shadows.values())
         self._inbound_shadows.clear()
-        for event, message, max_retries, retries, source, on_gave_up in swept:
+        for (event, message, max_retries, retries, source_shard,
+                give_up) in swept:
             event.cancel()
             self.sharded.bridge.forward_shadow(
                 self.world.shard_index, message, at=self.world.sim.now,
-                max_retries=max_retries, source=source,
-                on_gave_up=on_gave_up, retries=retries)
+                max_retries=max_retries, source_shard=source_shard,
+                give_up=give_up, retries=retries)
         return len(swept)
 
     # -- takeover staleness guard --------------------------------------------------------

@@ -40,6 +40,18 @@ def reset_savepoint_ids() -> None:
     _SP_SEQ = itertools.count(1)
 
 
+def set_savepoint_id_namespace(index: int, stride: int = 10 ** 9) -> None:
+    """Move this process's auto savepoint names into a disjoint range.
+
+    Auto-generated savepoint ids must be unique *within one agent's
+    log*; an agent of a multiprocess sharded run appends entries in
+    whichever worker process hosts it at the time, so each worker mints
+    from its own range to keep the names collision-free across hops.
+    """
+    global _SP_SEQ
+    _SP_SEQ = itertools.count(1 + index * stride)
+
+
 class EntryKind(enum.Enum):
     """Discriminator for log entries."""
 

@@ -36,6 +36,14 @@ the cross-shard bridge mirroring path of
 :func:`surface_give_up`, so the ``net.gave_up`` counter, the
 ``net-gave-up`` timeline event and the ``on_gave_up`` callback fire
 identically no matter which layer lost the message.
+
+One caveat layered on by the multiprocess shard workers
+(:mod:`repro.node.procshard`): traffic that may cross a *process*
+boundary cannot carry ``on_gave_up`` closures.  The bridge therefore
+ships a declarative give-up tag (e.g. ``("shadow-lost", alt)``) and
+the source shard resolves it back to the concrete callback before
+calling :func:`surface_give_up` — in-process transports keep using
+plain callables.
 """
 
 from __future__ import annotations

@@ -13,8 +13,9 @@ concurrent-agent workloads past what one event queue can hold.
 """
 
 from repro.node.node import Node
+from repro.node.procshard import ProcShardedWorld
 from repro.node.runtime import AgentRecord, AgentStatus, World
 from repro.node.sharded import CrossShardBridge, ShardedWorld, ShardWorld
 
 __all__ = ["Node", "World", "AgentRecord", "AgentStatus", "ShardedWorld",
-           "ShardWorld", "CrossShardBridge"]
+           "ShardWorld", "CrossShardBridge", "ProcShardedWorld"]

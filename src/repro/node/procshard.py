@@ -1,0 +1,1077 @@
+"""True multiprocess shard workers: one kernel per worker process.
+
+:class:`~repro.node.sharded.ShardedWorld` partitions a world across N
+kernels but runs them all in one Python process — N-way logical
+concurrency, one core.  :class:`ProcShardedWorld` (also reachable as
+``ShardedWorld(workers="process")``) keeps the exact same lockstep
+epoch protocol and moves each shard kernel into a
+:mod:`multiprocessing` worker process, so epochs of independent shards
+execute on real cores in parallel.
+
+Architecture
+------------
+
+The coordinator owns no kernel.  It drives the same barrier loop as
+the in-process driver (:func:`~repro.node.sharded.next_epoch_barrier`
+is shared), but each "advance shard i to the barrier" becomes a
+command over that worker's pipe and each barrier flush becomes an
+explicit exchange:
+
+* **collect** — every worker's epoch reply carries its bridge outbox
+  (agent packages, shadow copies, ledger mirrors — the same
+  :class:`~repro.node.sharded._Transfer` objects, pickle-framed and
+  closure-free) plus its agent-record deltas;
+* **route** — the coordinator's own
+  :class:`~repro.node.sharded.CrossShardBridge` re-registers the
+  outboxes in shard order (reproducing the in-process global sequence
+  numbers) and routes them deterministically, retaining shadow retries
+  and banking ledger mirrors for suspended shards exactly as the
+  in-process flush does;
+* **scatter** — each shard's ordered inbox ships with its next epoch
+  command; the worker applies it through the *same*
+  :func:`~repro.node.sharded.apply_transfer` /
+  :func:`~repro.node.sharded.apply_give_up` functions the in-process
+  flush uses, with its clock at the same instant, so the scheduled
+  event sequence is identical.
+
+The shared agent-record table becomes an explicit merge point: each
+worker ships per-epoch record deltas, the coordinator merges them (in
+shard order, updating record objects in place so references returned
+by :meth:`launch` stay live) and re-broadcasts changed records to the
+other workers with their next command.
+
+Entangled workloads and the serial turn schedule
+------------------------------------------------
+
+Fault-tolerant runs read *live* foreign state mid-epoch: quorum claim
+locks and reads against every shard's ledger replica, and foreign-node
+liveness for the takeover watchdog and step diversion.  Running such
+epochs in parallel would make those reads race — and with them the
+promotion-vs-primary claim arbitration, which must be deterministic
+(the winner decides *where* effects land).  The driver therefore picks
+a schedule per run:
+
+* **parallel epochs** — when the workload is *independent* (no
+  fault-tolerant agents, no failure injection, no shard outages): no
+  mid-epoch foreign reads exist, every worker advances concurrently,
+  and the run is byte-identical to the in-process one.
+* **serial turns** — when the workload is *entangled*: within each
+  epoch the workers take turns in shard order, exactly like the
+  in-process driver.  Each turn ships barrier-fresh views of every
+  foreign replica's claims and open claim locks, every foreign shard's
+  down-node set and the suspension table (served locally by
+  :class:`RemoteShardContext`), and returns the worker's own dumps.
+  Because only one kernel executes at a time and views refresh between
+  turns, every foreign read returns exactly what the in-process live
+  read would — the two backends walk the same event sequence.
+
+``lockstep="auto"`` (default) selects per run; ``"serial"`` /
+``"parallel"`` force a schedule (forcing ``"parallel"`` on an
+entangled workload trades the equivalence guarantee for speed and is
+for experiments only).
+
+Process-picklability contract
+-----------------------------
+
+Everything that crosses the pipe must pickle under the ``spawn`` start
+method: agents and resources by importable class reference, bridge
+traffic as data (no closures — give-up context travels as declarative
+tags), compensations registered at *import time* of an importable
+module (the registry is rebuilt per process from imports).  Violations
+surface at ship time through
+:func:`~repro.storage.serialization.assert_picklable`, which names the
+offending attribute instead of burying it in a worker traceback.
+
+A worker process that dies outright (crash, OOM kill, SIGKILL) is
+surfaced as :class:`~repro.errors.WorkerDied` — an explicit permanent
+shard outage — rather than a hang on a pipe that will never answer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Any, Optional
+
+from repro.errors import LockConflict, UsageError, WorkerDied, WorkerError
+from repro.node.sharded import (
+    CrossShardBridge,
+    ShardWorld,
+    _ShardOutage,
+    aggregate_counters,
+    apply_give_up,
+    apply_transfer,
+    next_epoch_barrier,
+    outcomes_of,
+)
+from repro.storage.serialization import assert_picklable, capture, restore
+from repro.tx.locks import LockManager
+
+#: Fields of an AgentRecord that change while an agent runs; a cheap
+#: fingerprint over them decides whether a record delta must ship
+#: (result/final_agent only ever change together with status).
+_RECORD_FIELDS = ("status", "steps_committed", "step_attempts",
+                  "rollbacks_initiated", "rollbacks_completed",
+                  "compensation_txs", "agent_transfers", "transfer_bytes",
+                  "finished_at", "failure")
+
+
+def _record_fingerprint(record: Any) -> tuple:
+    return tuple(getattr(record, f) for f in _RECORD_FIELDS)
+
+
+def _record_progress(record: Any) -> tuple:
+    """Monotonic progress key for merging divergent record copies.
+
+    Every mutation of an agent record increments a counter or flips the
+    status once, so the *true* latest copy dominates any stale copy
+    (left behind on a worker the agent migrated away from) in every
+    component; comparing lexicographically — outcome fields first —
+    therefore always keeps the real state and deterministically breaks
+    the only remaining ties (aux-counter writes by stale FT dispatches,
+    which in-process interleave on the shared record object).
+    """
+    from repro.node.runtime import AgentStatus
+    return (record.status is not AgentStatus.RUNNING,
+            record.steps_committed, record.rollbacks_completed,
+            record.compensation_txs, record.rollbacks_initiated,
+            record.step_attempts, record.agent_transfers,
+            record.transfer_bytes)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+class RemoteShardContext:
+    """A worker process's stand-in for the :class:`ShardedWorld` owner.
+
+    Implements the narrow cross-shard surface a
+    :class:`~repro.node.sharded.ShardWorld` and its
+    :class:`~repro.exactly_once.fault_tolerant.BridgedFaultTolerance`
+    read from other shards — placement, foreign liveness, suspension,
+    replica claim locks/reads, the bridge, the last flush time — from
+    coordinator-supplied views instead of live sibling worlds.  Under
+    the serial turn schedule the views are refreshed between turns, so
+    each answer equals the live read the in-process driver would have
+    performed at the same point of the epoch.
+    """
+
+    def __init__(self, shard_index: int, n_shards: int):
+        self.shard_index = shard_index
+        self.n_shards = n_shards
+        self.world: Optional[ShardWorld] = None
+        self._node_shard: dict[str, int] = {}
+        self.ft_alternates: dict[str, tuple[str, ...]] = {}
+        #: Outbox-only bridge: accumulates this shard's forwards for the
+        #: coordinator to collect; never routes anything itself.
+        self.bridge = CrossShardBridge(n_shards)
+        self.last_flush_at = float("-inf")
+        self._suspended_view = [False] * n_shards
+        self._down_view: dict[int, frozenset] = {}
+        self._claims_view: dict[int, dict] = {}
+        self._locks_view: dict[int, dict] = {}
+        #: Local mirrors of the foreign replicas' lock managers: they
+        #: hold only *this* worker's open claim locks (published to the
+        #: other workers via the turn dumps); foreign holds arrive
+        #: through ``_locks_view``.
+        self._lock_mirrors = {
+            shard: LockManager(f"ledger-mirror:{shard}")
+            for shard in range(n_shards) if shard != shard_index}
+
+    # -- topology ---------------------------------------------------------------
+
+    def placement_of(self, name: str) -> Optional[int]:
+        return self._node_shard.get(name)
+
+    def shard_of(self, name: str) -> int:
+        shard = self._node_shard.get(name)
+        if shard is None:
+            raise UsageError(f"no node {name!r}")
+        return shard
+
+    # -- foreign state views ------------------------------------------------------
+
+    def update_views(self, views: dict[str, Any]) -> None:
+        self._suspended_view = views["suspended"]
+        self._down_view = views["down"]
+        self._claims_view = views["claims"]
+        self._locks_view = views["locks"]
+
+    def foreign_node_up(self, shard: int, name: str) -> bool:
+        return name not in self._down_view.get(shard, ())
+
+    def shard_suspended(self, shard: int) -> bool:
+        if shard == self.shard_index:
+            return self.world.sim.suspended
+        return self._suspended_view[shard]
+
+    def live_shard_indices(self) -> list[int]:
+        return [shard for shard in range(self.n_shards)
+                if not self.shard_suspended(shard)]
+
+    # -- replica quorum surface ----------------------------------------------------
+
+    def claim_lock(self, tx, shard: int, work_id: int) -> None:
+        key = ("claim", work_id)
+        foreign = self._locks_view.get(shard, {}).get(work_id)
+        if foreign is not None:
+            # Held by another worker's open transaction: collide exactly
+            # like the in-process cross-replica acquisition would.
+            raise LockConflict(key, foreign[1])
+        if shard == self.shard_index:
+            self.world.ft.ledger_locks.acquire(key, tx)
+        else:
+            self._lock_mirrors[shard].acquire(key, tx)
+
+    def read_claim(self, shard: int, work_id: int) -> Optional[str]:
+        if shard == self.shard_index:
+            return self.world.ft.ledger.get(("claim", work_id))
+        return self._claims_view.get(shard, {}).get(work_id)
+
+    # -- turn dumps (published to the coordinator) ----------------------------------
+
+    def lock_contributions(self) -> dict[int, dict[int, int]]:
+        """This worker's open claim locks, per replica: {wid: txid}."""
+        out: dict[int, dict[int, int]] = {}
+        own = {item[1]: tx.txid
+               for item, tx in self.world.ft.ledger_locks.held_items()}
+        out[self.shard_index] = own
+        for shard, mirror in self._lock_mirrors.items():
+            out[shard] = {item[1]: tx.txid
+                          for item, tx in mirror.held_items()}
+        return out
+
+    def claims_dump(self) -> dict[int, str]:
+        """This shard's replica contents (staged writes included, like
+        a live :meth:`~repro.storage.stable.StableStore.get`)."""
+        ledger = self.world.ft.ledger
+        return {key[1]: ledger.get(key) for key in ledger.keys()
+                if isinstance(key, tuple) and key and key[0] == "claim"}
+
+
+class _WorkerServer:
+    """The command loop of one shard worker process."""
+
+    def __init__(self, conn, ctx: RemoteShardContext, world: ShardWorld):
+        self.conn = conn
+        self.ctx = ctx
+        self.world = world
+        self._record_prints: dict[str, tuple] = {}
+
+    # -- record delta tracking ------------------------------------------------------
+
+    def _merge_records(self, records: dict[str, bytes]) -> None:
+        for agent_id, blob in records.items():
+            incoming = restore(blob)
+            existing = self.world.agents.get(agent_id)
+            if existing is None:
+                self.world.agents[agent_id] = incoming
+            elif _record_progress(incoming) >= _record_progress(existing):
+                if incoming.final_agent is None:
+                    # Broadcast copies travel with final_agent stripped
+                    # (see ProcShardedWorld._merge_record_blob); a copy
+                    # already captured locally must survive the merge.
+                    incoming.final_agent = existing.final_agent
+                # In place: protocol closures hold the record object.
+                existing.__dict__.update(incoming.__dict__)
+            else:
+                continue  # stale copy: keep the fresher local state
+            self._record_prints[agent_id] = _record_fingerprint(
+                self.world.agents[agent_id])
+
+    def _record_deltas(self) -> dict[str, bytes]:
+        deltas: dict[str, bytes] = {}
+        for agent_id, record in self.world.agents.items():
+            print_ = _record_fingerprint(record)
+            if self._record_prints.get(agent_id) != print_:
+                self._record_prints[agent_id] = print_
+                deltas[agent_id] = capture(record)
+        return deltas
+
+    # -- command handlers -----------------------------------------------------------
+
+    def _state(self) -> dict[str, Any]:
+        return {
+            "peek": self.world.sim.peek_time(),
+            "now": self.world.sim.now,
+            "suspended": self.world.sim.suspended,
+            "events": self.world.sim.events_processed,
+        }
+
+    def handle(self, op: str, payload: dict[str, Any]) -> dict[str, Any]:
+        world, ctx = self.world, self.ctx
+        if op == "epoch":
+            return self._handle_epoch(payload)
+        if op == "add_node":
+            ctx._node_shard[payload["name"]] = payload["shard"]
+            if payload["shard"] == ctx.shard_index:
+                world.add_node(payload["name"])
+            return {}
+        if op == "add_resource":
+            world.node(payload["node"]).add_resource(payload["resource"])
+            return {}
+        if op == "share_resource":
+            resource = world.node(payload["from_node"]).get_resource(
+                payload["resource"])
+            world.node(payload["node"]).share_resource(resource)
+            return {}
+        if op == "set_alternates":
+            ctx.ft_alternates[payload["node"]] = tuple(payload["alternates"])
+            return {}
+        if op == "launch":
+            # One bundle pickle: preserves object sharing between the
+            # agent's own state and the launch arguments (e.g. the
+            # start-node string also being plan[0]), so the package the
+            # worker packs is byte-identical to an in-process launch.
+            agent, at, method, kwargs = restore(payload["bundle"])
+            record = world.launch(agent, at=at, method=method, **kwargs)
+            self._record_prints[record.agent_id] = \
+                _record_fingerprint(record)
+            return {"record": capture(record)}
+        if op == "crash_plans":
+            world.failures.apply_plan(payload["plans"])
+            return {}
+        if op == "kill":
+            world.schedule_kill(payload["at"])
+            return {}
+        if op == "enable_digest":
+            world.sim.enable_trace_digest()
+            return {}
+        if op == "fetch":
+            return {"value": self._fetch(payload)}
+        if op == "shutdown":
+            return {}
+        raise UsageError(f"unknown worker command {op!r}")
+
+    def _handle_epoch(self, payload: dict[str, Any]) -> dict[str, Any]:
+        world, ctx = self.world, self.ctx
+        self._merge_records(payload["records"])
+        if payload["views"] is not None:
+            ctx.update_views(payload["views"])
+        ctx.last_flush_at = payload["last_flush_at"]
+        # Inbox first, revival second: the in-process driver flushes the
+        # bridge (scheduling deliveries, even into a frozen kernel) at
+        # the end of one loop iteration and revives at the start of the
+        # next, so the event sequence numbers must follow that order.
+        for action, transfer in payload["items"]:
+            if action == "give-up":
+                apply_give_up(world, transfer)
+                continue
+            if transfer.record_blob is not None:
+                # The agent's record travelled with it; merge before
+                # delivery so the dispatch sees current state exactly
+                # like the in-process shared record table would.
+                agent_id = (transfer.package.agent_id
+                            if transfer.package is not None
+                            else transfer.message.payload.agent_id)
+                self._merge_records({agent_id: transfer.record_blob})
+            apply_transfer(world, transfer)
+        if payload["revive"] is not None:
+            restart_at, backlog = payload["revive"]
+            world.schedule_revival(restart_at, backlog)
+        if payload["run"] and not world.sim.suspended:
+            world.sim.run_epoch(payload["barrier"],
+                                max_events=payload["max_events"])
+        outbox = ctx.bridge.drain_pending()
+        reply: dict[str, Any] = {"outbox": outbox}
+        if payload["ship_records"]:
+            # Serial (entangled) turns mirror the in-process shared
+            # record table exactly: every touched record ships each
+            # turn.
+            reply["record_deltas"] = self._record_deltas()
+        else:
+            # Independent epochs: records only matter where their agent
+            # goes, so they ride the transfers instead of a broadcast.
+            for transfer in outbox:
+                carried = transfer.package if transfer.package is not None \
+                    else (transfer.message.payload
+                          if transfer.message is not None else None)
+                if carried is None:
+                    continue
+                record = world.agents.get(carried.agent_id)
+                if record is not None:
+                    transfer.record_blob = capture(record)
+        if payload["want_dump"]:
+            reply["dump"] = {
+                "claims": ctx.claims_dump(),
+                "locks": ctx.lock_contributions(),
+                "down": world.failures.down_nodes(),
+            }
+        return reply
+
+    def _fetch(self, payload: dict[str, Any]) -> Any:
+        world = self.world
+        what = payload["what"]
+        if what == "metrics":
+            return world.metrics
+        if what == "summary":
+            return world.metrics.summary()
+        if what == "ledger":
+            return self.ctx.claims_dump()
+        if what == "resource":
+            return world.node(payload["node"]).get_resource(
+                payload["resource"])
+        if what == "queue_length":
+            return len(world.node(payload["node"]).queue)
+        if what == "ser_stats":
+            from repro.storage.serialization import stats
+            return stats()
+        if what == "record_deltas":
+            return self._record_deltas()
+        if what == "trace_digest":
+            return world.sim.trace_digest()
+        raise UsageError(f"unknown fetch {what!r}")
+
+    # -- loop -----------------------------------------------------------------------
+
+    def serve(self) -> None:
+        while True:
+            op, payload = self.conn.recv()
+            try:
+                reply = self.handle(op, payload)
+                reply["ok"] = True
+                reply["state"] = self._state()
+            except Exception as exc:  # noqa: BLE001 - shipped to coordinator
+                reply = {"ok": False,
+                         "error": f"{type(exc).__name__}: {exc}",
+                         "traceback": traceback.format_exc()}
+            self.conn.send(reply)
+            if op == "shutdown":
+                return
+
+
+def _worker_entry(conn, config: dict[str, Any]) -> None:
+    """Entry point of one shard worker process."""
+    from repro.agent import packages
+    from repro.log import entries
+    from repro.storage import queues
+
+    shard = config["shard_index"]
+    # Disjoint id namespaces: work ids arbitrate exactly-once globally,
+    # auto savepoint names must stay unique within a migrating agent's
+    # log, and offset item ids keep debug output unambiguous.
+    packages.set_work_id_namespace(shard)
+    queues.set_item_id_namespace(shard)
+    entries.set_savepoint_id_namespace(shard)
+
+    ctx = RemoteShardContext(shard, config["n_shards"])
+    world = ShardWorld(shard_index=shard, sharded=ctx,
+                       seed=config["seed"] + 100_003 * shard,
+                       **config["world_kwargs"])
+    ctx.world = world
+    try:
+        _WorkerServer(conn, ctx, world).serve()
+    except (EOFError, KeyboardInterrupt):  # coordinator went away
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side
+# ---------------------------------------------------------------------------
+
+
+class _WorkerHandle:
+    """Coordinator-side pipe + process wrapper for one shard worker."""
+
+    def __init__(self, shard: int, process, conn):
+        self.shard = shard
+        self.process = process
+        self.conn = conn
+        self.peek: Optional[float] = None
+        self.now: float = 0.0
+        self.suspended = False
+        self.events = 0
+
+    def send(self, op: str, payload: dict[str, Any]) -> None:
+        try:
+            self.conn.send((op, payload))
+        except (BrokenPipeError, OSError):
+            raise WorkerDied(self.shard, self.process.exitcode) from None
+
+    def recv(self) -> dict[str, Any]:
+        while not self.conn.poll(0.1):
+            if not self.process.is_alive():
+                raise WorkerDied(self.shard, self.process.exitcode)
+        try:
+            reply = self.conn.recv()
+        except (EOFError, OSError):
+            raise WorkerDied(self.shard, self.process.exitcode) from None
+        if not reply.get("ok"):
+            raise WorkerError(self.shard, reply.get("error", "unknown"),
+                              reply.get("traceback", ""))
+        state = reply["state"]
+        self.peek = state["peek"]
+        self.now = state["now"]
+        self.suspended = state["suspended"]
+        self.events = state["events"]
+        return reply
+
+    def request(self, op: str, payload: Optional[dict[str, Any]] = None
+                ) -> dict[str, Any]:
+        self.send(op, payload or {})
+        return self.recv()
+
+
+class NodeProxy:
+    """Coordinator-side handle for a node living in a worker process.
+
+    Mirrors the slice of the :class:`~repro.node.node.Node` surface a
+    workload needs before the run (resource installation) and after it
+    (state inspection).  Reads return pickled *snapshots* fetched from
+    the owning worker — mutating them does not reach the worker.
+    """
+
+    def __init__(self, world: "ProcShardedWorld", name: str, shard: int):
+        self._world = world
+        self.name = name
+        self.shard = shard
+
+    def add_resource(self, resource) -> None:
+        assert_picklable(resource,
+                         f"resource {resource.name!r} for node {self.name!r}")
+        self._world._handles[self.shard].request(
+            "add_resource", {"node": self.name, "resource": resource})
+
+    def share_resource_from(self, from_node: str, resource: str) -> None:
+        """Replicate ``from_node``'s resource onto this node.
+
+        Both nodes must live in the same shard: a resource object
+        cannot be shared across process boundaries (in-process sharded
+        worlds allow cross-shard sharing as a modelling convenience;
+        worker mode makes the cost of that convenience explicit).
+        """
+        if self._world.shard_of(from_node) != self.shard:
+            raise UsageError(
+                f"cannot share a resource across worker processes "
+                f"({from_node!r} is not in shard {self.shard})")
+        self._world._handles[self.shard].request(
+            "share_resource", {"node": self.name, "from_node": from_node,
+                               "resource": resource})
+
+    def get_resource(self, name: str):
+        """A pickled snapshot of the resource's current worker-side state."""
+        return self._world.resource_state(self.name, name)
+
+    def queue_length(self) -> int:
+        return self._world._handles[self.shard].request(
+            "fetch", {"what": "queue_length", "node": self.name})["value"]
+
+
+class ProcShardedWorld:
+    """A sharded world whose kernels run in worker processes.
+
+    The facade mirrors :class:`~repro.node.sharded.ShardedWorld` where
+    workloads and equivalence checks need it (``add_node`` / ``launch``
+    / ``run`` / ``kill_shard`` / ``outcomes`` / ``counters`` /
+    ``ledger_claims`` / ``resource_state`` ...), so the same seeded
+    workload can be replayed on either backend and compared.
+
+    Always close it (context manager, or :meth:`close`) — worker
+    processes are daemonic but prompt teardown keeps test runs tidy.
+    """
+
+    def __init__(self, n_shards: int = 2, seed: int = 0,
+                 epoch: Optional[float] = None,
+                 start_method: str = "spawn",
+                 lockstep: str = "auto",
+                 **world_kwargs: Any):
+        if n_shards < 1:
+            raise UsageError(f"need at least 1 shard, got {n_shards}")
+        if lockstep not in ("auto", "serial", "parallel"):
+            raise UsageError(f"unknown lockstep mode {lockstep!r}")
+        net_params = world_kwargs.get("net_params")
+        if epoch is None:
+            epoch = net_params.latency if net_params is not None else 0.005
+        if epoch <= 0:
+            raise UsageError(f"epoch must be positive, got {epoch}")
+        assert_picklable(world_kwargs, "world configuration")
+        self.n_shards = n_shards
+        self.seed = seed
+        self.epoch = epoch
+        self.lockstep = lockstep
+        self.bridge = CrossShardBridge(n_shards)
+        self.last_flush_at = float("-inf")
+        self.epochs_run = 0
+        self.agents: dict[str, Any] = {}
+        self.ft_alternates: dict[str, tuple[str, ...]] = {}
+        self._node_shard: dict[str, int] = {}
+        self._outages: list[_ShardOutage] = []
+        self._entangled = False
+        self._closed = False
+        # Barrier-merged global state (see the module docstring).
+        self._suspended = [False] * n_shards
+        self._claims: list[dict] = [{} for _ in range(n_shards)]
+        self._locks: list[dict[int, dict]] = [{} for _ in range(n_shards)]
+        self._down: list[frozenset] = [frozenset()] * n_shards
+        self._pending_records: list[dict[str, bytes]] = \
+            [{} for _ in range(n_shards)]
+        self._staged_items: list[list] = [[] for _ in range(n_shards)]
+
+        mp = multiprocessing.get_context(start_method)
+        self._handles: list[_WorkerHandle] = []
+        for index in range(n_shards):
+            parent_conn, child_conn = mp.Pipe()
+            config = {"shard_index": index, "n_shards": n_shards,
+                      "seed": seed, "world_kwargs": world_kwargs}
+            process = mp.Process(target=_worker_entry,
+                                 args=(child_conn, config),
+                                 name=f"repro-shard-{index}", daemon=True)
+            process.start()
+            child_conn.close()
+            self._handles.append(_WorkerHandle(index, process, parent_conn))
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for handle in self._handles:
+            try:
+                handle.send("shutdown", {})
+            except WorkerDied:
+                pass
+        for handle in self._handles:
+            handle.process.join(timeout=5)
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.conn.close()
+
+    def __enter__(self) -> "ProcShardedWorld":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - best-effort teardown
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -- topology -----------------------------------------------------------------
+
+    def add_node(self, name: str, shard: Optional[int] = None) -> NodeProxy:
+        """Create node ``name`` in ``shard`` (round-robin by default)."""
+        if name in self._node_shard:
+            raise UsageError(f"node {name!r} already exists")
+        if shard is None:
+            shard = len(self._node_shard) % self.n_shards
+        if not 0 <= shard < self.n_shards:
+            raise UsageError(f"no shard {shard} (have {self.n_shards})")
+        for handle in self._handles:
+            handle.request("add_node", {"name": name, "shard": shard})
+        self._node_shard[name] = shard
+        return NodeProxy(self, name, shard)
+
+    def add_nodes(self, *names: str) -> list[NodeProxy]:
+        return [self.add_node(n) for n in names]
+
+    def shard_of(self, name: str) -> int:
+        shard = self._node_shard.get(name)
+        if shard is None:
+            raise UsageError(f"no node {name!r}")
+        return shard
+
+    def node(self, name: str) -> NodeProxy:
+        return NodeProxy(self, name, self.shard_of(name))
+
+    def set_alternates(self, node: str, *alternates: str) -> None:
+        """Declare step alternates for ``node``, visible to all workers."""
+        self._entangled = True
+        self.ft_alternates[node] = tuple(alternates)
+        for handle in self._handles:
+            handle.request("set_alternates",
+                           {"node": node, "alternates": alternates})
+
+    # -- failure injection -----------------------------------------------------------
+
+    def apply_crash_plans(self, plans) -> None:
+        """Schedule node-level outages, routed to the owning workers."""
+        self._entangled = True
+        by_shard: dict[int, list] = {}
+        for plan in plans:
+            by_shard.setdefault(self.shard_of(plan.node), []).append(plan)
+        for shard, shard_plans in by_shard.items():
+            self._handles[shard].request("crash_plans",
+                                         {"plans": shard_plans})
+
+    def kill_shard(self, shard: int, at: float,
+                   restart_at: Optional[float] = None) -> None:
+        """Schedule a whole-kernel outage of ``shard`` at time ``at``.
+
+        Same contract as :meth:`~repro.node.sharded.ShardedWorld.
+        kill_shard` — the kill event runs inside the worker's kernel.
+        """
+        self._entangled = True
+        if not 0 <= shard < self.n_shards:
+            raise UsageError(f"no shard {shard} (have {self.n_shards})")
+        handle = self._handles[shard]
+        if at < handle.now:
+            raise UsageError(f"cannot kill shard {shard} in the past "
+                             f"(at={at}, now={handle.now})")
+        if restart_at is not None and restart_at <= at:
+            raise UsageError(f"restart_at ({restart_at}) must be after "
+                             f"the kill time ({at})")
+        self._outages.append(_ShardOutage(shard=shard, at=at,
+                                          restart_at=restart_at))
+        handle.request("kill", {"at": at})
+
+    def shard_alive(self, shard: int) -> bool:
+        return not self._suspended[shard]
+
+    # -- agent management --------------------------------------------------------------
+
+    def launch(self, agent, at: str, method: str, **launch_kwargs: Any):
+        """Launch ``agent`` at node ``at`` (in whichever worker hosts it).
+
+        Returns the coordinator's live :class:`~repro.node.runtime.
+        AgentRecord` copy — merged in place at every barrier, so the
+        reference stays current across :meth:`run` calls.
+        """
+        from repro.agent.packages import Protocol
+        protocol = launch_kwargs.get("protocol", Protocol.BASIC)
+        if Protocol(protocol) is Protocol.FAULT_TOLERANT:
+            self._entangled = True
+        assert_picklable(agent, f"agent {agent.agent_id!r}")
+        owner = self.shard_of(at)
+        reply = self._handles[owner].request(
+            "launch",
+            {"bundle": capture((agent, at, method, launch_kwargs))})
+        self._merge_record_blob(reply["record"], origin=owner)
+        return self.agents[agent.agent_id]
+
+    def record_of(self, agent_id: str):
+        record = self.agents.get(agent_id)
+        if record is None:
+            raise UsageError(f"no agent {agent_id!r}")
+        return record
+
+    def all_done(self) -> bool:
+        from repro.node.runtime import AgentStatus
+        return all(r.status is not AgentStatus.RUNNING
+                   for r in self.agents.values())
+
+    def _merge_record_blob(self, blob: bytes, origin: int) -> None:
+        record = restore(blob)
+        existing = self.agents.get(record.agent_id)
+        if existing is None:
+            self.agents[record.agent_id] = record
+        elif _record_progress(record) >= _record_progress(existing):
+            if record.final_agent is None:
+                # A delta that bounced through a worker holding only
+                # the final_agent-stripped broadcast copy must not
+                # erase the captured agent the coordinator already has.
+                record.final_agent = existing.final_agent
+            # In place: callers hold the object launch() returned.
+            existing.__dict__.update(record.__dict__)
+        else:
+            return  # stale copy from a worker the agent migrated off
+        if record.final_agent is not None:
+            # The re-broadcast copy drops the captured final agent: no
+            # worker reads a foreign record's final_agent (it is pure
+            # inspection surface, served by the coordinator's full
+            # copy), and for ballast-heavy agents it dwarfs the record.
+            import dataclasses
+            blob = capture(dataclasses.replace(record, final_agent=None))
+        for shard in range(self.n_shards):
+            if shard != origin:
+                self._pending_records[shard][record.agent_id] = blob
+
+    # -- execution ----------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """The lockstep virtual clock (all shards agree at barriers)."""
+        return max(handle.now for handle in self._handles)
+
+    def _due_restarts(self) -> list[_ShardOutage]:
+        return [o for o in self._outages
+                if o.restart_at is not None and not o.revived
+                and self._suspended[o.shard]]
+
+    def _serial(self) -> bool:
+        if self.lockstep == "auto":
+            return self._entangled
+        return self.lockstep == "serial"
+
+    def run(self, until: Optional[float] = None,
+            max_epochs: int = 1_000_000,
+            max_events_per_epoch: int = 10_000_000) -> None:
+        """Run all workers in lockstep epochs until drained (or ``until``).
+
+        The same barrier walk as :meth:`~repro.node.sharded.
+        ShardedWorld.run`, with each epoch executed as a
+        collect/route/scatter cycle over the worker pipes — in parallel
+        for independent workloads, as serial shard-order turns for
+        entangled ones (see the module docstring).
+        """
+        if self._closed:
+            raise UsageError("world is closed")
+        serial = self._serial()
+        for _ in range(max_epochs):
+            running = [h for h in self._handles if not h.suspended]
+            next_times = [t for t in (h.peek for h in running)
+                          if t is not None]
+            next_times += [o.restart_at for o in self._due_restarts()]
+            # Routed-but-unshipped inbox items will schedule kernel
+            # events the moment they are applied; the in-process driver
+            # sees those through the destination's peek right after its
+            # flush, so barrier selection must account for them here or
+            # the two drivers walk different barrier sequences.
+            for shard, items in enumerate(self._staged_items):
+                if self._suspended[shard]:
+                    continue  # frozen kernel: events wait for a revival
+                now = self._handles[shard].now
+                next_times += [max(transfer.at, now)
+                               for action, transfer in items
+                               if action == "deliver"
+                               and transfer.kind in ("package", "shadow")]
+            if not next_times:
+                if any(self._staged_items):
+                    # Ship the routed inboxes; applying them may wake
+                    # kernels (durable deliveries, retained retries).
+                    self._cycle(barrier=None, serial=serial, run=False,
+                                max_events=max_events_per_epoch, revives={})
+                    continue
+                if self.bridge.pending():
+                    # Retained shadow retries and forwards committed on
+                    # the last epoch's final event must still resolve.
+                    self._route(self.now)
+                    continue
+                self._sync_records()
+                return
+            soonest = min(next_times)
+            if until is not None and soonest > until:
+                # Cap every running kernel's clock at `until`; no flush
+                # (mirrors the in-process driver), but staged inboxes
+                # from the last flush still ship with the command.
+                self._cycle(barrier=until, serial=serial, run=True,
+                            max_events=max_events_per_epoch, revives={},
+                            cap_to_now=True)
+                self._sync_records()
+                return
+            floor_now = max((h.now for h in running), default=self.now)
+            barrier = next_epoch_barrier(soonest, self.epoch, floor_now)
+            if until is not None and barrier > until:
+                barrier = until
+            revives: dict[int, tuple] = {}
+            for outage in self._due_restarts():
+                if outage.restart_at <= barrier:
+                    outage.revived = True
+                    self._suspended[outage.shard] = False
+                    revives[outage.shard] = (
+                        outage.restart_at,
+                        self.bridge.take_backlog(outage.shard))
+            self._cycle(barrier=barrier, serial=serial, run=True,
+                        max_events=max_events_per_epoch, revives=revives)
+            self._route(barrier)
+            self.epochs_run += 1
+        raise UsageError(
+            f"sharded run exceeded {max_epochs} epochs; likely livelock")
+
+    def _sync_records(self) -> None:
+        """Pull every worker's pending record deltas into the merged
+        table (end of a run: the independent-epoch schedule ships
+        records with migrating agents, not per epoch, so the
+        coordinator's inspection copies catch up here)."""
+        for handle in self._handles:
+            try:
+                deltas = handle.request(
+                    "fetch", {"what": "record_deltas"})["value"]
+            except WorkerDied:
+                continue  # a dead shard's last state is already merged
+            for _agent_id, blob in deltas.items():
+                self._merge_record_blob(blob, origin=handle.shard)
+
+    def _route(self, barrier: float) -> None:
+        for shard, action, transfer in self.bridge.route(
+                list(self._suspended)):
+            self._staged_items[shard].append((action, transfer))
+        self.last_flush_at = barrier
+
+    def _views_for(self, shard: int) -> dict[str, Any]:
+        locks: dict[int, dict] = {}
+        for replica in range(self.n_shards):
+            merged: dict[int, tuple] = {}
+            for owner, contribution in self._locks[replica].items():
+                if owner == shard:
+                    continue  # its own holds live in its mirrors
+                for work_id, txid in contribution.items():
+                    merged[work_id] = (owner, txid)
+            locks[replica] = merged
+        return {
+            "suspended": list(self._suspended),
+            "down": {j: self._down[j] for j in range(self.n_shards)
+                     if j != shard},
+            "claims": {j: self._claims[j] for j in range(self.n_shards)
+                       if j != shard},
+            "locks": locks,
+        }
+
+    def _epoch_payload(self, shard: int, barrier: Optional[float],
+                       run: bool, max_events: int, revives: dict,
+                       cap_to_now: bool, serial: bool) -> dict[str, Any]:
+        handle = self._handles[shard]
+        shard_barrier = barrier
+        if cap_to_now and barrier is not None:
+            shard_barrier = max(barrier, handle.now)
+        return {
+            "barrier": shard_barrier,
+            "run": run and (not handle.suspended or shard in revives),
+            "max_events": max_events,
+            "items": self._staged_items[shard],
+            "records": self._pending_records[shard],
+            "revive": revives.get(shard),
+            "views": self._views_for(shard) if self._entangled else None,
+            "last_flush_at": self.last_flush_at,
+            "want_dump": self._entangled,
+            "ship_records": serial,
+        }
+
+    def _cycle(self, barrier: Optional[float], serial: bool, run: bool,
+               max_events: int, revives: dict,
+               cap_to_now: bool = False) -> None:
+        """One coordinated cycle: scatter commands, collect, merge.
+
+        Targets every shard that must act this cycle (running kernels,
+        kernels with staged inbox items, kernels being revived).  In
+        serial mode each worker's turn completes — and its dumps merge
+        into the canonical views — before the next worker starts, which
+        is what keeps entangled runs identical to the in-process
+        schedule.
+        """
+        targets = [
+            shard for shard in range(self.n_shards)
+            if (run and not self._handles[shard].suspended)
+            or self._staged_items[shard] or shard in revives
+            or self._pending_records[shard]]
+        if serial:
+            for shard in targets:
+                self._dispatch(shard, barrier, run, max_events, revives,
+                               cap_to_now, serial)
+                self._collect(shard)
+            return
+        dispatched: list[int] = []
+        first_death: Optional[WorkerDied] = None
+        try:
+            for shard in targets:
+                self._dispatch(shard, barrier, run, max_events, revives,
+                               cap_to_now, serial)
+                dispatched.append(shard)
+        except WorkerDied as died:
+            first_death = died
+        for shard in dispatched:
+            # Drain every in-flight reply even when a sibling died, so
+            # the surviving pipes stay request/reply-aligned and the
+            # facade remains inspectable after the error surfaces.
+            try:
+                self._collect(shard)
+            except WorkerDied as died:
+                if first_death is None:
+                    first_death = died
+        if first_death is not None:
+            raise first_death
+
+    def _dispatch(self, shard: int, barrier: Optional[float], run: bool,
+                  max_events: int, revives: dict, cap_to_now: bool,
+                  serial: bool) -> None:
+        payload = self._epoch_payload(shard, barrier, run, max_events,
+                                      revives, cap_to_now, serial)
+        self._staged_items[shard] = []
+        self._pending_records[shard] = {}
+        self._handles[shard].send("epoch", payload)
+
+    def _collect(self, shard: int) -> None:
+        handle = self._handles[shard]
+        reply = handle.recv()
+        self._suspended[shard] = handle.suspended
+        for agent_id, blob in reply.get("record_deltas", {}).items():
+            self._merge_record_blob(blob, origin=shard)
+        for transfer in reply["outbox"]:
+            self.bridge.adopt(transfer)
+        dump = reply.get("dump")
+        if dump is not None:
+            self._claims[shard] = dump["claims"]
+            self._down[shard] = dump["down"]
+            for replica, contribution in dump["locks"].items():
+                self._locks[replica][shard] = contribution
+
+    # -- results ------------------------------------------------------------------------
+
+    def outcomes(self) -> dict[str, dict[str, Any]]:
+        """Canonical per-agent outcomes (same shape as ShardedWorld's)."""
+        return outcomes_of(self.agents)
+
+    def counters(self, exclude_prefixes: tuple[str, ...] = ()
+                 ) -> dict[str, int]:
+        """Aggregate counters/byte totals fetched from every worker."""
+        return aggregate_counters(
+            [h.request("fetch", {"what": "summary"})["value"]
+             for h in self._handles],
+            exclude_prefixes)
+
+    def events_processed(self) -> int:
+        return sum(handle.events for handle in self._handles)
+
+    def shard_metrics(self, shard: int):
+        """A snapshot of one worker's :class:`~repro.sim.metrics.Metrics`."""
+        return self._handles[shard].request(
+            "fetch", {"what": "metrics"})["value"]
+
+    def resource_state(self, node: str, resource: str) -> Any:
+        """Pickled snapshot of a worker-hosted resource's current state."""
+        return self._handles[self.shard_of(node)].request(
+            "fetch", {"what": "resource", "node": node,
+                      "resource": resource})["value"]
+
+    def serialization_stats(self) -> dict[str, int]:
+        """Summed per-worker serialization STATS counters."""
+        return aggregate_counters(
+            [h.request("fetch", {"what": "ser_stats"})["value"]
+             for h in self._handles])
+
+    def shard_serialization_stats(self, shard: int) -> dict[str, int]:
+        """One worker process's own serialization STATS counters."""
+        return self._handles[shard].request(
+            "fetch", {"what": "ser_stats"})["value"]
+
+    def enable_trace_digest(self) -> None:
+        """Turn on every worker kernel's event-stream digest."""
+        for handle in self._handles:
+            handle.request("enable_digest")
+
+    def trace_digests(self) -> list[Optional[int]]:
+        """Per-shard kernel event-stream digests (see Simulator)."""
+        return [h.request("fetch", {"what": "trace_digest"})["value"]
+                for h in self._handles]
+
+    # -- ledger inspection (tests / benches) ----------------------------------------------
+
+    def ledger_claims(self) -> dict[int, dict[int, str]]:
+        """Every replica's view of every claim: work_id -> shard -> holder."""
+        claims: dict[int, dict[int, str]] = {}
+        for handle in self._handles:
+            dump = handle.request("fetch", {"what": "ledger"})["value"]
+            for work_id, holder in dump.items():
+                claims.setdefault(work_id, {})[handle.shard] = holder
+        return claims
+
+    def ledger_quorum_agrees(self) -> bool:
+        """Do the live replicas agree on every claim, with a majority?"""
+        alive = {shard for shard in range(self.n_shards)
+                 if not self._suspended[shard]}
+        if not alive:
+            return True
+        need = len(alive) // 2 + 1
+        for replicas in self.ledger_claims().values():
+            holders = [holder for shard, holder in replicas.items()
+                       if shard in alive]
+            if not holders:
+                continue  # only dead replicas hold it — unresolvable now
+            if len(set(holders)) != 1 or len(holders) < need:
+                return False
+        return True

@@ -310,6 +310,39 @@ class World:
     def rollback_driver(self, mode: RollbackMode):
         return self._drivers[RollbackMode(mode)]
 
+    # -- backend-neutral inspection / injection -----------------------------------------------
+    #
+    # The same three methods exist on ShardedWorld and ProcShardedWorld,
+    # so a workload or equivalence check can drive any execution backend
+    # (one kernel, N in-process kernels, N worker processes) through one
+    # call surface.
+
+    def resource_state(self, node: str, resource: str) -> Any:
+        """The named resource hosted by ``node`` (live object here)."""
+        return self.node(node).get_resource(resource)
+
+    def outcomes(self) -> dict[str, dict[str, Any]]:
+        """Canonical per-agent outcomes (same shape as ShardedWorld's)."""
+        from repro.node.sharded import outcomes_of
+        return outcomes_of(self.agents)
+
+    def apply_crash_plans(self, plans) -> None:
+        """Schedule node-level outages (facade twin of ``failures.apply_plan``)."""
+        self.failures.apply_plan(plans)
+
+    def serialization_stats(self) -> dict[str, int]:
+        """This process's :data:`repro.storage.serialization.STATS` copy."""
+        from repro.storage.serialization import stats
+        return stats()
+
+    def enable_trace_digest(self) -> None:
+        """Turn on the kernel's event-stream digest."""
+        self.sim.enable_trace_digest()
+
+    def trace_digests(self) -> list:
+        """The kernel event-stream digest, as a one-element list."""
+        return [self.sim.trace_digest()]
+
     # -- execution ------------------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None,

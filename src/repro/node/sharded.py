@@ -77,10 +77,9 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Optional
+from typing import TYPE_CHECKING, Any, Optional
 
 from repro.errors import UsageError
-from repro.net.transport import surface_give_up
 from repro.node.runtime import LEDGER_NODE, AgentRecord, World
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -91,9 +90,69 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.tx.manager import Transaction
 
 
+def next_epoch_barrier(soonest: float, epoch: float,
+                       floor_now: float) -> float:
+    """The next barrier on the epoch grid at-or-after ``soonest``.
+
+    Shared by the in-process and multiprocess epoch drivers so both
+    walk exactly the same barrier sequence: the grid point covering the
+    earliest pending event, nudged up one grid step on float round-down,
+    and never behind ``floor_now`` (the fastest running kernel's clock —
+    a revival may be due before it, but barriers cannot move backwards).
+    """
+    barrier = epoch * math.ceil(soonest / epoch)
+    if barrier < soonest:  # float guard: stay at-or-after the event
+        barrier += epoch
+    while barrier < floor_now:
+        barrier += epoch
+    return barrier
+
+
+def outcomes_of(agents: dict[str, AgentRecord]) -> dict[str, dict[str, Any]]:
+    """Canonical per-agent outcomes, for cross-configuration checks.
+
+    Status, result, committed-step and rollback counts — everything
+    that must be identical between runs of the same seeded workload on
+    any execution backend (unsharded, in-process shards, process-backed
+    shards); timing may differ by bridge staleness, outcomes may not.
+    """
+    return {
+        agent_id: {
+            "status": record.status.value,
+            "result": record.result,
+            "failure": record.failure,
+            "steps_committed": record.steps_committed,
+            "rollbacks_completed": record.rollbacks_completed,
+        }
+        for agent_id, record in sorted(agents.items())
+    }
+
+
+def aggregate_counters(summaries: list[dict[str, Any]],
+                       exclude_prefixes: tuple[str, ...] = ()
+                       ) -> dict[str, int]:
+    """Sum per-shard metric summaries, dropping excluded families."""
+    totals: dict[str, int] = {}
+    for summary in summaries:
+        for key, value in summary.items():
+            if any(key.startswith(p) or key.startswith(f"bytes.{p}")
+                   for p in exclude_prefixes):
+                continue
+            totals[key] = totals.get(key, 0) + value
+    return dict(sorted(totals.items()))
+
+
 @dataclass
 class _Transfer:
-    """One unit of traffic crossing a shard boundary."""
+    """One unit of traffic crossing a shard boundary.
+
+    Deliberately **process-picklable**: the payloads are agent packages
+    / messages (already pickle-framed) and the source/give-up context
+    is carried as a shard index plus a declarative tag instead of live
+    world references or closures, so the same object can ride a
+    :mod:`multiprocessing` pipe between a shard worker and the
+    coordinator (see :mod:`repro.node.procshard`).
+    """
 
     at: float          # source-shard commit time
     seq: int           # global order among forwards of the same instant
@@ -105,8 +164,20 @@ class _Transfer:
     ledger_write: Optional[tuple] = None       # (work_id, holder)
     max_retries: int = 0
     retries: int = 0
-    source: Optional["ShardWorld"] = None
-    on_gave_up: Optional[Callable] = None
+    source_shard: int = -1
+    #: Declarative give-up context, e.g. ``("shadow-lost", alt_name)``;
+    #: resolved to the concrete handler on the *source* shard by
+    #: :meth:`~repro.exactly_once.fault_tolerant.BridgedFaultTolerance.
+    #: apply_bridge_give_up` (never a closure — closures cannot cross a
+    #: process boundary).
+    give_up: Optional[tuple] = None
+    #: Worker mode only: the shipped agent's record state, captured by
+    #: the source worker when the transfer left it, applied by the
+    #: destination worker before the payload is delivered.  The agent's
+    #: record travels *with* the agent instead of being broadcast every
+    #: epoch (in-process shards share the record table directly and
+    #: leave this None).
+    record_blob: Optional[bytes] = None
 
 
 @dataclass
@@ -161,6 +232,24 @@ class CrossShardBridge:
         """Forwards awaiting the next barrier flush."""
         return len(self._pending)
 
+    def drain_pending(self) -> list[_Transfer]:
+        """Take every pending forward, in insertion order (worker outbox).
+
+        A shard worker's bridge is a pure accumulator: the worker drains
+        it after each epoch and ships the transfers to the coordinator,
+        whose own bridge re-registers them (in shard order, so the
+        global sequence numbers reproduce the in-process interleaving)
+        and performs the actual routing.
+        """
+        pending = self._pending
+        self._pending = []
+        return pending
+
+    def adopt(self, transfer: _Transfer) -> None:
+        """Re-register a worker-shipped transfer under a fresh sequence."""
+        transfer.seq = next(self._seq)
+        self._pending.append(transfer)
+
     def forward(self, dest_shard: int, dest_name: str,
                 package: "AgentPackage", at: float) -> None:
         """Hand a committed package to the bridge (source commit action)."""
@@ -169,8 +258,8 @@ class CrossShardBridge:
             dest_shard=dest_shard, dest_name=dest_name, package=package))
 
     def forward_shadow(self, dest_shard: int, message: "Message",
-                       at: float, max_retries: int, source: "ShardWorld",
-                       on_gave_up: Optional[Callable] = None,
+                       at: float, max_retries: int, source_shard: int,
+                       give_up: Optional[tuple] = None,
                        retries: int = 0) -> None:
         """Hand a committed FT shadow copy to the bridge.
 
@@ -180,8 +269,8 @@ class CrossShardBridge:
         self._pending.append(_Transfer(
             at=at, seq=next(self._seq), kind="shadow",
             dest_shard=dest_shard, dest_name=message.dst, message=message,
-            max_retries=max_retries, retries=retries, source=source,
-            on_gave_up=on_gave_up))
+            max_retries=max_retries, retries=retries,
+            source_shard=source_shard, give_up=give_up))
 
     def forward_ledger(self, source_shard: int, work_id: int, holder: str,
                        at: float) -> None:
@@ -193,75 +282,120 @@ class CrossShardBridge:
                 at=at, seq=next(self._seq), kind="ledger", dest_shard=dest,
                 ledger_write=(work_id, holder)))
 
-    def catch_up(self, shard: int, world: "ShardWorld") -> int:
-        """Apply the mirror backlog to a restarted shard's replica."""
-        backlog = self._ledger_backlog.pop(shard, [])
-        for work_id, holder in backlog:
-            world.ft.apply_mirror(work_id, holder)
-        if backlog:
-            world.metrics.incr("ft.ledger.catch_up_applied", len(backlog))
-        return len(backlog)
+    def take_backlog(self, shard: int) -> list[tuple]:
+        """Claim the banked ledger mirrors of a restarting shard.
 
-    def flush(self, shards: list["ShardWorld"], barrier: float) -> int:
-        """Move every pending forward to its destination.
+        The caller hands them to the shard's
+        :meth:`ShardWorld.apply_ledger_catchup` (directly in-process;
+        over the revive command in worker mode).
+        """
+        return self._ledger_backlog.pop(shard, [])
 
-        Runs between epochs, when every live shard's clock sits exactly
-        at ``barrier``; deliveries are scheduled at the barrier instant
-        in deterministic order.  Returns the number of transfers moved
-        (retained shadow retries for suspended shards don't count).
+    def route(self, suspended: list[bool]) -> list[tuple[int, str, _Transfer]]:
+        """Decide the fate of every pending forward — no state applied.
+
+        The pure half of a barrier flush: sorts the pending transfers
+        into the deterministic ``(commit time, sequence)`` order and
+        classifies each against the destination suspension states into
+        an ordered list of ``(shard, action, transfer)`` deliveries,
+        where ``action`` is ``"deliver"`` (apply to the shard world via
+        :func:`apply_transfer`) or ``"give-up"`` (surface on the
+        *source* shard via :func:`apply_give_up`).  Shadow retries for
+        suspended destinations are retained internally; ledger mirrors
+        for them are banked until :meth:`take_backlog`.
+
+        Splitting decision from application is what lets the same
+        bridge drive in-process shard worlds (apply immediately) and
+        multiprocess shard workers (ship each shard its ordered inbox):
+        the decisions — and therefore the runs — are identical.
         """
         pending = self._pending
         self._pending = []
         pending.sort(key=lambda t: (t.at, t.seq))
         retained: list[_Transfer] = []
+        deliveries: list[tuple[int, str, _Transfer]] = []
         moved = 0
         for transfer in pending:
-            world = shards[transfer.dest_shard]
+            down = suspended[transfer.dest_shard]
             if transfer.kind == "ledger":
-                if world.sim.suspended:
+                if down:
                     self._ledger_backlog.setdefault(
                         transfer.dest_shard, []).append(transfer.ledger_write)
                 else:
-                    world.ft.apply_mirror(*transfer.ledger_write)
+                    deliveries.append((transfer.dest_shard, "deliver",
+                                       transfer))
                 moved += 1
                 continue
-            if transfer.kind == "shadow":
-                if world.sim.suspended:
-                    transfer.retries += 1
-                    if transfer.retries > transfer.max_retries:
-                        # Surfaced as lost, not moved: transfers_total
-                        # counts only traffic that reached a shard.
-                        source = transfer.source
-                        surface_give_up(source.metrics, source.sim.now,
-                                        transfer.message,
-                                        transfer.on_gave_up)
-                        self.shadows_dropped += 1
-                    else:
-                        retained.append(transfer)
-                    continue
-                when = max(transfer.at, world.sim.now)
-                world.metrics.incr("bridge.shadows")
-                world.metrics.add_bytes("bridge.bytes",
-                                        transfer.message.size_bytes)
-                world.ft.receive_shadow(transfer.message,
-                                        transfer.max_retries,
-                                        transfer.retries, transfer.source,
-                                        transfer.on_gave_up, when)
-                moved += 1
+            if transfer.kind == "shadow" and down:
+                transfer.retries += 1
+                if transfer.retries > transfer.max_retries:
+                    # Surfaced as lost, not moved: transfers_total
+                    # counts only traffic that reached a shard.
+                    deliveries.append((transfer.source_shard, "give-up",
+                                       transfer))
+                    self.shadows_dropped += 1
+                else:
+                    retained.append(transfer)
                 continue
-            when = max(transfer.at, world.sim.now)
-            world.metrics.incr("bridge.transfers")
-            world.metrics.add_bytes("bridge.bytes",
-                                    transfer.package.size_bytes)
-            world.sim.schedule_at(
-                when,
-                lambda w=world, t=transfer:
-                    w.node(t.dest_name).queue.enqueue(t.package),
-                label=f"bridge:{transfer.dest_name}")
+            deliveries.append((transfer.dest_shard, "deliver", transfer))
             moved += 1
         self._pending.extend(retained)
         self.transfers_total += moved
+        return deliveries
+
+    def flush(self, shards: list["ShardWorld"], barrier: float) -> int:
+        """Route every pending forward and apply it to its destination.
+
+        Runs between epochs, when every live shard's clock sits exactly
+        at ``barrier``; deliveries are applied at the barrier instant
+        in deterministic order.  Returns the number of transfers moved
+        (retained shadow retries for suspended shards don't count).
+        """
+        moved = 0
+        for shard, action, transfer in self.route(
+                [w.sim.suspended for w in shards]):
+            if action == "give-up":
+                apply_give_up(shards[shard], transfer)
+            else:
+                apply_transfer(shards[shard], transfer)
+                moved += 1
         return moved
+
+
+def apply_transfer(world: "ShardWorld", transfer: _Transfer) -> None:
+    """Apply one routed bridge delivery to its destination shard world.
+
+    The application half of a barrier flush (see
+    :meth:`CrossShardBridge.route`): runs inside the destination's
+    kernel context — directly during an in-process flush, or when a
+    shard worker applies its inbox at the start of the next cycle.
+    Both happen with the destination clock at the same instant, so the
+    scheduled event sequence is identical in either mode.
+    """
+    if transfer.kind == "ledger":
+        world.ft.apply_mirror(*transfer.ledger_write)
+        return
+    if transfer.kind == "shadow":
+        when = max(transfer.at, world.sim.now)
+        world.metrics.incr("bridge.shadows")
+        world.metrics.add_bytes("bridge.bytes", transfer.message.size_bytes)
+        world.ft.receive_shadow(transfer.message, transfer.max_retries,
+                                transfer.retries, transfer.source_shard,
+                                transfer.give_up, when)
+        return
+    when = max(transfer.at, world.sim.now)
+    world.metrics.incr("bridge.transfers")
+    world.metrics.add_bytes("bridge.bytes", transfer.package.size_bytes)
+    world.sim.schedule_at(
+        when,
+        lambda w=world, t=transfer:
+            w.node(t.dest_name).queue.enqueue(t.package),
+        label=f"bridge:{transfer.dest_name}")
+
+
+def apply_give_up(world: "ShardWorld", transfer: _Transfer) -> None:
+    """Surface an abandoned bridged transfer on its *source* shard."""
+    world.ft.apply_bridge_give_up(transfer.message, transfer.give_up)
 
 
 class ShardWorld(World):
@@ -295,9 +429,9 @@ class ShardWorld(World):
         one epoch (kernels only synchronise at barriers).
         """
         if name != LEDGER_NODE and name not in self.nodes:
-            shard = self._sharded._node_shard.get(name)
+            shard = self._sharded.placement_of(name)
             if shard is not None:
-                return self._sharded.shards[shard].failures.node_up(name)
+                return self._sharded.foreign_node_up(shard, name)
         return super().node_up(name)
 
     def reachable(self, a: str, b: str) -> bool:
@@ -310,12 +444,66 @@ class ShardWorld(World):
         links have no partition model; node liveness is the signal.
         """
         if b != LEDGER_NODE and b not in self.nodes:
-            shard = self._sharded._node_shard.get(b)
+            shard = self._sharded.placement_of(b)
             if shard is not None:
-                other = self._sharded.shards[shard]
                 return (self.failures.node_up(a)
-                        and other.failures.node_up(b))
+                        and self._sharded.foreign_node_up(shard, b))
         return super().reachable(a, b)
+
+    # -- whole-kernel outage handling (shared by both shard drivers) ------------------
+
+    def schedule_kill(self, at: float) -> None:
+        """Schedule this kernel's whole-shard outage at time ``at``."""
+        self.sim.schedule_at(at, self.die_now,
+                             label=f"kill-shard:{self.shard_index}",
+                             priority=-100)
+
+    def die_now(self) -> None:
+        """The kill instant: crash every node, sweep, suspend the kernel."""
+        for name in self.nodes:
+            self.failures.force_crash(name)
+        # Bridged shadows accepted at a barrier but not yet adopted
+        # would strand in the frozen kernel; hand them back to the
+        # bridge so they are delivered after a restart or surfaced.
+        self.ft.sweep_inbound_shadows()
+        self.metrics.incr("shard.kills")
+        self.metrics.record(self.sim.now, "shard-killed",
+                            shard=self.shard_index)
+        self.sim.suspend()
+
+    def schedule_revival(self, restart_at: float,
+                         ledger_backlog: list[tuple]) -> None:
+        """Resume the kernel and schedule node recovery at ``restart_at``.
+
+        ``ledger_backlog`` is the banked mirror traffic claimed from the
+        bridge (:meth:`CrossShardBridge.take_backlog`) at revival time —
+        no further mirrors can be banked between the revival decision at
+        the barrier and the recovery event, so claiming it early is
+        equivalent to the catch-up running inside the recovery event.
+        """
+        self.sim.resume()
+
+        def _recover() -> None:
+            # Replica catch-up first, so recovered dispatches see the
+            # settled ledger before re-executing anything.
+            self.apply_ledger_catchup(ledger_backlog)
+            self.metrics.incr("shard.restarts")
+            self.metrics.record(self.sim.now, "shard-restarted",
+                                shard=self.shard_index)
+            for name in self.nodes:
+                self.failures.force_recover(name)
+
+        self.sim.schedule_at(restart_at, _recover,
+                             label=f"restart-shard:{self.shard_index}",
+                             priority=-10)
+
+    def apply_ledger_catchup(self, backlog: list[tuple]) -> int:
+        """Apply banked mirror writes to this shard's ledger replica."""
+        for work_id, holder in backlog:
+            self.ft.apply_mirror(work_id, holder)
+        if backlog:
+            self.metrics.incr("ft.ledger.catch_up_applied", len(backlog))
+        return len(backlog)
 
     def deliver_package(self, tx: "Transaction", package: "AgentPackage",
                         dest_name: str) -> None:
@@ -340,8 +528,25 @@ class ShardedWorld:
     reference configuration the determinism tests compare against.
     """
 
+    def __new__(cls, n_shards: int = 2, seed: int = 0,
+                epoch: Optional[float] = None, workers: str = "inline",
+                **world_kwargs: Any):
+        if cls is ShardedWorld and workers == "process":
+            # Construction-time dispatch: ``ShardedWorld(workers=
+            # "process")`` hands back the multiprocess driver (a
+            # sibling facade, not a subclass — __init__ below is then
+            # skipped because the instance is not a ShardedWorld).
+            from repro.node.procshard import ProcShardedWorld
+            return ProcShardedWorld(n_shards=n_shards, seed=seed,
+                                    epoch=epoch, **world_kwargs)
+        if workers not in ("inline", "process"):
+            raise UsageError(f"unknown workers mode {workers!r} "
+                             f"(use 'inline' or 'process')")
+        return super().__new__(cls)
+
     def __init__(self, n_shards: int = 2, seed: int = 0,
-                 epoch: Optional[float] = None, **world_kwargs: Any):
+                 epoch: Optional[float] = None, workers: str = "inline",
+                 **world_kwargs: Any):
         if n_shards < 1:
             raise UsageError(f"need at least 1 shard, got {n_shards}")
         self.n_shards = n_shards
@@ -443,46 +648,64 @@ class ShardedWorld:
                              f"the kill time ({at})")
         self._outages.append(_ShardOutage(shard=shard, at=at,
                                           restart_at=restart_at))
-        world.sim.schedule_at(at, lambda: self._kill_now(shard),
-                              label=f"kill-shard:{shard}", priority=-100)
-
-    def _kill_now(self, shard: int) -> None:
-        world = self.shards[shard]
-        for name, placed in self._node_shard.items():
-            if placed == shard:
-                world.failures.force_crash(name)
-        # Bridged shadows accepted at a barrier but not yet adopted
-        # would strand in the frozen kernel; hand them back to the
-        # bridge so they are delivered after a restart or surfaced.
-        world.ft.sweep_inbound_shadows()
-        world.metrics.incr("shard.kills")
-        world.metrics.record(world.sim.now, "shard-killed", shard=shard)
-        world.sim.suspend()
+        world.schedule_kill(at)
 
     def _revive(self, outage: _ShardOutage) -> None:
-        world = self.shards[outage.shard]
         outage.revived = True
-        world.sim.resume()
-        names = [n for n, placed in self._node_shard.items()
-                 if placed == outage.shard]
-
-        def _recover() -> None:
-            # Replica catch-up first, so recovered dispatches see the
-            # settled ledger before re-executing anything.
-            self.bridge.catch_up(outage.shard, world)
-            world.metrics.incr("shard.restarts")
-            world.metrics.record(world.sim.now, "shard-restarted",
-                                 shard=outage.shard)
-            for name in names:
-                world.failures.force_recover(name)
-
-        world.sim.schedule_at(outage.restart_at, _recover,
-                              label=f"restart-shard:{outage.shard}",
-                              priority=-10)
+        self.shards[outage.shard].schedule_revival(
+            outage.restart_at, self.bridge.take_backlog(outage.shard))
 
     def shard_alive(self, shard: int) -> bool:
         """False while ``shard``'s kernel is suspended by an outage."""
         return not self.shards[shard].sim.suspended
+
+    def apply_crash_plans(self, plans) -> None:
+        """Schedule node-level outages, routed to the owning shards.
+
+        The facade twin of ``world.failures.apply_plan`` on a plain
+        :class:`~repro.node.runtime.World` — one call site that works
+        no matter which shard hosts each node (and, via the matching
+        method on :class:`~repro.node.procshard.ProcShardedWorld`, no
+        matter which *process*).
+        """
+        for plan in plans:
+            self.world_of(plan.node).failures.apply_plan([plan])
+
+    # -- cross-shard state seams (the worker-mode boundary) ---------------------------
+    #
+    # Everything a ShardWorld or its BridgedFaultTolerance reads from
+    # *another* shard mid-epoch funnels through these methods.  The
+    # in-process implementations read the live sibling worlds; the
+    # multiprocess driver gives each worker a
+    # :class:`~repro.node.procshard.RemoteShardContext` implementing
+    # the same surface from barrier-synchronised views, which the
+    # serial-turn schedule keeps byte-identical to the live reads.
+
+    def placement_of(self, name: str) -> Optional[int]:
+        """Shard index hosting node ``name`` (None when unknown)."""
+        return self._node_shard.get(name)
+
+    def foreign_node_up(self, shard: int, name: str) -> bool:
+        """Liveness of ``name`` as seen by its owning shard's injector."""
+        return self.shards[shard].failures.node_up(name)
+
+    def shard_suspended(self, shard: int) -> bool:
+        """True while ``shard``'s kernel is halted by an outage."""
+        return self.shards[shard].sim.suspended
+
+    def live_shard_indices(self) -> list[int]:
+        """Indices of the non-suspended shards, in shard order."""
+        return [world.shard_index for world in self.shards
+                if not world.sim.suspended]
+
+    def claim_lock(self, tx: "Transaction", shard: int,
+                   work_id: int) -> None:
+        """Acquire the claim-key lock on ``shard``'s ledger replica."""
+        self.shards[shard].ft.ledger_locks.acquire(("claim", work_id), tx)
+
+    def read_claim(self, shard: int, work_id: int) -> Optional[str]:
+        """Read ``shard``'s ledger replica's view of one claim."""
+        return self.shards[shard].ft.ledger.get(("claim", work_id))
 
     # -- agent management -----------------------------------------------------------------
 
@@ -547,16 +770,12 @@ class ShardedWorld:
                 for world in running:
                     world.sim.run_epoch(max(until, world.sim.now))
                 return
-            barrier = self.epoch * math.ceil(soonest / self.epoch)
-            if barrier < soonest:  # float guard: stay at-or-after the event
-                barrier += self.epoch
             # A revival may be due before the clocks of the running
             # shards (they advanced while the dead kernel froze); the
             # barrier can never move backwards.
             floor_now = max((w.sim.now for w in running),
                             default=self.now)
-            while barrier < floor_now:
-                barrier += self.epoch
+            barrier = next_epoch_barrier(soonest, self.epoch, floor_now)
             if until is not None and barrier > until:
                 barrier = until
             for outage in self._due_restarts():
@@ -583,16 +802,7 @@ class ShardedWorld:
         unsharded run at the same seed (timing may differ by bridge
         staleness; outcomes may not).
         """
-        return {
-            agent_id: {
-                "status": record.status.value,
-                "result": record.result,
-                "failure": record.failure,
-                "steps_committed": record.steps_committed,
-                "rollbacks_completed": record.rollbacks_completed,
-            }
-            for agent_id, record in sorted(self.agents.items())
-        }
+        return outcomes_of(self.agents)
 
     def counters(self, exclude_prefixes: tuple[str, ...] = ()
                  ) -> dict[str, int]:
@@ -602,18 +812,47 @@ class ShardedWorld:
         between shard counts (e.g. ``bridge.`` traffic exists only when
         N > 1).
         """
-        totals: dict[str, int] = {}
-        for world in self.shards:
-            for key, value in world.metrics.summary().items():
-                if any(key.startswith(p) or key.startswith(f"bytes.{p}")
-                       for p in exclude_prefixes):
-                    continue
-                totals[key] = totals.get(key, 0) + value
-        return dict(sorted(totals.items()))
+        return aggregate_counters(
+            [world.metrics.summary() for world in self.shards],
+            exclude_prefixes)
 
     def events_processed(self) -> int:
         """Total kernel events fired across all shards."""
         return sum(world.sim.events_processed for world in self.shards)
+
+    def shard_metrics(self, shard: int) -> Any:
+        """One shard's :class:`~repro.sim.metrics.Metrics` (live)."""
+        return self.shards[shard].metrics
+
+    def resource_state(self, node: str, resource: str) -> Any:
+        """The named resource of ``node`` — live object in-process.
+
+        Part of the backend-neutral inspection surface (same method on
+        :class:`~repro.node.runtime.World` and on
+        :class:`~repro.node.procshard.ProcShardedWorld`, where it
+        returns a pickled snapshot fetched from the owning worker), so
+        equivalence checks can read post-run resource state without
+        caring which backend executed the run.
+        """
+        return self.node(node).get_resource(resource)
+
+    def serialization_stats(self) -> dict[str, int]:
+        """Aggregate :data:`repro.storage.serialization.STATS` view.
+
+        In-process every shard shares the module counters; the
+        process-backed driver sums each worker's own counters.
+        """
+        from repro.storage.serialization import stats
+        return stats()
+
+    def enable_trace_digest(self) -> None:
+        """Turn on every shard kernel's event-stream digest."""
+        for world in self.shards:
+            world.sim.enable_trace_digest()
+
+    def trace_digests(self) -> list[Optional[int]]:
+        """Per-shard kernel event-stream digests (see Simulator)."""
+        return [world.sim.trace_digest() for world in self.shards]
 
     # -- ledger inspection (tests / benches) -------------------------------------------------
 

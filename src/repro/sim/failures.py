@@ -83,6 +83,10 @@ class FailureInjector:
         """True when the (symmetric) link between ``a`` and ``b`` works."""
         return frozenset((a, b)) not in self._partitioned
 
+    def down_nodes(self) -> frozenset[str]:
+        """The currently-down node set (barrier snapshots in worker mode)."""
+        return frozenset(self._down)
+
     # -- planned injection -----------------------------------------------------
 
     def apply_plan(self, plans: Iterable[CrashPlan]) -> None:

@@ -12,6 +12,8 @@ from __future__ import annotations
 import heapq
 import itertools
 import random
+import struct
+import zlib
 from typing import Callable, Optional
 
 from repro.errors import UsageError
@@ -65,6 +67,37 @@ class Simulator:
         self._running = False
         self._suspended = False
         self.events_processed = 0
+        self._trace_digest: Optional[int] = None
+
+    # -- execution-trace digest ------------------------------------------------
+    #
+    # A rolling CRC over (time, label) of every fired event.  Two
+    # kernels that executed the same event stream — e.g. one shard of
+    # an in-process sharded run and the same shard inside a worker
+    # process — end with the same digest, which turns "did the runs
+    # really take the same path?" from a judgement call on outcomes
+    # into an exact event-by-event check.  Off by default (zero cost);
+    # the differential test harness switches it on.
+
+    def enable_trace_digest(self) -> None:
+        """Start accumulating the event-stream digest (idempotent)."""
+        if self._trace_digest is None:
+            self._trace_digest = 0
+
+    def trace_digest(self) -> Optional[int]:
+        """The rolling event-stream CRC (None unless enabled)."""
+        return self._trace_digest
+
+    def _digest_event(self, time: float, label: str) -> None:
+        # Normalise away a trailing ":<id>" segment: queue-item ids are
+        # minted from process-local counters, so their raw values (not
+        # the event stream) differ between an in-process shard and the
+        # same shard inside a worker process.
+        head, sep, tail = label.rpartition(":")
+        if sep and tail.isdigit():
+            label = head
+        payload = struct.pack("<d", time) + label.encode()
+        self._trace_digest = zlib.crc32(payload, self._trace_digest)
 
     # -- scheduling ---------------------------------------------------------
 
@@ -121,6 +154,8 @@ class Simulator:
                 if event.cancelled:
                     continue
                 self.now = time
+                if self._trace_digest is not None:
+                    self._digest_event(time, event.label)
                 event.fn()
                 self.events_processed += 1
                 if self._suspended:

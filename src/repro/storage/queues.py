@@ -36,6 +36,17 @@ def reset_item_ids() -> None:
     _ITEM_IDS = itertools.count(1)
 
 
+def set_item_id_namespace(index: int, stride: int = 10 ** 9) -> None:
+    """Move this process's item-id sequence into a disjoint namespace.
+
+    Item ids only need to be unique per node queue, but the shard
+    workers of a multiprocess run offset them anyway so that ids in
+    logs, labels and debug dumps never collide across processes.
+    """
+    global _ITEM_IDS
+    _ITEM_IDS = itertools.count(1 + index * stride)
+
+
 @dataclass
 class QueueItem:
     """One durable queue entry."""

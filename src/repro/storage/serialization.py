@@ -77,6 +77,69 @@ def size_of(obj: Any) -> int:
     return len(capture(obj))
 
 
+# -- process-boundary picklability audit --------------------------------------
+
+
+def find_unpicklable(obj: Any, path: str = "$",
+                     _seen: "set[int] | None" = None
+                     ) -> "list[tuple[str, str]]":
+    """Locate the parts of ``obj`` that cannot cross a process boundary.
+
+    Returns ``(path, reason)`` pairs for every offending component —
+    e.g. ``("$.give_up", "cannot pickle function <lambda> ...")`` — by
+    recursing into containers and object ``__dict__``s whenever the
+    whole object fails a :func:`capture` round trip.  Empty list ⇒
+    picklable.  Used by the multiprocess shard drivers and the audit
+    tests to turn an opaque ``PicklingError`` deep inside a worker
+    pipe into a message naming the exact frame and attribute at fault
+    (typically a closure captured into bridge traffic).  Cyclic object
+    graphs are handled (each container is descended into once).
+    """
+    try:
+        pickle.dumps(obj, protocol=PROTOCOL)
+        return []
+    except Exception as exc:  # noqa: BLE001 - reducers raise anything
+        reason = f"{type(exc).__name__}: {exc}"
+    if _seen is None:
+        _seen = set()
+    if id(obj) in _seen:
+        return []  # already reported through the first path that hit it
+    _seen.add(id(obj))
+    found: list[tuple[str, str]] = []
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            found.extend(find_unpicklable(value, f"{path}[{key!r}]", _seen))
+            found.extend(find_unpicklable(key, f"{path}<key {key!r}>",
+                                          _seen))
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        for i, value in enumerate(obj):
+            found.extend(find_unpicklable(value, f"{path}[{i}]", _seen))
+    elif hasattr(obj, "__dict__"):
+        for attr, value in vars(obj).items():
+            found.extend(find_unpicklable(value, f"{path}.{attr}", _seen))
+    # The culprit is this object itself (a lambda, a local class, an
+    # open handle...) when no constituent explains the failure.
+    return found or [(path, reason)]
+
+
+def assert_picklable(obj: Any, context: str) -> None:
+    """Raise ``TypeError`` naming every unpicklable part of ``obj``.
+
+    ``context`` describes what is being shipped ("bridge outbox of
+    shard 2", "agent package of ag-7", ...) so the failure reads as a
+    contract violation, not a pickle stack trace.
+    """
+    offenders = find_unpicklable(obj)
+    if offenders:
+        details = "\n".join(f"  {path}: {reason}"
+                            for path, reason in offenders)
+        raise TypeError(
+            f"{context} is not process-picklable; offending parts:\n"
+            f"{details}\n"
+            f"(bridge traffic and agent state must not capture "
+            f"closures, lambdas or live world objects)")
+
+
 # -- structural snapshot fast path -------------------------------------------
 
 #: Immutable leaves that may be shared between the live state and its

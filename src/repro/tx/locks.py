@@ -64,3 +64,12 @@ class LockManager:
     def held_count(self) -> int:
         """Number of items currently locked by active transactions."""
         return sum(1 for tx in self._holders.values() if tx.is_active())
+
+    def held_items(self) -> list[tuple[Hashable, "Transaction"]]:
+        """Every (item, holder) pair with an active holder.
+
+        The multiprocess shard workers use this to publish their open
+        cross-replica claim locks at each barrier turn.
+        """
+        return [(item, tx) for item, tx in self._holders.items()
+                if tx.is_active()]

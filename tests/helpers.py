@@ -118,6 +118,130 @@ class OneShotAgent(MobileAgent):
         return None
 
 
+# ---------------------------------------------------------------------------
+# Backend-neutral differential workload (tests/test_multiproc_differential.py)
+#
+# The same seeded FT itinerary workload — rollbacks, compensations,
+# node crashes, whole-shard outages with restart — expressed through
+# the call surface all three execution backends share (unsharded World,
+# in-process ShardedWorld, process-backed ProcShardedWorld), so their
+# runs can be compared agent by agent and bank by bank.  Everything
+# here is module-level and picklable: that is the worker-process
+# contract.
+# ---------------------------------------------------------------------------
+
+FT_RING = [f"n{i}" for i in range(9)]
+
+
+def build_ft_ring(backend, seed=7, n_shards=3, takeover_timeout=0.05,
+                  alternates=True, **kwargs):
+    """A ring of banked nodes on any backend, with FT alternates.
+
+    ``backend`` is one of ``"world"`` (single kernel), ``"sharded"``
+    (in-process shards) or ``"proc"`` (worker processes).  Node i's
+    alternates are the next two ring nodes, which round-robin placement
+    puts in the two other shards.
+    """
+    from repro import FTParams, ProcShardedWorld, ShardedWorld
+
+    kwargs.setdefault("ft_params",
+                      FTParams(takeover_timeout=takeover_timeout))
+    if backend == "world":
+        world = World(seed=seed, **kwargs)
+    elif backend == "sharded":
+        world = ShardedWorld(n_shards=n_shards, seed=seed, **kwargs)
+    elif backend == "proc":
+        world = ProcShardedWorld(n_shards=n_shards, seed=seed, **kwargs)
+    else:
+        raise ValueError(f"unknown backend {backend!r}")
+    for name in FT_RING:
+        node = world.add_node(name)
+        bank = Bank("bank")
+        bank.seed_account("a", 1_000, overdraft=OverdraftPolicy.ALLOWED)
+        bank.seed_account("b", 1_000, overdraft=OverdraftPolicy.ALLOWED)
+        node.add_resource(bank)
+    if alternates:
+        ring = FT_RING
+        for i, name in enumerate(ring):
+            alts = (ring[(i + 1) % len(ring)], ring[(i + 2) % len(ring)])
+            if backend == "world":
+                world.ft.set_alternates(name, *alts)
+            else:
+                world.set_alternates(name, *alts)
+    return world
+
+
+def launch_ft_tours(world, n_agents=3, plan_len=4, rollback=True):
+    """FT tours through every shard; each rolls back once at the end."""
+    from repro.agent.packages import Protocol
+
+    records = []
+    for a in range(n_agents):
+        start = 3 * a
+        plan = [FT_RING[(start + j) % len(FT_RING)]
+                for j in range(plan_len)]
+        agent = LinearAgent(f"ag-{a}", plan,
+                            savepoints={0: "sp"} if rollback else (),
+                            rollback_to="sp" if rollback else None)
+        records.append(world.launch(agent, at=plan[0], method="step",
+                                    protocol=Protocol.FAULT_TOLERANT))
+    return records
+
+
+def ring_debits(world):
+    """Per-node account-a debits: the exactly-once effect measure."""
+    return {
+        name: 1_000 - world.resource_state(name, "bank").peek("a")["balance"]
+        for name in FT_RING
+    }
+
+
+def shard_nodes(shard, n_shards=3):
+    """The ring nodes round-robin placement assigns to ``shard``."""
+    return [name for i, name in enumerate(FT_RING)
+            if i % n_shards == shard]
+
+
+def run_differential_scenario(backend, seed, outage=None, n_agents=3,
+                              rollback=True, **kwargs):
+    """Run one differential scenario; returns the comparison record.
+
+    ``outage`` is ``None`` or ``(shard, at, restart_at)``.  On the
+    unsharded backend a whole-shard outage is expressed as what it does
+    to the nodes — every node of the shard crashes at the kill time and
+    recovers at the restart — which is exactly the sharded semantics
+    minus the (outcome-invisible) kernel freeze.
+    """
+    from repro.sim.failures import CrashPlan
+
+    world = build_ft_ring(backend, seed=seed, **kwargs)
+    try:
+        if outage is not None:
+            shard, at, restart_at = outage
+            if backend == "world":
+                world.apply_crash_plans(
+                    [CrashPlan(name, at, restart_at - at)
+                     for name in shard_nodes(shard)])
+            else:
+                world.kill_shard(shard, at=at, restart_at=restart_at)
+        launch_ft_tours(world, n_agents=n_agents, rollback=rollback)
+        world.run(until=120.0)
+        result = {
+            "outcomes": world.outcomes(),
+            "debits": ring_debits(world),
+            "ledger_agrees": (world.ledger_quorum_agrees()
+                              if backend != "world" else True),
+        }
+        if backend != "world":
+            result["counters"] = world.counters()
+            result["epochs"] = world.epochs_run
+            result["events"] = world.events_processed()
+        return result
+    finally:
+        if hasattr(world, "close"):
+            world.close()
+
+
 def build_line_world(n_nodes=4, seed=0, **world_kwargs) -> World:
     """n nodes in a line, each with a bank holding accounts a and b."""
     world = World(seed=seed, **world_kwargs)

@@ -1,0 +1,252 @@
+"""Tests: the multiprocess shard-worker driver (facade + machinery).
+
+The contract under test (see :mod:`repro.node.procshard`):
+
+* **backend equivalence** — the same seeded workload produces
+  byte-identical results on ``ShardedWorld`` and ``ProcShardedWorld``:
+  outcomes, aggregate counters, epoch count, event count, and the
+  kernel event-stream digests;
+* **facade parity** — construction-time dispatch via
+  ``ShardedWorld(workers="process")``, argument validation, record
+  identity across ``run`` calls;
+* **failure surfacing** — a worker-side error arrives as
+  :class:`~repro.errors.WorkerError` with the remote traceback; a
+  hard worker-process death (SIGKILL) as
+  :class:`~repro.errors.WorkerDied`, never a hang;
+* **picklability contract** — unpicklable agents/resources are
+  rejected at ship time with a message naming the offending attribute;
+* **lazy hydration across the pipe** — entry frames stay lazily
+  hydrated after crossing the process boundary (the per-worker STATS
+  counters match the in-process run's).
+"""
+
+import os
+import signal
+
+import pytest
+
+from repro import AgentStatus, ProcShardedWorld, ShardedWorld
+from repro.errors import UsageError, WorkerDied, WorkerError
+from repro.resources.bank import Bank, OverdraftPolicy
+
+from tests.helpers import LinearAgent
+
+N_NODES = 8
+RING = [f"n{i}" for i in range(N_NODES)]
+
+
+@pytest.fixture
+def proc_worlds():
+    """Track ProcShardedWorlds and close them even on assertion failure."""
+    opened = []
+
+    def make(*args, **kwargs):
+        world = ProcShardedWorld(*args, **kwargs)
+        opened.append(world)
+        return world
+
+    yield make
+    for world in opened:
+        world.close()
+
+
+def build(world):
+    for i in range(N_NODES):
+        node = world.add_node(f"n{i}")
+        bank = Bank("bank")
+        bank.seed_account("a", 1_000, overdraft=OverdraftPolicy.ALLOWED)
+        bank.seed_account("b", 1_000, overdraft=OverdraftPolicy.ALLOWED)
+        node.add_resource(bank)
+    return world
+
+
+def run_swarm(world, n_agents=6):
+    world.enable_trace_digest()
+    for a in range(n_agents):
+        rotated = RING[a % N_NODES:] + RING[:a % N_NODES]
+        agent = LinearAgent(f"ag-{a}", rotated[:5],
+                            savepoints={0: "sp"}, rollback_to="sp")
+        world.launch(agent, at=rotated[0], method="step")
+    world.run()
+    return world
+
+
+# -- backend equivalence ---------------------------------------------------------
+
+
+def test_process_swarm_matches_in_process_bit_for_bit(proc_worlds):
+    inproc = run_swarm(build(ShardedWorld(n_shards=2, seed=7)))
+    proc = run_swarm(build(proc_worlds(n_shards=2, seed=7)))
+    assert proc.outcomes() == inproc.outcomes()
+    assert proc.counters() == inproc.counters()
+    assert proc.epochs_run == inproc.epochs_run
+    assert proc.events_processed() == inproc.events_processed()
+    # The strongest check: every worker kernel fired the exact same
+    # (time, label) event stream as its in-process twin.
+    assert proc.trace_digests() == inproc.trace_digests()
+    assert all(o["status"] == "finished" for o in proc.outcomes().values())
+
+
+def test_process_runs_are_deterministic(proc_worlds):
+    first = run_swarm(build(proc_worlds(n_shards=2, seed=7)))
+    second = run_swarm(build(proc_worlds(n_shards=2, seed=7)))
+    assert first.outcomes() == second.outcomes()
+    assert first.counters() == second.counters()
+    assert first.trace_digests() == second.trace_digests()
+
+
+def test_forced_serial_lockstep_matches_parallel(proc_worlds):
+    parallel = run_swarm(build(proc_worlds(n_shards=2, seed=7,
+                                           lockstep="parallel")))
+    serial = run_swarm(build(proc_worlds(n_shards=2, seed=7,
+                                         lockstep="serial")))
+    assert serial.outcomes() == parallel.outcomes()
+    assert serial.trace_digests() == parallel.trace_digests()
+
+
+# -- facade parity ----------------------------------------------------------------
+
+
+def test_workers_kwarg_dispatches_to_process_driver(proc_worlds):
+    world = ShardedWorld(n_shards=2, seed=0, workers="process")
+    try:
+        assert isinstance(world, ProcShardedWorld)
+    finally:
+        world.close()
+    assert isinstance(ShardedWorld(n_shards=2, seed=0), ShardedWorld)
+    with pytest.raises(UsageError):
+        ShardedWorld(n_shards=2, workers="threads")
+
+
+def test_validation_mirrors_in_process_facade(proc_worlds):
+    with pytest.raises(UsageError):
+        ProcShardedWorld(n_shards=0)
+    world = proc_worlds(n_shards=2, seed=0)
+    world.add_node("x", shard=1)
+    assert world.shard_of("x") == 1
+    with pytest.raises(UsageError):
+        world.add_node("x")
+    with pytest.raises(UsageError):
+        world.add_node("y", shard=5)
+    with pytest.raises(UsageError):
+        world.shard_of("nope")
+    with pytest.raises(UsageError):
+        world.kill_shard(7, at=0.1)
+    with pytest.raises(UsageError):
+        world.kill_shard(1, at=0.2, restart_at=0.2)
+    with pytest.raises(UsageError):
+        world.record_of("ghost")
+
+
+def test_launch_record_stays_live_across_runs(proc_worlds):
+    world = build(proc_worlds(n_shards=2, seed=3))
+    agent = LinearAgent("capped", RING[:4])
+    record = world.launch(agent, at="n0", method="step")
+    world.run(until=0.02)
+    assert record.status is AgentStatus.RUNNING
+    world.run()
+    # The object returned by launch() was merged in place at barriers.
+    assert record.status is AgentStatus.FINISHED
+    assert record is world.record_of("capped")
+    assert record.steps_committed == 5
+
+
+def test_resource_state_returns_worker_side_snapshot(proc_worlds):
+    world = run_swarm(build(proc_worlds(n_shards=2, seed=7)))
+    bank = world.resource_state("n0", "bank")
+    total = bank.peek("a")["balance"] + bank.peek("b")["balance"]
+    assert total == 2_000  # transfers conserve money
+    # NodeProxy offers the same read.
+    assert world.node("n0").get_resource("bank").peek("a") == bank.peek("a")
+
+
+# -- failure surfacing -------------------------------------------------------------
+
+
+def test_worker_side_error_surfaces_with_remote_traceback(proc_worlds):
+    world = build(proc_worlds(n_shards=2, seed=0))
+    bank = Bank("bank")
+    with pytest.raises(WorkerError) as excinfo:
+        world.node("n0").add_resource(bank)  # duplicate resource name
+    assert "UsageError" in str(excinfo.value)
+    assert "worker traceback" in str(excinfo.value)
+    assert excinfo.value.shard == 0
+
+
+def test_sigkilled_worker_surfaces_as_shard_outage_not_hang(proc_worlds):
+    world = build(proc_worlds(n_shards=2, seed=3))
+    agent = LinearAgent("doomed", RING[:4])
+    world.launch(agent, at="n0", method="step")
+    world.run(until=0.02)
+    victim = world._handles[1].process
+    os.kill(victim.pid, signal.SIGKILL)
+    victim.join(timeout=10)
+    with pytest.raises(WorkerDied) as excinfo:
+        world.run()
+    assert excinfo.value.shard == 1
+    assert "outage" in str(excinfo.value)
+    # The surviving worker's pipe stays request/reply-aligned: the
+    # facade remains inspectable after the outage surfaced.
+    metrics = world.shard_metrics(0)
+    assert metrics.count("steps.committed") >= 1
+    world.close()  # close after a dead worker must not raise
+
+
+# -- picklability contract ---------------------------------------------------------
+
+
+def test_unpicklable_agent_rejected_with_named_attribute(proc_worlds):
+    world = build(proc_worlds(n_shards=2, seed=0))
+    agent = LinearAgent("closure-smuggler", RING[:2])
+    agent.callback = lambda: None  # the contract violation
+    with pytest.raises(TypeError) as excinfo:
+        world.launch(agent, at="n0", method="step")
+    message = str(excinfo.value)
+    assert "closure-smuggler" in message
+    assert ".callback" in message
+    assert "process-picklable" in message
+
+
+def test_unpicklable_resource_rejected_with_named_attribute(proc_worlds):
+    world = proc_worlds(n_shards=2, seed=0)
+    node = world.add_node("solo")
+    bank = Bank("bank")
+    bank.on_overdraft = lambda account: None
+    with pytest.raises(TypeError) as excinfo:
+        node.add_resource(bank)
+    assert ".on_overdraft" in str(excinfo.value)
+
+
+def test_cross_process_resource_sharing_is_rejected(proc_worlds):
+    world = proc_worlds(n_shards=2, seed=0)
+    world.add_node("a0", shard=0)
+    proxy = world.add_node("b0", shard=1)
+    with pytest.raises(UsageError):
+        proxy.share_resource_from("a0", "bank")
+
+
+# -- lazy hydration across the process boundary ------------------------------------
+
+
+def test_entry_frames_stay_lazy_across_the_pipe(proc_worlds):
+    from repro.storage import serialization
+
+    serialization.reset_stats()
+    inproc = run_swarm(build(ShardedWorld(n_shards=2, seed=7)))
+    inproc_stats = inproc.serialization_stats()
+    proc = run_swarm(build(proc_worlds(n_shards=2, seed=7)))
+    proc_stats = proc.serialization_stats()
+    # Workers defer exactly as many entry hydrations as the in-process
+    # run: crossing the pipe adopts frames without unpickling them.
+    assert proc_stats["entry_hydration_deferred"] == \
+        inproc_stats["entry_hydration_deferred"]
+    assert proc_stats["entry_hydrated"] == inproc_stats["entry_hydrated"]
+    assert proc_stats["entry_hydration_deferred"] > 0
+    # The lazy win survives the boundary: most adopted frames are never
+    # unpickled (steps hydrate none; only the rollback touches a tail).
+    assert proc_stats["entry_hydrated"] < \
+        proc_stats["entry_hydration_deferred"]
+    # And every worker individually deferred work.
+    for shard in range(2):
+        assert proc.shard_serialization_stats(shard)[
+            "entry_hydration_deferred"] > 0
