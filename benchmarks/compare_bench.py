@@ -23,7 +23,8 @@ Refreshing baselines after an intentional perf change::
         benchmarks/bench_serialization.py \
         benchmarks/bench_sharded_scale.py \
         benchmarks/bench_cross_shard_ft.py \
-        benchmarks/bench_multiproc_shards.py
+        benchmarks/bench_multiproc_shards.py \
+        benchmarks/bench_journal.py
 
 (which rewrites ``benchmarks/results/BENCH_*.json`` in place) — then
 commit the changed JSONs with a note in the PR.
@@ -99,6 +100,21 @@ SPECS = [
     Spec("BENCH_multiproc_shards.json", "speedup.events_total", "equal"),
     Spec("BENCH_multiproc_shards.json", "speedup.epochs", "equal"),
     Spec("BENCH_multiproc_shards.json", "speedup.speedup", "higher", 0.6),
+    # Write-ahead world journal: journaling must not change the run
+    # (identical outcomes, deterministic event/epoch/commit counts at a
+    # fixed seed) and crash-resume must land on the identical outcome
+    # from the journaled frontier; the wall-clock ratios are
+    # group-commit overhead and replay cost, banded generously for CI
+    # machine noise.
+    Spec("BENCH_journal.json", "overhead.outcomes_identical", "equal"),
+    Spec("BENCH_journal.json", "overhead.events_total", "equal"),
+    Spec("BENCH_journal.json", "overhead.epochs", "equal"),
+    Spec("BENCH_journal.json", "overhead.commits", "equal"),
+    Spec("BENCH_journal.json", "overhead.file_overhead_ratio", "lower", 2.0),
+    Spec("BENCH_journal.json", "resume.outcome_identical", "equal"),
+    Spec("BENCH_journal.json", "resume.torn_tail", "equal"),
+    Spec("BENCH_journal.json", "resume.frontier_barrier", "equal"),
+    Spec("BENCH_journal.json", "resume.resume_over_full_ratio", "lower", 3.0),
 ]
 
 

@@ -1,0 +1,164 @@
+"""Crash-resume: a coordinator dies mid-run and resumes from its journal.
+
+A sharded deployment journals its execution to an append-only file —
+the seeded configuration, every setup op, and one group-committed
+marker per epoch barrier.  The coordinator is hard-killed mid-barrier
+(the worst spot: the epoch ran, but its commit marker is physically
+torn and the bridge never scattered).  A "new process" then reopens
+the journal, discards the torn tail, rebuilds the world from the
+journaled inputs, deterministically replays to the last committed
+barrier, verifies the committed digest, and runs the continuation.
+
+Because re-execution is bit-deterministic, the resumed run finishes
+with exactly the outcomes, bank balances and exactly-once ledger state
+of a run that was never interrupted — shown side by side at the end.
+
+Run:  python examples/crash_resume.py
+"""
+
+import os
+import tempfile
+
+from repro import (
+    AgentStatus,
+    Bank,
+    FTParams,
+    FileJournal,
+    MobileAgent,
+    ShardedWorld,
+    WorldJournal,
+    WorldKilled,
+    resume_world,
+)
+from repro.agent.packages import Protocol
+from repro.compensation import resource_compensation
+from repro.resources.bank import OverdraftPolicy
+
+N_SHARDS = 3
+N_NODES = 9
+RING = [f"dc{i % N_SHARDS}-n{i // N_SHARDS}" for i in range(N_NODES)]
+
+
+@resource_compensation("resume.undo_transfer")
+def undo_transfer(bank, params, ctx):
+    bank.transfer(params["dst"], params["src"], params["amount"],
+                  compensating=True)
+
+
+class PaymentAgent(MobileAgent):
+    """Tours its plan, moving 10 units a->b at every node it visits."""
+
+    def __init__(self, agent_id, plan):
+        super().__init__(agent_id)
+        self.plan = list(plan)
+        self.sro["pos"] = 0
+
+    def step(self, ctx):
+        pos = self.sro["pos"]
+        bank = ctx.resource("bank")
+        bank.transfer("a", "b", 10)
+        ctx.log_resource_compensation(
+            "resume.undo_transfer",
+            {"src": "a", "dst": "b", "amount": 10}, resource="bank")
+        self.sro["pos"] = pos + 1
+        if pos + 1 < len(self.plan):
+            ctx.goto(self.plan[pos + 1], "step")
+        else:
+            ctx.finish({"visited": self.sro["pos"]})
+
+
+def build_world(journal=None):
+    world = ShardedWorld(n_shards=N_SHARDS, seed=11, journal=journal,
+                         ft_params=FTParams(takeover_timeout=0.05))
+    for i, name in enumerate(RING):
+        node = world.add_node(name, shard=i % N_SHARDS)
+        bank = Bank("bank")
+        bank.seed_account("a", 1_000, overdraft=OverdraftPolicy.ALLOWED)
+        bank.seed_account("b", 1_000, overdraft=OverdraftPolicy.ALLOWED)
+        node.add_resource(bank)
+    for i, name in enumerate(RING):
+        world.set_alternates(name, RING[(i + 1) % N_NODES],
+                             RING[(i + 2) % N_NODES])
+    return world
+
+
+def launch(world):
+    records = []
+    for a in range(4):
+        start = 3 * (a % 3)
+        plan = [RING[(start + j) % N_NODES] for j in range(4)]
+        agent = PaymentAgent(f"payment-{a}", plan)
+        records.append(world.launch(agent, at=plan[0], method="step",
+                                    protocol=Protocol.FAULT_TOLERANT))
+    return records
+
+
+def summarize(world):
+    return {
+        "outcomes": {agent_id: record.status.value
+                     for agent_id, record in sorted(world.agents.items())},
+        "debits": {
+            name: 1_000
+            - world.node(name).get_resource("bank").peek("a")["balance"]
+            for name in RING},
+        "ledger_agrees": world.ledger_quorum_agrees(),
+    }
+
+
+def main():
+    tmp = tempfile.mkdtemp(prefix="repro-journal-")
+    path = os.path.join(tmp, "world.journal")
+
+    # --- original run: journaled, killed mid-barrier ----------------------
+    journal = WorldJournal(FileJournal(path))
+    world = build_world(journal)
+    launch(world)
+    world.kill_world(at=0.07, phase="barrier")
+    print("--- crash-resume: journal to disk, kill mid-barrier, resume ---")
+    try:
+        world.run(until=30.0)
+        raise SystemExit("the kill never fired")
+    except WorldKilled as kill:
+        print(f"coordinator killed at barrier {kill.barrier:.3f} "
+              f"(phase={kill.phase}) — commit marker torn")
+    journal.close()
+    print(f"journal on disk: {os.path.getsize(path)} bytes")
+
+    # --- resume in a "new process": reopen the file, rebuild, replay ------
+    journal = WorldJournal(FileJournal(path))
+    recovered = journal.recover()
+    print(f"recovery frontier: barrier {recovered.frontier_barrier:.3f} "
+          f"(torn tail discarded: {recovered.torn_tail})")
+    resumed = resume_world(journal)
+    resumed.run(until=30.0)
+    resumed_summary = summarize(resumed)
+    stats = journal.stats()
+    journal.close()
+
+    # --- reference: the same program, never interrupted -------------------
+    reference = build_world()
+    launch(reference)
+    reference.run(until=30.0)
+    reference_summary = summarize(reference)
+
+    for agent_id, status in resumed_summary["outcomes"].items():
+        print(f"{agent_id}: {status} (resumed) / "
+              f"{reference_summary['outcomes'][agent_id]} (uninterrupted)")
+    print(f"total debits: {sum(resumed_summary['debits'].values())} "
+          f"(resumed) / {sum(reference_summary['debits'].values())} "
+          f"(uninterrupted)")
+    print(f"ledger replicas agree after resume: "
+          f"{resumed_summary['ledger_agrees']}")
+    print(f"journal after completion: {stats['commits']} commits, "
+          f"{stats['records_written']} records")
+
+    assert resumed_summary == reference_summary
+    assert all(record.status is AgentStatus.FINISHED
+               for record in resumed.agents.values())
+    os.remove(path)
+    os.rmdir(tmp)
+    print("OK: resumed run identical to the uninterrupted run.")
+
+
+if __name__ == "__main__":
+    main()

@@ -33,11 +33,23 @@ from repro.compensation import (
 )
 from repro.errors import (
     CompensationFailed,
+    JournalCorrupt,
+    JournalDiverged,
+    JournalError,
     NotCompensatable,
     ReproError,
     RollbackRequest,
+    WorldKilled,
 )
 from repro.exactly_once.fault_tolerant import FTParams
+from repro.journal import (
+    FileJournal,
+    MemoryJournal,
+    SqliteJournal,
+    WorldJournal,
+    open_backend,
+    resume_world,
+)
 from repro.itinerary import Itinerary, ItineraryAgent, StepEntry, SubItinerary
 from repro.log import LoggingMode, RollbackLog
 from repro.node import (
@@ -104,5 +116,15 @@ __all__ = [
     "RollbackRequest",
     "CompensationFailed",
     "NotCompensatable",
+    "WorldJournal",
+    "MemoryJournal",
+    "FileJournal",
+    "SqliteJournal",
+    "open_backend",
+    "resume_world",
+    "WorldKilled",
+    "JournalError",
+    "JournalCorrupt",
+    "JournalDiverged",
     "__version__",
 ]

@@ -162,3 +162,44 @@ class WorkerDied(ReproError):
 
 class LogCorrupt(ReproError):
     """The rollback log violated its structural invariants."""
+
+
+class WorldKilled(ReproError):
+    """Fault injection: the coordinator was hard-stopped mid-run.
+
+    Raised by a run after :meth:`~repro.node.runtime.World.kill_world`
+    fires — the simulated analogue of a real coordinator crash
+    (SIGKILL, OOM, preemption).  Everything the world journal committed
+    up to the kill survives; :func:`~repro.journal.resume_world` builds
+    the continuation.
+    """
+
+    def __init__(self, barrier: float, phase: str):
+        super().__init__(
+            f"world killed at barrier {barrier} (phase={phase})")
+        self.barrier = barrier
+        self.phase = phase
+
+
+class JournalError(ReproError):
+    """Base class for world-journal failures."""
+
+
+class JournalCorrupt(JournalError):
+    """The journal is damaged before its last commit point.
+
+    Damage that extends to the physical end of the journal (a torn
+    write from the crash being recovered from) is *expected* and
+    silently discarded; damage anywhere earlier means the journal
+    cannot vouch for its own prefix and recovery must not proceed.
+    """
+
+
+class JournalDiverged(JournalError):
+    """Replaying the journal did not reproduce the committed digest.
+
+    The journaled inputs (config + setup ops) no longer re-execute to
+    the state committed at the recovery frontier — e.g. the embedding
+    program changed, or the journal was edited.  Resuming would
+    silently fork history, so recovery refuses.
+    """

@@ -122,6 +122,8 @@ class FaultTolerance:
 
     def set_alternates(self, node: str, *alternates: str) -> None:
         """Declare which nodes shadow step executions of ``node``."""
+        self.world._journal_op("ft_alternates", node=node,
+                               alternates=tuple(alternates))
         self._step_alternates[node] = tuple(alternates)
 
     def step_alternates_for(self, node: str) -> tuple[str, ...]:

@@ -243,11 +243,18 @@ class StepProtocol:
                 payload = sro_diff(base, agent.sro)
         wro_payload = snapshot(agent.wro) if include_wro and not virtual \
             else None
-        log.append(SavepointEntry(sp_id=sp_id,
-                                  mode=world.logging_mode.value,
-                                  payload=payload, virtual=virtual,
-                                  wro_payload=wro_payload), tx)
+        entry = SavepointEntry(sp_id=sp_id,
+                               mode=world.logging_mode.value,
+                               payload=payload, virtual=virtual,
+                               wro_payload=wro_payload)
+        log.append(entry, tx)
         world.metrics.incr("savepoints.written")
+        if world._journal_capture:
+            # Reuses the entry's framed blob (PR 1) — append-only, the
+            # world is never re-pickled.
+            world.journal_note("savepoint", agent=agent.agent_id,
+                               sp=sp_id, virtual=virtual,
+                               frame=None if virtual else entry.blob())
 
     # -- shared shipping helpers ---------------------------------------------------------
 

@@ -1,0 +1,303 @@
+"""Journal storage backends: CRC-framed append-only record streams.
+
+Every backend stores an ordered sequence of opaque record payloads and
+exposes the same five operations: ``append``, ``sync``, ``read_all``,
+``truncate_records`` and ``close``.  The byte-oriented backends frame
+each payload as ``<u32 length><u32 crc32><payload>`` — the same framing
+discipline the rollback log uses for per-entry blobs — so a reader can
+both detect corruption and tell *where* it sits:
+
+* damage that extends to the physical end of the stream (a truncated
+  header, a truncated payload, or a CRC-failed record that is the last
+  one on disk) is a **torn tail**: the record the crash interrupted.
+  ``read_all`` discards it and reports it, because write-ahead logging
+  makes an interrupted final write an expected outcome, not an error;
+* damage anywhere *before* the end means the journal cannot vouch for
+  its own prefix — ``read_all`` raises
+  :class:`~repro.errors.JournalCorrupt`.
+
+``tear_tail`` and ``corrupt_record`` are fault-injection hooks for
+tests and for the journal's own mid-barrier kill mode; they are not
+part of the recovery path.
+"""
+
+from __future__ import annotations
+
+import os
+import sqlite3
+import struct
+import zlib
+from typing import Optional
+
+from repro.errors import JournalCorrupt, UsageError
+
+_HEADER = struct.Struct("<II")
+
+
+def frame(payload: bytes) -> bytes:
+    """One framed record: ``<u32 length><u32 crc32><payload>``."""
+    return _HEADER.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+def parse_frames(buf: bytes, source: str) -> tuple[list[bytes], bool]:
+    """Split ``buf`` into record payloads; apply the torn-tail rule.
+
+    Returns ``(payloads, torn_tail)``.  Raises
+    :class:`~repro.errors.JournalCorrupt` when a CRC failure sits
+    before the physical end of the buffer.
+    """
+    payloads: list[bytes] = []
+    offset, total = 0, len(buf)
+    while offset < total:
+        if offset + _HEADER.size > total:
+            return payloads, True  # torn header at EOF
+        length, crc = _HEADER.unpack_from(buf, offset)
+        start = offset + _HEADER.size
+        end = start + length
+        if end > total:
+            return payloads, True  # torn payload at EOF
+        payload = bytes(buf[start:end])
+        if zlib.crc32(payload) != crc:
+            if end == total:
+                return payloads, True  # CRC-failed final record
+            raise JournalCorrupt(
+                f"{source}: record {len(payloads)} failed its CRC check "
+                f"before the journal tail — refusing to recover")
+        payloads.append(payload)
+        offset = end
+    return payloads, False
+
+
+class JournalBackend:
+    """Interface every journal backend implements."""
+
+    def append(self, payload: bytes) -> None:
+        raise NotImplementedError
+
+    def sync(self) -> None:
+        """Make every appended record durable (fsync point)."""
+
+    def read_all(self) -> tuple[list[bytes], bool]:
+        """Every intact record payload, plus a torn-tail flag."""
+        raise NotImplementedError
+
+    def truncate_records(self, count: int) -> None:
+        """Discard everything after the first ``count`` records."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+    # -- fault injection (tests and kill_world's mid-barrier mode) ------------------
+
+    def tear_tail(self, nbytes: int) -> None:
+        """Physically truncate the stream by ``nbytes`` (torn write)."""
+        raise NotImplementedError
+
+    def corrupt_record(self, index: int) -> None:
+        """Flip one payload byte of record ``index`` (bit rot)."""
+        raise NotImplementedError
+
+
+class MemoryJournal(JournalBackend):
+    """In-RAM backend for tests: same framing, no durability."""
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+
+    def append(self, payload: bytes) -> None:
+        self._buf += frame(payload)
+
+    def read_all(self) -> tuple[list[bytes], bool]:
+        return parse_frames(bytes(self._buf), "memory journal")
+
+    def truncate_records(self, count: int) -> None:
+        self._buf = self._buf[:_offset_of(bytes(self._buf), count)]
+
+    def tear_tail(self, nbytes: int) -> None:
+        del self._buf[len(self._buf) - min(nbytes, len(self._buf)):]
+
+    def corrupt_record(self, index: int) -> None:
+        offset = _offset_of(bytes(self._buf), index)
+        self._buf[offset + _HEADER.size] ^= 0xFF
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._buf)
+
+
+class FileJournal(JournalBackend):
+    """Append-only file backend with CRC-framed records.
+
+    ``fsync`` policy: ``"commit"`` (default) makes :meth:`sync` — the
+    epoch-commit point — an fsync; ``"always"`` additionally fsyncs
+    every append (each setup op individually durable, slower);
+    ``"never"`` only flushes to the OS (fast, survives process death
+    but not power loss).
+    """
+
+    def __init__(self, path, fsync: str = "commit"):
+        if fsync not in ("commit", "always", "never"):
+            raise UsageError(f"unknown fsync policy {fsync!r} "
+                             f"(use 'commit', 'always' or 'never')")
+        self.path = os.fspath(path)
+        self.fsync = fsync
+        self._file = open(self.path, "ab")
+
+    def append(self, payload: bytes) -> None:
+        self._file.write(frame(payload))
+        if self.fsync == "always":
+            self._file.flush()
+            os.fsync(self._file.fileno())
+
+    def sync(self) -> None:
+        self._file.flush()
+        if self.fsync != "never":
+            os.fsync(self._file.fileno())
+
+    def read_all(self) -> tuple[list[bytes], bool]:
+        self._file.flush()
+        with open(self.path, "rb") as fh:
+            return parse_frames(fh.read(), self.path)
+
+    def truncate_records(self, count: int) -> None:
+        self._file.flush()
+        with open(self.path, "rb") as fh:
+            buf = fh.read()
+        os.truncate(self.path, _offset_of(buf, count))
+        self._reopen()
+
+    def tear_tail(self, nbytes: int) -> None:
+        self._file.flush()
+        size = os.path.getsize(self.path)
+        os.truncate(self.path, max(0, size - nbytes))
+        self._reopen()
+
+    def corrupt_record(self, index: int) -> None:
+        self._file.flush()
+        with open(self.path, "rb") as fh:
+            buf = fh.read()
+        offset = _offset_of(buf, index)
+        with open(self.path, "r+b") as fh:
+            fh.seek(offset + _HEADER.size)
+            byte = fh.read(1)
+            fh.seek(offset + _HEADER.size)
+            fh.write(bytes([byte[0] ^ 0xFF]))
+        self._reopen()
+
+    def _reopen(self) -> None:
+        self._file.close()
+        self._file = open(self.path, "ab")
+
+    def close(self) -> None:
+        self._file.close()
+
+    @property
+    def size_bytes(self) -> int:
+        self._file.flush()
+        return os.path.getsize(self.path)
+
+
+class SqliteJournal(JournalBackend):
+    """Sqlite-backed journal: one row per record, CRC column per row.
+
+    The torn-tail rule carries over: a CRC-failed *last* row is the
+    interrupted write and is discarded; a failed earlier row raises
+    :class:`~repro.errors.JournalCorrupt`.  Durability rides sqlite's
+    own transaction machinery (:meth:`sync` commits).
+    """
+
+    def __init__(self, path):
+        self.path = os.fspath(path)
+        self._db = sqlite3.connect(self.path)
+        self._db.execute(
+            "CREATE TABLE IF NOT EXISTS records ("
+            " seq INTEGER PRIMARY KEY AUTOINCREMENT,"
+            " crc INTEGER NOT NULL,"
+            " payload BLOB NOT NULL)")
+        self._db.commit()
+
+    def append(self, payload: bytes) -> None:
+        self._db.execute(
+            "INSERT INTO records (crc, payload) VALUES (?, ?)",
+            (zlib.crc32(payload), sqlite3.Binary(payload)))
+
+    def sync(self) -> None:
+        self._db.commit()
+
+    def read_all(self) -> tuple[list[bytes], bool]:
+        rows = self._db.execute(
+            "SELECT crc, payload FROM records ORDER BY seq").fetchall()
+        payloads: list[bytes] = []
+        for i, (crc, payload) in enumerate(rows):
+            payload = bytes(payload)
+            if zlib.crc32(payload) != crc:
+                if i == len(rows) - 1:
+                    return payloads, True  # torn final row
+                raise JournalCorrupt(
+                    f"{self.path}: record {i} failed its CRC check "
+                    f"before the journal tail — refusing to recover")
+            payloads.append(payload)
+        return payloads, False
+
+    def truncate_records(self, count: int) -> None:
+        keep = self._db.execute(
+            "SELECT seq FROM records ORDER BY seq").fetchall()[:count]
+        floor = keep[-1][0] if keep else 0
+        self._db.execute("DELETE FROM records WHERE seq > ?", (floor,))
+        self._db.commit()
+
+    def tear_tail(self, nbytes: int) -> None:
+        row = self._db.execute(
+            "SELECT seq, payload FROM records ORDER BY seq DESC LIMIT 1"
+        ).fetchone()
+        if row is None:
+            return
+        seq, payload = row
+        torn = bytes(payload)[:max(0, len(payload) - nbytes)]
+        self._db.execute("UPDATE records SET payload = ? WHERE seq = ?",
+                         (sqlite3.Binary(torn), seq))
+        self._db.commit()
+
+    def corrupt_record(self, index: int) -> None:
+        rows = self._db.execute(
+            "SELECT seq, payload FROM records ORDER BY seq").fetchall()
+        seq, payload = rows[index]
+        payload = bytearray(payload)
+        payload[0] ^= 0xFF
+        self._db.execute("UPDATE records SET payload = ? WHERE seq = ?",
+                         (sqlite3.Binary(bytes(payload)), seq))
+        self._db.commit()
+
+    def close(self) -> None:
+        self._db.commit()
+        self._db.close()
+
+    @property
+    def size_bytes(self) -> int:
+        row = self._db.execute(
+            "SELECT COALESCE(SUM(LENGTH(payload)), 0) FROM records"
+        ).fetchone()
+        return int(row[0])
+
+
+def _offset_of(buf: bytes, count: int) -> int:
+    """Byte offset just past the first ``count`` framed records."""
+    offset = 0
+    for _ in range(count):
+        if offset + _HEADER.size > len(buf):
+            raise UsageError(f"journal holds fewer than {count} records")
+        length, _crc = _HEADER.unpack_from(buf, offset)
+        offset += _HEADER.size + length
+    return offset
+
+
+def open_backend(spec: Optional[str] = None, **kwargs) -> JournalBackend:
+    """Convenience factory: ``None``/``"memory"``, a ``.db``/``.sqlite``
+    path (sqlite), or any other path (append-only file)."""
+    if spec is None or spec == "memory":
+        return MemoryJournal()
+    path = os.fspath(spec)
+    if path.endswith((".db", ".sqlite")):
+        return SqliteJournal(path)
+    return FileJournal(path, **kwargs)

@@ -1,0 +1,233 @@
+"""The write-ahead world journal.
+
+A :class:`WorldJournal` durably records everything needed to
+reconstruct a run, in three channels:
+
+* the **config record** — one record, written at world construction,
+  holding the seeded configuration the world was built from;
+* the **op channel** — setup and fault-injection commands issued
+  through the coordinator facade (``add_node``, resource installation,
+  ``launch``, crash plans, ``kill_shard``, alternates).  Ops are
+  appended and synced immediately: they are the *inputs* a resumed run
+  re-executes, so losing one would fork history;
+* the **payload channel** — per-epoch effect records (stable-store
+  mutations, durable-queue ops, savepoint frames, bridge routings,
+  agent-record merges) buffered in memory and flushed as a group at
+  each epoch barrier, followed by a **commit marker** carrying the
+  barrier time and a cheap execution digest, then an fsync.  This is
+  classic group commit: a record below a commit marker is durable; a
+  record above the last marker belongs to the epoch the crash
+  destroyed and is discarded on recovery.
+
+Because the simulation is deterministic, recovery does not need to
+reconstruct kernel state from the payload records (that would amount
+to re-pickling the world): :func:`~repro.journal.resume.resume_world`
+rebuilds the world from the config, re-applies the op channel, re-runs
+deterministically to the frontier barrier and *verifies* the committed
+digest.  The payload channel is the durable audit trail that makes the
+journal self-describing — every effect of every committed epoch is on
+disk, in order, reusing the per-entry framed-blob discipline of
+:mod:`repro.storage.serialization` (append-only; nothing is ever
+re-serialized wholesale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import JournalCorrupt, UsageError
+from repro.journal.backends import JournalBackend, MemoryJournal
+from repro.storage.serialization import capture, restore
+
+#: Record kinds of the op channel, in the order constraints matter: an
+#: op after the last commit marker is still applied (it was issued —
+#: and synced — after that barrier), payload records there are not.
+OP_KINDS = frozenset({
+    "add_node", "add_resource", "share_resource", "set_alternates",
+    "ft_alternates", "launch", "crash_plans", "kill_shard",
+})
+
+#: Payload-channel record kinds (effect audit; never re-applied).
+PAYLOAD_KINDS = frozenset({
+    "store", "queue", "savepoint", "bridge", "record-merge",
+})
+
+
+def encode_record(kind: str, data: dict[str, Any]) -> bytes:
+    return capture((kind, data))
+
+
+def decode_record(payload: bytes) -> tuple[str, dict[str, Any]]:
+    try:
+        kind, data = restore(payload)
+    except Exception as exc:
+        raise JournalCorrupt(
+            f"journal record failed to decode: {exc}") from exc
+    return kind, data
+
+
+@dataclass
+class RecoveredRun:
+    """What :meth:`WorldJournal.recover` salvages from the backend."""
+
+    config: dict[str, Any]
+    #: Every kept record after the config one, in journal order.
+    entries: list[tuple[str, dict[str, Any]]]
+    #: The last commit marker's data (``barrier``/``digest``/``commit``),
+    #: or None when the crash predates the first epoch commit.
+    frontier: Optional[dict[str, Any]]
+    #: Records kept, config included — the truncation point.
+    kept_records: int
+    #: Intact-but-uncommitted records rolled back with the torn epoch.
+    discarded_records: int
+    torn_tail: bool
+
+    @property
+    def frontier_barrier(self) -> Optional[float]:
+        return None if self.frontier is None else self.frontier["barrier"]
+
+
+class WorldJournal:
+    """Group-commit write-ahead journal of one world's execution.
+
+    ``armed`` gates every write: a journal attached to a world being
+    rebuilt for resume stays disarmed while the journaled prefix
+    replays (the records already exist), then
+    :meth:`rearm` truncates the backend to the recovery frontier and
+    re-enables appends for the continuation.
+    """
+
+    def __init__(self, backend: Optional[JournalBackend] = None):
+        self.backend = backend if backend is not None else MemoryJournal()
+        self.armed = True
+        self.config_written = False
+        self.commits = 0
+        self.records_written = 0
+        self.kind_counts: dict[str, int] = {}
+        self._buffer: list[bytes] = []
+
+    # -- write side --------------------------------------------------------------
+
+    def _append(self, kind: str, data: dict[str, Any]) -> None:
+        self.backend.append(encode_record(kind, data))
+        self.records_written += 1
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+
+    def record_config(self, **data: Any) -> None:
+        """The one-per-journal world configuration record."""
+        if self.config_written:
+            raise UsageError("journal already holds a config record")
+        self._append("config", data)
+        self.backend.sync()
+        self.config_written = True
+
+    def record_op(self, op: str, **data: Any) -> None:
+        """Append one op-channel record, immediately durable."""
+        if op not in OP_KINDS:
+            raise UsageError(f"unknown op kind {op!r}")
+        self._append(op, data)
+        self.backend.sync()
+
+    def buffer(self, kind: str, **data: Any) -> None:
+        """Stage one payload-channel record for the open epoch."""
+        if kind not in PAYLOAD_KINDS:
+            raise UsageError(f"unknown payload kind {kind!r}")
+        self._buffer.append(encode_record(kind, data))
+        self.kind_counts[kind] = self.kind_counts.get(kind, 0) + 1
+
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def commit_epoch(self, barrier: float, digest: tuple) -> None:
+        """Group commit: flush the epoch's payload, mark, fsync."""
+        for payload in self._buffer:
+            self.backend.append(payload)
+            self.records_written += 1
+        self._buffer.clear()
+        self._append("epoch", {"barrier": barrier, "digest": digest,
+                               "commit": self.commits})
+        self.backend.sync()
+        self.commits += 1
+
+    def commit_torn(self, barrier: float, digest: tuple,
+                    tear_bytes: int = 7) -> None:
+        """Fault injection: a commit whose marker write was interrupted.
+
+        The epoch's payload records land intact; the commit marker is
+        physically torn (``tear_bytes`` short), exactly what a crash
+        between the marker write and its fsync leaves behind.  Recovery
+        must discard the whole epoch.
+        """
+        for payload in self._buffer:
+            self.backend.append(payload)
+            self.records_written += 1
+        self._buffer.clear()
+        self._append("epoch", {"barrier": barrier, "digest": digest,
+                               "commit": self.commits})
+        self.backend.sync()
+        self.backend.tear_tail(tear_bytes)
+
+    # -- recovery side ----------------------------------------------------------
+
+    def recover(self) -> RecoveredRun:
+        """Parse the backend and decide the recovery frontier.
+
+        Keeps the config record, every record up to the last commit
+        marker, and any op-channel records after it (ops are synced at
+        issue time and re-apply in order); uncommitted payload records
+        are rolled back with their torn epoch.
+        """
+        payloads, torn = self.backend.read_all()
+        records = [decode_record(p) for p in payloads]
+        if not records or records[0][0] != "config":
+            raise JournalCorrupt("journal has no config record")
+        config = records[0][1]
+        entries = records[1:]
+        last_commit = None
+        for i, (kind, _data) in enumerate(entries):
+            if kind == "epoch":
+                last_commit = i
+        keep = 0 if last_commit is None else last_commit + 1
+        for kind, _data in entries[keep:]:
+            if kind not in OP_KINDS:
+                break
+            keep += 1
+        frontier = None if last_commit is None else entries[last_commit][1]
+        return RecoveredRun(
+            config=config,
+            entries=entries[:keep],
+            frontier=frontier,
+            kept_records=keep + 1,
+            discarded_records=len(entries) - keep + (1 if torn else 0),
+            torn_tail=torn,
+        )
+
+    def disarm(self) -> None:
+        """Suspend appends (used while a resumed world replays)."""
+        self.armed = False
+        self.config_written = True
+
+    def rearm(self, recovered: RecoveredRun) -> None:
+        """Truncate to the frontier and re-enable appends."""
+        self.backend.truncate_records(recovered.kept_records)
+        self._buffer.clear()
+        self.records_written = recovered.kept_records
+        self.commits = sum(1 for kind, _ in recovered.entries
+                           if kind == "epoch")
+        self.config_written = True
+        self.armed = True
+
+    # -- inspection --------------------------------------------------------------
+
+    def stats(self) -> dict[str, Any]:
+        return {
+            "commits": self.commits,
+            "records_written": self.records_written,
+            "buffered": len(self._buffer),
+            "kinds": dict(self.kind_counts),
+            "bytes": getattr(self.backend, "size_bytes", None),
+        }
+
+    def close(self) -> None:
+        self.backend.close()

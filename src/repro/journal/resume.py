@@ -1,0 +1,137 @@
+"""Crash recovery: rebuild a world from its journal and continue.
+
+The recovery structure is checkpoint-then-replay: the journal holds
+the *inputs* of the run (seeded config + the op channel) plus one
+commit marker per epoch barrier.  :func:`resume_world`
+
+1. parses the journal and picks the recovery frontier — the last
+   committed barrier (:meth:`~repro.journal.journal.WorldJournal.
+   recover` already applied the torn-tail rule);
+2. rebuilds the world from the config record, with the journal
+   attached but **disarmed**, so the capture hooks are wired for the
+   continuation without double-writing the replayed prefix;
+3. re-applies the op channel in journal order, interleaved with
+   deterministic re-execution of the journaled *barrier sequence* (the
+   run drivers expose ``_replay``, which walks the committed barriers
+   verbatim — *not* ``until``, which would run one extra same-time
+   epoch and fork the schedule, and not a stop-value, which is
+   ambiguous when two commits land on the same barrier instant);
+4. verifies the frontier digest — per-shard event counts at the
+   committed barrier — and raises
+   :class:`~repro.errors.JournalDiverged` on any mismatch;
+5. truncates the journal to the frontier, re-arms it, and returns the
+   world, positioned to continue exactly where the commit left it.
+
+Because the heavily-tested determinism invariant makes re-execution
+bit-identical, the resumed run's outcomes, per-bank effect sums and
+exactly-once ledger state match an uninterrupted run of the same
+program — the property the crash-resume differential axis asserts on
+all three execution backends.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import JournalDiverged, UsageError
+from repro.journal.journal import OP_KINDS, RecoveredRun, WorldJournal
+from repro.storage.serialization import restore
+
+
+def resume_world(journal: WorldJournal):
+    """Rebuild the journaled world and replay it to the last commit."""
+    recovered = journal.recover()
+    journal.disarm()
+    world = _build_world(recovered.config, journal)
+    try:
+        barriers: list[float] = []
+        frontier: dict[str, Any] | None = None
+        for kind, data in recovered.entries:
+            if kind == "epoch":
+                barriers.append(data["barrier"])
+                frontier = data
+            elif kind in OP_KINDS:
+                if barriers:
+                    world.run(_replay=barriers)
+                    barriers = []
+                _apply_op(world, kind, data)
+            # payload records are the audit trail; replay re-creates
+            # their effects by re-execution.
+        if barriers:
+            world.run(_replay=barriers)
+        if frontier is not None:
+            _verify_frontier(world, frontier)
+    except BaseException:
+        if hasattr(world, "close"):
+            world.close()
+        raise
+    journal.rearm(recovered)
+    return world
+
+
+def _build_world(config: dict[str, Any], journal: WorldJournal):
+    from repro.node.procshard import ProcShardedWorld
+    from repro.node.runtime import World
+    from repro.node.sharded import ShardedWorld
+
+    backend = config.get("backend")
+    kwargs = restore(config["world_kwargs"])
+    if backend == "world":
+        return World(seed=config["seed"], journal=journal,
+                     journal_epoch=config["journal_epoch"], **kwargs)
+    if backend == "sharded":
+        return ShardedWorld(n_shards=config["n_shards"],
+                            seed=config["seed"], epoch=config["epoch"],
+                            journal=journal, **kwargs)
+    if backend == "proc":
+        return ProcShardedWorld(n_shards=config["n_shards"],
+                                seed=config["seed"], epoch=config["epoch"],
+                                start_method=config["start_method"],
+                                lockstep=config["lockstep"],
+                                journal=journal, **kwargs)
+    raise UsageError(f"journal config names unknown backend {backend!r}")
+
+
+def _verify_frontier(world, commit: dict[str, Any]) -> None:
+    digest = world._journal_digest()
+    committed = tuple(commit["digest"])
+    if tuple(digest) != committed:
+        raise JournalDiverged(
+            f"replay to barrier {commit['barrier']} produced digest "
+            f"{tuple(digest)}, journal committed {committed} — the "
+            f"journaled inputs no longer reproduce the committed run")
+
+
+def _apply_op(world, kind: str, data: dict[str, Any]) -> None:
+    if kind == "add_node":
+        shard = data.get("shard")
+        if shard is None:
+            world.add_node(data["name"])
+        else:
+            world.add_node(data["name"], shard=shard)
+    elif kind == "add_resource":
+        world.node(data["node"]).add_resource(restore(data["blob"]))
+    elif kind == "share_resource":
+        node = world.node(data["node"])
+        if hasattr(node, "share_resource_from"):  # worker-process proxy
+            node.share_resource_from(data["from_node"], data["name"])
+        else:
+            source = world.node(data["from_node"])
+            node.share_resource(source.get_resource(data["name"]))
+    elif kind == "set_alternates":
+        world.set_alternates(data["node"], *data["alternates"])
+    elif kind == "ft_alternates":
+        world.ft.set_alternates(data["node"], *data["alternates"])
+    elif kind == "launch":
+        agent, at, method, kwargs = restore(data["bundle"])
+        world.launch(agent, at=at, method=method, **kwargs)
+    elif kind == "crash_plans":
+        world.apply_crash_plans(restore(data["blob"]))
+    elif kind == "kill_shard":
+        world.kill_shard(data["shard"], at=data["at"],
+                         restart_at=data["restart_at"])
+    else:  # pragma: no cover - OP_KINDS is the gate
+        raise UsageError(f"cannot replay op {kind!r}")
+
+
+__all__ = ["resume_world", "RecoveredRun"]

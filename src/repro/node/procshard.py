@@ -428,11 +428,23 @@ class _WorkerServer:
 
     def serve(self) -> None:
         while True:
+            while not self.conn.poll(0.5):
+                # Orphan defense: a SIGKILLed coordinator can't run the
+                # daemon-reaping atexit hook, and under ``fork`` sibling
+                # workers keep the pipe open so no EOF ever arrives.
+                # Poll the parent's liveness instead and exit on our own.
+                parent = multiprocessing.parent_process()
+                if parent is None or not parent.is_alive():
+                    return
             op, payload = self.conn.recv()
             try:
                 reply = self.handle(op, payload)
                 reply["ok"] = True
                 reply["state"] = self._state()
+                if self.world._journal_capture:
+                    notes = self.world.drain_journal_notes()
+                    if notes:
+                        reply["journal"] = notes
             except Exception as exc:  # noqa: BLE001 - shipped to coordinator
                 reply = {"ok": False,
                          "error": f"{type(exc).__name__}: {exc}",
@@ -459,7 +471,9 @@ def _worker_entry(conn, config: dict[str, Any]) -> None:
     ctx = RemoteShardContext(shard, config["n_shards"])
     world = ShardWorld(shard_index=shard, sharded=ctx,
                        seed=config["seed"] + 100_003 * shard,
+                       journal_capture=config.get("journal_capture", False),
                        **config["world_kwargs"])
+    world.journal_shard = shard  # notes self-tag with their origin
     ctx.world = world
     try:
         _WorkerServer(conn, ctx, world).serve()
@@ -483,6 +497,9 @@ class _WorkerHandle:
         self.now: float = 0.0
         self.suspended = False
         self.events = 0
+        #: Journal payload notes shipped with replies, awaiting the
+        #: coordinator's ingest (drained at each epoch collect).
+        self.journal_notes: list[tuple[str, dict]] = []
 
     def send(self, op: str, payload: dict[str, Any]) -> None:
         try:
@@ -506,6 +523,9 @@ class _WorkerHandle:
         self.now = state["now"]
         self.suspended = state["suspended"]
         self.events = state["events"]
+        notes = reply.get("journal")
+        if notes:
+            self.journal_notes.extend(notes)
         return reply
 
     def request(self, op: str, payload: Optional[dict[str, Any]] = None
@@ -531,6 +551,10 @@ class NodeProxy:
     def add_resource(self, resource) -> None:
         assert_picklable(resource,
                          f"resource {resource.name!r} for node {self.name!r}")
+        journal = self._world.journal
+        if journal is not None and journal.armed:
+            journal.record_op("add_resource", node=self.name,
+                              blob=capture(resource))
         self._world._handles[self.shard].request(
             "add_resource", {"node": self.name, "resource": resource})
 
@@ -546,6 +570,10 @@ class NodeProxy:
             raise UsageError(
                 f"cannot share a resource across worker processes "
                 f"({from_node!r} is not in shard {self.shard})")
+        journal = self._world.journal
+        if journal is not None and journal.armed:
+            journal.record_op("share_resource", node=self.name,
+                              from_node=from_node, name=resource)
         self._world._handles[self.shard].request(
             "share_resource", {"node": self.name, "from_node": from_node,
                                "resource": resource})
@@ -576,6 +604,7 @@ class ProcShardedWorld:
                  epoch: Optional[float] = None,
                  start_method: str = "spawn",
                  lockstep: str = "auto",
+                 journal: Optional[Any] = None,
                  **world_kwargs: Any):
         if n_shards < 1:
             raise UsageError(f"need at least 1 shard, got {n_shards}")
@@ -591,6 +620,15 @@ class ProcShardedWorld:
         self.seed = seed
         self.epoch = epoch
         self.lockstep = lockstep
+        self.journal = journal
+        self._kill_plan: Optional[tuple[float, str]] = None
+        if journal is not None and journal.armed \
+                and not journal.config_written:
+            journal.record_config(backend="proc", seed=seed,
+                                  n_shards=n_shards, epoch=epoch,
+                                  start_method=start_method,
+                                  lockstep=lockstep,
+                                  world_kwargs=capture(world_kwargs))
         self.bridge = CrossShardBridge(n_shards)
         self.last_flush_at = float("-inf")
         self.epochs_run = 0
@@ -614,7 +652,8 @@ class ProcShardedWorld:
         for index in range(n_shards):
             parent_conn, child_conn = mp.Pipe()
             config = {"shard_index": index, "n_shards": n_shards,
-                      "seed": seed, "world_kwargs": world_kwargs}
+                      "seed": seed, "world_kwargs": world_kwargs,
+                      "journal_capture": journal is not None}
             process = mp.Process(target=_worker_entry,
                                  args=(child_conn, config),
                                  name=f"repro-shard-{index}", daemon=True)
@@ -662,6 +701,7 @@ class ProcShardedWorld:
             shard = len(self._node_shard) % self.n_shards
         if not 0 <= shard < self.n_shards:
             raise UsageError(f"no shard {shard} (have {self.n_shards})")
+        self._journal_op("add_node", name=name, shard=shard)
         for handle in self._handles:
             handle.request("add_node", {"name": name, "shard": shard})
         self._node_shard[name] = shard
@@ -681,6 +721,8 @@ class ProcShardedWorld:
 
     def set_alternates(self, node: str, *alternates: str) -> None:
         """Declare step alternates for ``node``, visible to all workers."""
+        self._journal_op("set_alternates", node=node,
+                         alternates=tuple(alternates))
         self._entangled = True
         self.ft_alternates[node] = tuple(alternates)
         for handle in self._handles:
@@ -691,6 +733,9 @@ class ProcShardedWorld:
 
     def apply_crash_plans(self, plans) -> None:
         """Schedule node-level outages, routed to the owning workers."""
+        plans = list(plans)
+        if self.journal is not None and self.journal.armed:
+            self.journal.record_op("crash_plans", blob=capture(plans))
         self._entangled = True
         by_shard: dict[int, list] = {}
         for plan in plans:
@@ -716,6 +761,8 @@ class ProcShardedWorld:
         if restart_at is not None and restart_at <= at:
             raise UsageError(f"restart_at ({restart_at}) must be after "
                              f"the kill time ({at})")
+        self._journal_op("kill_shard", shard=shard, at=at,
+                         restart_at=restart_at)
         self._outages.append(_ShardOutage(shard=shard, at=at,
                                           restart_at=restart_at))
         handle.request("kill", {"at": at})
@@ -738,9 +785,13 @@ class ProcShardedWorld:
             self._entangled = True
         assert_picklable(agent, f"agent {agent.agent_id!r}")
         owner = self.shard_of(at)
+        bundle = capture((agent, at, method, launch_kwargs))
+        if self.journal is not None and self.journal.armed:
+            # The journal reuses the ship bundle verbatim, so replay
+            # re-launches byte-identical launch state.
+            self.journal.record_op("launch", bundle=bundle)
         reply = self._handles[owner].request(
-            "launch",
-            {"bundle": capture((agent, at, method, launch_kwargs))})
+            "launch", {"bundle": bundle})
         self._merge_record_blob(reply["record"], origin=owner)
         return self.agents[agent.agent_id]
 
@@ -770,6 +821,9 @@ class ProcShardedWorld:
             existing.__dict__.update(record.__dict__)
         else:
             return  # stale copy from a worker the agent migrated off
+        if self.journal is not None and self.journal.armed:
+            self.journal.buffer("record-merge", agent=record.agent_id,
+                                origin=origin)
         if record.final_agent is not None:
             # The re-broadcast copy drops the captured final agent: no
             # worker reads a foreign record's final_agent (it is pure
@@ -798,9 +852,73 @@ class ProcShardedWorld:
             return self._entangled
         return self.lockstep == "serial"
 
+    # -- world-journal seams (see repro.journal) ------------------------------------
+
+    def _journal_op(self, op: str, **data: Any) -> None:
+        if self.journal is not None and self.journal.armed:
+            self.journal.record_op(op, **data)
+
+    def _journal_digest(self) -> tuple:
+        """Per-shard event counts at the barrier — the commit digest."""
+        return tuple(handle.events for handle in self._handles)
+
+    def _journal_commit(self, barrier: float, torn: bool = False) -> None:
+        journal = self.journal
+        if journal is None or not journal.armed:
+            return
+        digest = self._journal_digest()
+        if torn:
+            journal.commit_torn(barrier, digest)
+        else:
+            journal.commit_epoch(barrier, digest)
+
+    def _journal_final_commit(self) -> None:
+        journal = self.journal
+        if journal is not None and journal.armed and journal.buffered():
+            journal.commit_epoch(self.now, self._journal_digest())
+
+    def _ingest_journal(self, handle: _WorkerHandle) -> None:
+        """Buffer a worker's shipped payload notes into the journal."""
+        notes = handle.journal_notes
+        if not notes:
+            return
+        handle.journal_notes = []
+        journal = self.journal
+        if journal is None or not journal.armed:
+            return  # replaying: the notes were journaled the first time
+        for kind, data in notes:
+            data.setdefault("shard", handle.shard)
+            journal.buffer(kind, **data)
+
+    def _kill_due(self, barrier: float) -> Optional[str]:
+        plan = self._kill_plan
+        if plan is not None and barrier >= plan[0]:
+            return plan[1]
+        return None
+
+    def kill_world(self, at: float, phase: str = "commit") -> None:
+        """Hard-stop the coordinator at the first epoch barrier >= ``at``.
+
+        Same contract as :meth:`~repro.node.sharded.ShardedWorld.
+        kill_world`: ``phase="commit"`` stops right after the barrier's
+        journal commit; ``"barrier"`` stops between the barrier collect
+        and the scatter — the workers executed the epoch and their
+        outboxes were adopted, but the marker is torn and the routed
+        inboxes never ship.  Never journaled: it is the crash being
+        recovered from.
+        """
+        if phase not in ("commit", "barrier"):
+            raise UsageError(f"unknown kill phase {phase!r} "
+                             f"(use 'commit' or 'barrier')")
+        if at < self.now:
+            raise UsageError(f"cannot kill the world in the past "
+                             f"(at={at}, now={self.now})")
+        self._kill_plan = (float(at), phase)
+
     def run(self, until: Optional[float] = None,
             max_epochs: int = 1_000_000,
-            max_events_per_epoch: int = 10_000_000) -> None:
+            max_events_per_epoch: int = 10_000_000,
+            _replay: Optional[list] = None) -> None:
         """Run all workers in lockstep epochs until drained (or ``until``).
 
         The same barrier walk as :meth:`~repro.node.sharded.
@@ -808,10 +926,18 @@ class ProcShardedWorld:
         collect/route/scatter cycle over the worker pipes — in parallel
         for independent workloads, as serial shard-order turns for
         entangled ones (see the module docstring).
+
+        With a journal attached each routed barrier gets a group
+        commit, with the ``kill_world`` check around it (the
+        mid-barrier phase falls between the collect and the scatter).
+        ``_replay`` (resume driver only) walks the journaled barrier
+        sequence verbatim instead of re-deriving it, and returns once
+        exhausted.
         """
         if self._closed:
             raise UsageError("world is closed")
         serial = self._serial()
+        replay = iter(_replay) if _replay is not None else None
         for _ in range(max_epochs):
             running = [h for h in self._handles if not h.suspended]
             next_times = [t for t in (h.peek for h in running)
@@ -843,6 +969,7 @@ class ProcShardedWorld:
                     self._route(self.now)
                     continue
                 self._sync_records()
+                self._journal_final_commit()
                 return
             soonest = min(next_times)
             if until is not None and soonest > until:
@@ -854,10 +981,16 @@ class ProcShardedWorld:
                             cap_to_now=True)
                 self._sync_records()
                 return
-            floor_now = max((h.now for h in running), default=self.now)
-            barrier = next_epoch_barrier(soonest, self.epoch, floor_now)
-            if until is not None and barrier > until:
-                barrier = until
+            if replay is not None:
+                barrier = next(replay, None)
+                if barrier is None:
+                    return  # replayed prefix complete
+            else:
+                floor_now = max((h.now for h in running), default=self.now)
+                barrier = next_epoch_barrier(soonest, self.epoch,
+                                             floor_now)
+                if until is not None and barrier > until:
+                    barrier = until
             revives: dict[int, tuple] = {}
             for outage in self._due_restarts():
                 if outage.restart_at <= barrier:
@@ -868,8 +1001,21 @@ class ProcShardedWorld:
                         self.bridge.take_backlog(outage.shard))
             self._cycle(barrier=barrier, serial=serial, run=True,
                         max_events=max_events_per_epoch, revives=revives)
+            kill = self._kill_due(barrier)
+            if kill == "barrier":
+                # Mid-barrier crash: the workers executed the epoch and
+                # their outboxes were collected, but the marker is torn
+                # and the routed inboxes never ship — recovery falls
+                # back one barrier.
+                self._journal_commit(barrier, torn=True)
+                from repro.errors import WorldKilled
+                raise WorldKilled(barrier, "barrier")
             self._route(barrier)
             self.epochs_run += 1
+            self._journal_commit(barrier)
+            if kill == "commit":
+                from repro.errors import WorldKilled
+                raise WorldKilled(barrier, "commit")
         raise UsageError(
             f"sharded run exceeded {max_epochs} epochs; likely livelock")
 
@@ -888,10 +1034,14 @@ class ProcShardedWorld:
                 self._merge_record_blob(blob, origin=handle.shard)
 
     def _route(self, barrier: float) -> None:
+        routed = 0
         for shard, action, transfer in self.bridge.route(
                 list(self._suspended)):
             self._staged_items[shard].append((action, transfer))
+            routed += 1
         self.last_flush_at = barrier
+        if routed and self.journal is not None and self.journal.armed:
+            self.journal.buffer("bridge", moved=routed, barrier=barrier)
 
     def _views_for(self, shard: int) -> dict[str, Any]:
         locks: dict[int, dict] = {}
@@ -988,6 +1138,7 @@ class ProcShardedWorld:
     def _collect(self, shard: int) -> None:
         handle = self._handles[shard]
         reply = handle.recv()
+        self._ingest_journal(handle)
         self._suspended[shard] = handle.suspended
         for agent_id, blob in reply.get("record_deltas", {}).items():
             self._merge_record_blob(blob, origin=shard)

@@ -61,6 +61,7 @@ from repro.tx.manager import Transaction
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.exactly_once.fault_tolerant import FTParams
+    from repro.journal.journal import WorldJournal
 
 LEDGER_NODE = "__ledger__"
 
@@ -117,9 +118,26 @@ class World:
                  registry: Optional[CompensationRegistry] = None,
                  retry_policy: Optional[RetryPolicy] = None,
                  ft_takeover_timeout: Optional[float] = None,
-                 ft_params: Optional["FTParams"] = None):
+                 ft_params: Optional["FTParams"] = None,
+                 journal: Optional["WorldJournal"] = None,
+                 journal_epoch: Optional[float] = None,
+                 journal_capture: bool = False):
         from repro.exactly_once.fault_tolerant import FTParams
 
+        # Journal seams first: the FT factory and node creation below
+        # consult them when wiring capture hooks.  ``journal`` makes
+        # this world a journaling coordinator (ops + config + epoch
+        # commits); ``journal_capture`` alone puts the world in capture
+        # mode for a coordinator living elsewhere (shard worlds buffer
+        # payload notes that the owning driver commits).
+        self.journal = journal
+        self.journal_epoch = journal_epoch if journal_epoch is not None \
+            else net_params.latency
+        self.journal_shard: Optional[int] = None
+        self._journal_capture = journal is not None or journal_capture
+        self._journal_notes: list[tuple[str, dict]] = []
+        self._owns_ops = journal is not None
+        self._kill_plan: Optional[tuple[float, str]] = None
         self.sim = Simulator(seed)
         self.metrics = Metrics()
         self.timing = timing
@@ -162,6 +180,27 @@ class World:
             RollbackMode.OPTIMIZED: OptimizedRollback(self),
             RollbackMode.SAGA: SagaRollback(self),
         }
+        if self._journal_capture:
+            ledger = self.ft.ledger
+
+            def _ledger_note(op, key, value):
+                self.journal_note("store", store=ledger.name, op=op,
+                                  key=key, value=value)
+
+            ledger.on_mutate = _ledger_note
+        if journal is not None and journal.armed \
+                and not journal.config_written:
+            from repro.storage.serialization import capture
+            journal.record_config(
+                backend="world", seed=seed,
+                journal_epoch=self.journal_epoch,
+                world_kwargs=capture({
+                    "timing": timing, "net_params": net_params,
+                    "logging_mode": self.logging_mode,
+                    "retry_policy": self.retry_policy,
+                    "ft_params": self.ft_params,
+                    "registry": None if self.registry is GLOBAL_REGISTRY
+                    else self.registry}))
 
     def _make_fault_tolerance(self):
         """FT driver factory; the sharded world installs the bridged one."""
@@ -173,15 +212,120 @@ class World:
         """Legacy read alias — :attr:`ft_params` is the single source."""
         return self.ft_params.takeover_timeout
 
+    # -- world-journal seams ----------------------------------------------------------
+    #
+    # Three channels (see :mod:`repro.journal.journal`): ops are
+    # journaled once, at the user-facing coordinator facade
+    # (``_owns_ops``); setup ops that only ever run once per node
+    # (resource installation) may journal from any owner
+    # (:meth:`_journal_setup`); payload notes are buffered per epoch —
+    # directly into the coordinator's journal when this world has one,
+    # into a local list shipped at the epoch reply when this world is a
+    # worker-process shard in capture mode.
+
+    def journal_note(self, kind: str, **data: Any) -> None:
+        """Stage one payload-channel record for the open epoch."""
+        if not self._journal_capture:
+            return
+        if self.journal_shard is not None:
+            data.setdefault("shard", self.journal_shard)
+        journal = self.journal
+        if journal is not None:
+            if journal.armed:
+                journal.buffer(kind, **data)
+        else:
+            self._journal_notes.append((kind, data))
+
+    def drain_journal_notes(self) -> list[tuple[str, dict]]:
+        """Worker mode: hand the buffered notes to the epoch reply."""
+        notes, self._journal_notes = self._journal_notes, []
+        return notes
+
+    def _journal_op(self, op: str, **data: Any) -> None:
+        """Journal a facade-level op (no-op unless this world owns ops)."""
+        if self._owns_ops and self.journal is not None \
+                and self.journal.armed:
+            self.journal.record_op(op, **data)
+
+    def _journal_setup(self, op: str, **data: Any) -> None:
+        """Journal a once-per-target setup op from any owner."""
+        if self.journal is not None and self.journal.armed:
+            self.journal.record_op(op, **data)
+
+    def _journal_digest(self) -> tuple:
+        """Cheap execution digest committed with each epoch marker."""
+        return (self.sim.events_processed,)
+
+    def _journal_commit(self, barrier: float, torn: bool = False) -> None:
+        journal = self.journal
+        if journal is None or not journal.armed:
+            return
+        digest = self._journal_digest()
+        if torn:
+            journal.commit_torn(barrier, digest)
+        else:
+            journal.commit_epoch(barrier, digest)
+
+    def _journal_final_commit(self) -> None:
+        journal = self.journal
+        if journal is not None and journal.armed and journal.buffered():
+            journal.commit_epoch(self.sim.now, self._journal_digest())
+
+    def _kill_due(self, barrier: float) -> Optional[str]:
+        plan = self._kill_plan
+        if plan is not None and barrier >= plan[0]:
+            return plan[1]
+        return None
+
+    def kill_world(self, at: float, phase: str = "commit") -> None:
+        """Hard-stop the coordinator at the first epoch barrier >= ``at``.
+
+        Fault injection for crash-resume testing — the simulated
+        analogue of SIGKILLing the driving process.  ``phase="commit"``
+        kills right after the barrier's journal commit; ``"barrier"``
+        kills *mid-barrier* — the epoch has executed (and, in a sharded
+        world, its traffic collected) but the commit marker is torn and
+        the bridge never scatters, so recovery must fall back to the
+        previous barrier.  The kill itself is deliberately never
+        journaled: it is the crash being recovered from.  The run
+        raises :class:`~repro.errors.WorldKilled`.
+        """
+        if phase not in ("commit", "barrier"):
+            raise UsageError(f"unknown kill phase {phase!r} "
+                             f"(use 'commit' or 'barrier')")
+        if at < self.sim.now:
+            raise UsageError(f"cannot kill the world in the past "
+                             f"(at={at}, now={self.sim.now})")
+        self._kill_plan = (float(at), phase)
+
+    def _wire_journal_hooks(self, node: Node) -> None:
+        """Point a node's durable structures at the journal seams."""
+        name = node.name
+        store_name = node.stable.name
+
+        def _store_note(op, key, value):
+            self.journal_note("store", store=store_name, op=op,
+                              key=key, value=value)
+
+        def _queue_note(op, item):
+            self.journal_note("queue", node=name, op=op,
+                              item=item.item_id, bytes=item.size_bytes)
+
+        node.stable.on_mutate = _store_note
+        node.queue.on_journal = _queue_note
+
     # -- topology -------------------------------------------------------------------
 
     def add_node(self, name: str) -> Node:
         """Create a node named ``name``."""
         if name in self.nodes or name == LEDGER_NODE:
             raise UsageError(f"node {name!r} already exists")
+        self._journal_op("add_node", name=name)
         node = Node(name, self)
         self.nodes[name] = node
         self.transport.register(name, lambda message: None)
+        if self._journal_capture:
+            self._wire_journal_hooks(node)
         return node
 
     def add_nodes(self, *names: str) -> list[Node]:
@@ -256,17 +400,31 @@ class World:
         starts").  Returns the live :class:`AgentRecord`.
         """
         from repro.log.entries import SavepointEntry
-        from repro.storage.serialization import snapshot
+        from repro.storage.serialization import capture, snapshot
 
         node = self.node(at)
+        if self._owns_ops and self.journal is not None \
+                and self.journal.armed:
+            # One bundle pickle before launch mutates the agent's
+            # control state, mirroring the worker-process contract.
+            self.journal.record_op("launch", bundle=capture(
+                (agent, at, method,
+                 {"mode": mode, "protocol": protocol,
+                  "initial_savepoints": initial_savepoints})))
         agent.set_control(at, method)
         log = RollbackLog(self.logging_mode)
         for sp_id, virtual in (initial_savepoints or []):
             payload = None if virtual else snapshot(agent.sro)
-            log.append(SavepointEntry(sp_id=sp_id,
-                                      mode=self.logging_mode.value,
-                                      payload=payload, virtual=virtual))
+            entry = SavepointEntry(sp_id=sp_id,
+                                   mode=self.logging_mode.value,
+                                   payload=payload, virtual=virtual)
+            log.append(entry)
             self.metrics.incr("savepoints.written")
+            if self._journal_capture:
+                self.journal_note(
+                    "savepoint", agent=agent.agent_id, sp=sp_id,
+                    virtual=virtual,
+                    frame=None if virtual else entry.blob())
         record = AgentRecord(agent_id=agent.agent_id,
                              mode=RollbackMode(mode),
                              protocol=Protocol(protocol))
@@ -328,6 +486,10 @@ class World:
 
     def apply_crash_plans(self, plans) -> None:
         """Schedule node-level outages (facade twin of ``failures.apply_plan``)."""
+        if self._owns_ops and self.journal is not None \
+                and self.journal.armed:
+            from repro.storage.serialization import capture
+            self.journal.record_op("crash_plans", blob=capture(list(plans)))
         self.failures.apply_plan(plans)
 
     def serialization_stats(self) -> dict[str, int]:
@@ -346,9 +508,48 @@ class World:
     # -- execution ------------------------------------------------------------------------------
 
     def run(self, until: Optional[float] = None,
-            max_events: int = 10_000_000) -> None:
-        """Run the simulation until idle (or ``until``)."""
-        self.sim.run(until=until, max_events=max_events)
+            max_events: int = 10_000_000,
+            _replay: Optional[list] = None) -> None:
+        """Run the simulation until idle (or ``until``).
+
+        With a journal attached the run is epoch-ized: events execute
+        in ``journal_epoch`` intervals on the same deterministic grid
+        the sharded drivers use, with a group commit — payload flush,
+        marker, fsync — at each barrier, and the ``kill_world`` check
+        between them.  ``_replay`` is the resume driver's input: the
+        journaled barrier sequence is re-executed verbatim (commits
+        stay suppressed because the journal is disarmed), reproducing
+        the original walk even where ``until``-capping or same-instant
+        barriers made it diverge from the pure grid.
+        """
+        if _replay is not None:
+            for barrier in _replay:
+                self.sim.run_epoch(barrier, max_events=max_events)
+            return
+        if self.journal is None:
+            self.sim.run(until=until, max_events=max_events)
+            return
+        from repro.node.sharded import next_epoch_barrier
+        while True:
+            soonest = self.sim.peek_time()
+            if soonest is None:
+                break
+            if until is not None and soonest > until:
+                break
+            barrier = next_epoch_barrier(soonest, self.journal_epoch,
+                                         self.sim.now)
+            if until is not None and barrier > until:
+                barrier = until
+            self.sim.run_epoch(barrier, max_events=max_events)
+            kill = self._kill_due(barrier)
+            self._journal_commit(barrier, torn=(kill == "barrier"))
+            if kill is not None:
+                from repro.errors import WorldKilled
+                raise WorldKilled(barrier, kill)
+        self._journal_final_commit()
+        if until is not None:
+            # Idle advance to ``until``, matching the plain path.
+            self.sim.run(until=until, max_events=max_events)
 
     def all_done(self) -> bool:
         """True when no agent is still running."""

@@ -85,6 +85,7 @@ from repro.node.runtime import LEDGER_NODE, AgentRecord, World
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.agent.agent import MobileAgent
     from repro.agent.packages import AgentPackage
+    from repro.journal.journal import WorldJournal
     from repro.net.messages import Message
     from repro.node.node import Node
     from repro.tx.manager import Transaction
@@ -546,6 +547,7 @@ class ShardedWorld:
 
     def __init__(self, n_shards: int = 2, seed: int = 0,
                  epoch: Optional[float] = None, workers: str = "inline",
+                 journal: Optional["WorldJournal"] = None,
                  **world_kwargs: Any):
         if n_shards < 1:
             raise UsageError(f"need at least 1 shard, got {n_shards}")
@@ -557,6 +559,14 @@ class ShardedWorld:
         if epoch <= 0:
             raise UsageError(f"epoch must be positive, got {epoch}")
         self.epoch = epoch
+        self.journal = journal
+        self._kill_plan: Optional[tuple[float, str]] = None
+        if journal is not None and journal.armed \
+                and not journal.config_written:
+            from repro.storage.serialization import capture
+            journal.record_config(backend="sharded", seed=seed,
+                                  n_shards=n_shards, epoch=epoch,
+                                  world_kwargs=capture(world_kwargs))
         self.bridge = CrossShardBridge(n_shards)
         self._node_shard: dict[str, int] = {}
         #: Step-alternate policy shared by every shard's FT driver: the
@@ -574,8 +584,16 @@ class ShardedWorld:
         self.shards: list[ShardWorld] = []
         for index in range(n_shards):
             world = ShardWorld(shard_index=index, sharded=self,
-                               seed=seed + 100_003 * index, **world_kwargs)
+                               seed=seed + 100_003 * index,
+                               journal_capture=journal is not None,
+                               **world_kwargs)
             world.agents = self.agents
+            # The shards buffer payload notes straight into the
+            # coordinator's journal (attached after construction so
+            # they never believe they own the op channel or the
+            # config record).
+            world.journal = journal
+            world.journal_shard = index
             self.shards.append(world)
         self.epochs_run = 0
 
@@ -589,6 +607,7 @@ class ShardedWorld:
             shard = len(self._node_shard) % self.n_shards
         if not 0 <= shard < self.n_shards:
             raise UsageError(f"no shard {shard} (have {self.n_shards})")
+        self._journal_op("add_node", name=name, shard=shard)
         node = self.shards[shard].add_node(name)
         self._node_shard[name] = shard
         return node
@@ -618,6 +637,8 @@ class ShardedWorld:
         drivers prefer the alternates hosted by other shards, so shadow
         redundancy survives a whole-kernel outage.
         """
+        self._journal_op("set_alternates", node=node,
+                         alternates=tuple(alternates))
         self.ft_alternates[node] = tuple(alternates)
 
     # -- whole-shard failure injection ------------------------------------------------
@@ -646,6 +667,8 @@ class ShardedWorld:
         if restart_at is not None and restart_at <= at:
             raise UsageError(f"restart_at ({restart_at}) must be after "
                              f"the kill time ({at})")
+        self._journal_op("kill_shard", shard=shard, at=at,
+                         restart_at=restart_at)
         self._outages.append(_ShardOutage(shard=shard, at=at,
                                           restart_at=restart_at))
         world.schedule_kill(at)
@@ -668,8 +691,63 @@ class ShardedWorld:
         method on :class:`~repro.node.procshard.ProcShardedWorld`, no
         matter which *process*).
         """
+        plans = list(plans)
+        if self.journal is not None and self.journal.armed:
+            from repro.storage.serialization import capture
+            self.journal.record_op("crash_plans", blob=capture(plans))
         for plan in plans:
             self.world_of(plan.node).failures.apply_plan([plan])
+
+    # -- world-journal seams (see repro.journal) --------------------------------------
+
+    def _journal_op(self, op: str, **data: Any) -> None:
+        if self.journal is not None and self.journal.armed:
+            self.journal.record_op(op, **data)
+
+    def _journal_digest(self) -> tuple:
+        """Per-shard event counts at the barrier — the commit digest."""
+        return tuple(w.sim.events_processed for w in self.shards)
+
+    def _journal_commit(self, barrier: float, torn: bool = False) -> None:
+        journal = self.journal
+        if journal is None or not journal.armed:
+            return
+        digest = self._journal_digest()
+        if torn:
+            journal.commit_torn(barrier, digest)
+        else:
+            journal.commit_epoch(barrier, digest)
+
+    def _journal_final_commit(self) -> None:
+        journal = self.journal
+        if journal is not None and journal.armed and journal.buffered():
+            journal.commit_epoch(self.now, self._journal_digest())
+
+    def _kill_due(self, barrier: float) -> Optional[str]:
+        plan = self._kill_plan
+        if plan is not None and barrier >= plan[0]:
+            return plan[1]
+        return None
+
+    def kill_world(self, at: float, phase: str = "commit") -> None:
+        """Hard-stop the coordinator at the first epoch barrier >= ``at``.
+
+        The sharded twin of :meth:`~repro.node.runtime.World.
+        kill_world` — and unlike :meth:`kill_shard` (which models one
+        kernel dying inside a run that keeps going) this kills the
+        *driver*: ``phase="commit"`` stops right after the barrier's
+        journal commit; ``"barrier"`` stops mid-barrier — the epoch has
+        executed and its traffic been collected, but the commit marker
+        is torn and the bridge never scatters.  Never journaled: it is
+        the crash being recovered from.
+        """
+        if phase not in ("commit", "barrier"):
+            raise UsageError(f"unknown kill phase {phase!r} "
+                             f"(use 'commit' or 'barrier')")
+        if at < self.now:
+            raise UsageError(f"cannot kill the world in the past "
+                             f"(at={at}, now={self.now})")
+        self._kill_plan = (float(at), phase)
 
     # -- cross-shard state seams (the worker-mode boundary) ---------------------------
     #
@@ -712,6 +790,13 @@ class ShardedWorld:
     def launch(self, agent: "MobileAgent", at: str, method: str,
                **launch_kwargs: Any) -> AgentRecord:
         """Launch ``agent`` at node ``at`` (in whichever shard hosts it)."""
+        if self.journal is not None and self.journal.armed:
+            # Captured before the launch mutates the agent (control
+            # backref, itinerary cursor), so replay re-launches the
+            # pristine bundle.
+            from repro.storage.serialization import capture
+            self.journal.record_op("launch", bundle=capture(
+                (agent, at, method, launch_kwargs)))
         return self.world_of(at).launch(agent, at=at, method=method,
                                         **launch_kwargs)
 
@@ -740,7 +825,8 @@ class ShardedWorld:
 
     def run(self, until: Optional[float] = None,
             max_epochs: int = 1_000_000,
-            max_events_per_epoch: int = 10_000_000) -> None:
+            max_events_per_epoch: int = 10_000_000,
+            _replay: Optional[list] = None) -> None:
         """Run all shards in lockstep epochs until drained (or ``until``).
 
         Each iteration: pick the next barrier on the epoch grid (skipping
@@ -751,7 +837,14 @@ class ShardedWorld:
         bridge.  Suspended kernels are skipped — a dead shard stops
         advancing — but their scheduled restarts count as work, so a run
         never terminates with a revival pending.
+
+        With a journal attached each flushed barrier gets a group
+        commit, with the ``kill_world`` check around it.  ``_replay``
+        (resume driver only) walks the journaled barrier sequence
+        verbatim instead of re-deriving it, and returns once exhausted.
         """
+        replay = iter(_replay) if _replay is not None else None
+        journaling = self.journal is not None
         for _ in range(max_epochs):
             running = [w for w in self.shards if not w.sim.suspended]
             next_times = [t for t in (w.sim.peek_time() for w in running)
@@ -764,20 +857,27 @@ class ShardedWorld:
                     self.bridge.flush(self.shards, self.now)
                     self.last_flush_at = self.now
                     continue
+                self._journal_final_commit()
                 return  # every live kernel drained, nothing left to bridge
             soonest = min(next_times)
             if until is not None and soonest > until:
                 for world in running:
                     world.sim.run_epoch(max(until, world.sim.now))
                 return
-            # A revival may be due before the clocks of the running
-            # shards (they advanced while the dead kernel froze); the
-            # barrier can never move backwards.
-            floor_now = max((w.sim.now for w in running),
-                            default=self.now)
-            barrier = next_epoch_barrier(soonest, self.epoch, floor_now)
-            if until is not None and barrier > until:
-                barrier = until
+            if replay is not None:
+                barrier = next(replay, None)
+                if barrier is None:
+                    return  # replayed prefix complete
+            else:
+                # A revival may be due before the clocks of the running
+                # shards (they advanced while the dead kernel froze);
+                # the barrier can never move backwards.
+                floor_now = max((w.sim.now for w in running),
+                                default=self.now)
+                barrier = next_epoch_barrier(soonest, self.epoch,
+                                             floor_now)
+                if until is not None and barrier > until:
+                    barrier = until
             for outage in self._due_restarts():
                 if outage.restart_at <= barrier:
                     self._revive(outage)
@@ -786,9 +886,24 @@ class ShardedWorld:
                     continue
                 world.sim.run_epoch(barrier,
                                     max_events=max_events_per_epoch)
-            self.bridge.flush(self.shards, barrier)
+            kill = self._kill_due(barrier)
+            if kill == "barrier":
+                # Mid-barrier crash: the epoch ran and its payload
+                # notes are buffered, but the marker is torn and the
+                # bridge never scatters — recovery falls back one
+                # barrier.
+                self._journal_commit(barrier, torn=True)
+                from repro.errors import WorldKilled
+                raise WorldKilled(barrier, "barrier")
+            moved = self.bridge.flush(self.shards, barrier)
             self.last_flush_at = barrier
             self.epochs_run += 1
+            if moved and journaling and self.journal.armed:
+                self.journal.buffer("bridge", moved=moved, barrier=barrier)
+            self._journal_commit(barrier)
+            if kill == "commit":
+                from repro.errors import WorldKilled
+                raise WorldKilled(barrier, "commit")
         raise UsageError(
             f"sharded run exceeded {max_epochs} epochs; likely livelock")
 

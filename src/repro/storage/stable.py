@@ -9,7 +9,7 @@ restores the exact prior contents.
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Optional
+from typing import Any, Callable, Iterator, Optional
 
 from repro.errors import UsageError
 from repro.tx.manager import Transaction
@@ -18,12 +18,19 @@ _MISSING = object()
 
 
 class StableStore:
-    """A named durable mapping living on one node."""
+    """A named durable mapping living on one node.
+
+    ``on_mutate`` is the world journal's capture seam: when set, every
+    applied mutation — including the ``restore`` ops an abort replays —
+    is reported as ``(op, key, value)``.  It is wired only when the
+    owning world journals, so the un-journaled hot path stays free.
+    """
 
     def __init__(self, name: str):
         self.name = name
         self._data: dict[Any, Any] = {}
         self.writes = 0
+        self.on_mutate: Optional[Callable[[str, Any, Any], None]] = None
 
     def get(self, key: Any, default: Any = None) -> Any:
         """Read the current (possibly tx-staged) value for ``key``."""
@@ -43,6 +50,8 @@ class StableStore:
             tx.register_undo(lambda: self._restore(key, prior))
         self._data[key] = value
         self.writes += 1
+        if self.on_mutate is not None:
+            self.on_mutate("put", key, value)
 
     def delete(self, key: Any, tx: Optional[Transaction] = None) -> Any:
         """Remove ``key``; undoable when ``tx`` given.  Returns the value."""
@@ -52,6 +61,8 @@ class StableStore:
         if tx is not None:
             tx.register_undo(lambda: self._restore(key, value))
         self.writes += 1
+        if self.on_mutate is not None:
+            self.on_mutate("delete", key, value)
         return value
 
     def _restore(self, key: Any, prior: Any) -> None:
@@ -59,6 +70,9 @@ class StableStore:
             self._data.pop(key, None)
         else:
             self._data[key] = prior
+        if self.on_mutate is not None:
+            self.on_mutate("restore", key,
+                           None if prior is _MISSING else prior)
 
     def __len__(self) -> int:
         return len(self._data)

@@ -242,6 +242,74 @@ def run_differential_scenario(backend, seed, outage=None, n_agents=3,
             world.close()
 
 
+def run_crash_resume_scenario(backend, seed, kill_at, phase="commit",
+                              outage=None, n_agents=3, rollback=True,
+                              journal_factory=None, **kwargs):
+    """Run the differential workload, crash the coordinator, resume.
+
+    Builds the journaled world, hard-stops it at the first epoch
+    barrier >= ``kill_at`` (``phase`` picks the commit-adjacent or the
+    mid-barrier kill point), rebuilds it from the journal with
+    :func:`repro.journal.resume_world` and runs the continuation to
+    completion.  Returns the same comparison record as
+    :func:`run_differential_scenario` — the crash-resume differential
+    axis asserts the two are identical.
+
+    ``journal_factory`` makes a fresh journal over the *same* durable
+    backend per call (called twice: original run, recovery); the
+    default keeps a single in-memory backend alive across the simulated
+    crash.
+    """
+    from repro.errors import WorldKilled
+    from repro.journal import MemoryJournal, WorldJournal, resume_world
+    from repro.sim.failures import CrashPlan
+
+    if journal_factory is None:
+        shared = MemoryJournal()
+        journal_factory = lambda: WorldJournal(shared)  # noqa: E731
+    journal = journal_factory()
+    world = build_ft_ring(backend, seed=seed, journal=journal, **kwargs)
+    killed = False
+    try:
+        if outage is not None:
+            shard, at, restart_at = outage
+            if backend == "world":
+                world.apply_crash_plans(
+                    [CrashPlan(name, at, restart_at - at)
+                     for name in shard_nodes(shard)])
+            else:
+                world.kill_shard(shard, at=at, restart_at=restart_at)
+        launch_ft_tours(world, n_agents=n_agents, rollback=rollback)
+        world.kill_world(at=kill_at, phase=phase)
+        try:
+            world.run(until=120.0)
+        except WorldKilled:
+            killed = True
+    finally:
+        if hasattr(world, "close"):
+            world.close()
+        journal.close()
+    journal = journal_factory()
+    resumed = resume_world(journal)
+    try:
+        resumed.run(until=120.0)
+        result = {
+            "outcomes": resumed.outcomes(),
+            "debits": ring_debits(resumed),
+            "ledger_agrees": (resumed.ledger_quorum_agrees()
+                              if backend != "world" else True),
+        }
+        if backend != "world":
+            result["counters"] = resumed.counters()
+            result["epochs"] = resumed.epochs_run
+            result["events"] = resumed.events_processed()
+        return result, killed
+    finally:
+        if hasattr(resumed, "close"):
+            resumed.close()
+        journal.close()
+
+
 def build_line_world(n_nodes=4, seed=0, **world_kwargs) -> World:
     """n nodes in a line, each with a bank holding accounts a and b."""
     world = World(seed=seed, **world_kwargs)

@@ -1,0 +1,319 @@
+"""Unit tests for the write-ahead world journal.
+
+Three layers, bottom up:
+
+* **backends** — CRC-framed record streams (memory / append-only file /
+  sqlite): round-trips, truncation, the torn-tail rule (damage at the
+  physical end is the interrupted write and is discarded; damage before
+  it raises :class:`~repro.errors.JournalCorrupt`);
+* **WorldJournal** — group commit, recovery-frontier selection (config
+  + everything through the last commit marker + trailing setup ops),
+  re-arming;
+* **resume** — journaled worlds killed mid-run resume to outcomes
+  identical to the uninterrupted run, including through a node crash
+  whose transactional undo must not double-apply, and recovery refuses
+  a journal whose replay diverges from the committed digest.
+
+The cross-backend crash-resume differential axis lives in
+tests/test_multiproc_differential.py; this file covers the journal
+machinery itself on the unsharded World.
+"""
+
+import pytest
+
+from repro.errors import (
+    JournalCorrupt,
+    JournalDiverged,
+    UsageError,
+    WorldKilled,
+)
+from repro.journal import (
+    FileJournal,
+    MemoryJournal,
+    SqliteJournal,
+    WorldJournal,
+    open_backend,
+    resume_world,
+)
+from repro.journal.backends import frame, parse_frames
+from repro.journal.journal import decode_record, encode_record
+from tests.helpers import (
+    build_ft_ring,
+    launch_ft_tours,
+    ring_debits,
+    run_crash_resume_scenario,
+    run_differential_scenario,
+)
+
+BACKEND_FACTORIES = {
+    "memory": lambda tmp: MemoryJournal(),
+    "file": lambda tmp: FileJournal(tmp / "world.journal"),
+    "sqlite": lambda tmp: SqliteJournal(tmp / "world.db"),
+}
+
+
+@pytest.fixture(params=sorted(BACKEND_FACTORIES))
+def backend(request, tmp_path):
+    be = BACKEND_FACTORIES[request.param](tmp_path)
+    yield be
+    be.close()
+
+
+# -- backends ----------------------------------------------------------------------
+
+
+def test_backend_round_trip(backend):
+    records = [f"record-{i}".encode() for i in range(5)]
+    for payload in records:
+        backend.append(payload)
+    backend.sync()
+    payloads, torn = backend.read_all()
+    assert payloads == records
+    assert not torn
+    backend.truncate_records(2)
+    payloads, torn = backend.read_all()
+    assert payloads == records[:2]
+    assert not torn
+    assert backend.size_bytes > 0
+
+
+def test_backend_torn_tail_discards_final_record(backend):
+    for i in range(3):
+        backend.append(f"record-{i}".encode())
+    backend.sync()
+    backend.tear_tail(3)
+    payloads, torn = backend.read_all()
+    assert payloads == [b"record-0", b"record-1"]
+    assert torn
+
+
+def test_backend_corrupt_final_record_is_torn_tail(backend):
+    for i in range(3):
+        backend.append(f"record-{i}".encode())
+    backend.sync()
+    backend.corrupt_record(2)
+    payloads, torn = backend.read_all()
+    assert payloads == [b"record-0", b"record-1"]
+    assert torn
+
+
+def test_backend_corrupt_before_tail_raises(backend):
+    for i in range(3):
+        backend.append(f"record-{i}".encode())
+    backend.sync()
+    backend.corrupt_record(0)
+    with pytest.raises(JournalCorrupt):
+        backend.read_all()
+
+
+def test_parse_frames_torn_variants():
+    buf = frame(b"alpha") + frame(b"bravo")
+    # Torn header: fewer than 8 bytes of the second frame survive.
+    payloads, torn = parse_frames(buf[:len(frame(b"alpha")) + 4], "t")
+    assert (payloads, torn) == ([b"alpha"], True)
+    # Torn payload: full header, short payload.
+    payloads, torn = parse_frames(buf[:-2], "t")
+    assert (payloads, torn) == ([b"alpha"], True)
+    # Intact stream.
+    payloads, torn = parse_frames(buf, "t")
+    assert (payloads, torn) == ([b"alpha", b"bravo"], False)
+
+
+def test_open_backend_dispatch(tmp_path):
+    assert isinstance(open_backend(None), MemoryJournal)
+    assert isinstance(open_backend("memory"), MemoryJournal)
+    sq = open_backend(tmp_path / "j.db")
+    assert isinstance(sq, SqliteJournal)
+    sq.close()
+    fj = open_backend(tmp_path / "j.log")
+    assert isinstance(fj, FileJournal)
+    fj.close()
+    with pytest.raises(UsageError):
+        FileJournal(tmp_path / "j2.log", fsync="sometimes")
+
+
+# -- WorldJournal: commit and recovery frontier ------------------------------------
+
+
+def test_recover_keeps_commits_and_trailing_ops():
+    journal = WorldJournal()
+    journal.record_config(backend="world", seed=1)
+    journal.record_op("add_node", name="n0")
+    journal.buffer("store", store="s", op="put", key="k", value=1)
+    journal.commit_epoch(1.0, (5,))
+    journal.record_op("launch", bundle=b"x")
+    journal.buffer("store", store="s", op="put", key="k", value=2)
+    journal.commit_epoch(2.0, (9,))
+    journal.record_op("crash_plans", blob=b"y")  # op after last commit: kept
+    journal.buffer("queue", node="n0", op="enqueue", item=1, bytes=10)
+    # The buffered payload never flushed — it belongs to the epoch the
+    # crash destroyed and must not appear on recovery.
+    recovered = journal.recover()
+    assert recovered.frontier_barrier == 2.0
+    assert recovered.frontier["digest"] == (9,)
+    assert not recovered.torn_tail
+    kinds = [kind for kind, _ in recovered.entries]
+    assert kinds == ["add_node", "store", "epoch", "launch", "store",
+                     "epoch", "crash_plans"]
+    assert recovered.kept_records == len(kinds) + 1  # + config
+    assert recovered.discarded_records == 0
+
+
+def test_recover_discards_uncommitted_payload_records():
+    journal = WorldJournal()
+    journal.record_config(backend="world", seed=1)
+    journal.commit_epoch(1.0, (3,))
+    # A flushed-but-uncommitted payload record (simulate by appending
+    # directly, as a torn group commit would leave behind).
+    journal.backend.append(encode_record("store", {"op": "put"}))
+    journal.backend.append(encode_record("bridge", {"moved": 2}))
+    recovered = journal.recover()
+    assert [kind for kind, _ in recovered.entries] == ["epoch"]
+    assert recovered.discarded_records == 2
+    journal.rearm(recovered)
+    assert journal.commits == 1
+    # The truncation is physical: a fresh recover sees the clean tail.
+    again = WorldJournal(journal.backend).recover()
+    assert [kind for kind, _ in again.entries] == ["epoch"]
+    assert again.discarded_records == 0
+
+
+def test_recover_without_config_record_raises():
+    be = MemoryJournal()
+    be.append(encode_record("add_node", {"name": "n0"}))
+    with pytest.raises(JournalCorrupt):
+        WorldJournal(be).recover()
+
+
+def test_journal_rejects_unknown_kinds():
+    journal = WorldJournal()
+    journal.record_config(backend="world", seed=1)
+    with pytest.raises(UsageError):
+        journal.record_op("format_disk")
+    with pytest.raises(UsageError):
+        journal.buffer("confetti")
+    with pytest.raises(UsageError):
+        journal.record_config(backend="world", seed=2)
+
+
+# -- journaled runs ----------------------------------------------------------------
+
+
+def test_journaled_run_matches_unjournaled_and_audits_effects():
+    plain = build_ft_ring("world", seed=7)
+    launch_ft_tours(plain)
+    plain.run(until=120.0)
+
+    journal = WorldJournal()
+    journaled = build_ft_ring("world", seed=7, journal=journal)
+    launch_ft_tours(journaled)
+    journaled.run(until=120.0)
+
+    assert journaled.outcomes() == plain.outcomes()
+    assert ring_debits(journaled) == ring_debits(plain)
+    stats = journal.stats()
+    assert stats["commits"] > 1
+    # Every effect channel left its audit trail.
+    for kind in ("store", "queue", "savepoint"):
+        assert stats["kinds"].get(kind, 0) > 0, kind
+    assert stats["kinds"]["add_node"] == 9
+    assert stats["kinds"]["launch"] == 3
+
+
+def test_kill_world_validates_plan():
+    world = build_ft_ring("world", seed=3, journal=WorldJournal())
+    with pytest.raises(UsageError):
+        world.kill_world(at=1.0, phase="gently")
+    with pytest.raises(UsageError):
+        world.kill_world(at=-1.0)
+
+
+def test_mid_barrier_kill_falls_back_one_epoch(tmp_path):
+    path = tmp_path / "world.journal"
+    journal = WorldJournal(FileJournal(path))
+    world = build_ft_ring("world", seed=7, journal=journal)
+    launch_ft_tours(world)
+    world.kill_world(at=0.06, phase="barrier")
+    with pytest.raises(WorldKilled) as exc_info:
+        world.run(until=120.0)
+    journal.close()
+    assert exc_info.value.phase == "barrier"
+    killed_barrier = exc_info.value.barrier
+    # Reopen from disk, as a restarted process would.
+    journal = WorldJournal(FileJournal(path))
+    recovered = journal.recover()
+    assert recovered.torn_tail
+    assert recovered.frontier_barrier < killed_barrier
+    journal.close()
+
+
+def test_resume_after_commit_kill_is_outcome_identical(tmp_path):
+    factory = lambda: WorldJournal(  # noqa: E731
+        SqliteJournal(tmp_path / "world.db"))
+    resumed, killed = run_crash_resume_scenario("world", seed=7,
+                                                kill_at=0.1,
+                                                journal_factory=factory)
+    assert killed
+    assert resumed == run_differential_scenario("world", seed=7)
+
+
+def test_resume_of_completed_run_is_identity():
+    backend = MemoryJournal()
+    journal = WorldJournal(backend)
+    world = build_ft_ring("world", seed=5, journal=journal)
+    launch_ft_tours(world)
+    world.run(until=120.0)
+    outcomes, debits = world.outcomes(), ring_debits(world)
+
+    resumed = resume_world(WorldJournal(backend))
+    resumed.run(until=120.0)
+    assert resumed.outcomes() == outcomes
+    assert ring_debits(resumed) == debits
+
+
+def test_crash_undo_not_double_applied_after_resume():
+    """Satellite: StableStore transactional undo x journal replay.
+
+    A node crash aborts in-flight step transactions, whose undo fires
+    ``restore`` mutations through the journal hook; the coordinator is
+    then killed.  The resumed run must re-execute that history — crash,
+    abort, undo and all — to the same per-bank sums as an uninterrupted
+    run, never double-applying the undone writes.
+    """
+    outage = (1, 0.05, 1.5)
+    reference = run_differential_scenario("world", seed=13, outage=outage)
+    backend = MemoryJournal()
+    factory = lambda: WorldJournal(backend)  # noqa: E731
+    resumed, killed = run_crash_resume_scenario(
+        "world", seed=13, kill_at=0.09, outage=outage,
+        journal_factory=factory)
+    assert killed
+    assert resumed == reference
+    # The audit trail really recorded the transactional undo.
+    payloads, _torn = backend.read_all()
+    records = [decode_record(p) for p in payloads]
+    assert any(kind == "store" and data.get("op") == "restore"
+               for kind, data in records)
+    assert any(kind == "queue" and data.get("op") == "requeue"
+               for kind, data in records)
+
+
+def test_resume_refuses_diverged_journal():
+    backend = MemoryJournal()
+    journal = WorldJournal(backend)
+    world = build_ft_ring("world", seed=5, journal=journal)
+    launch_ft_tours(world)
+    world.kill_world(at=0.1)
+    with pytest.raises(WorldKilled):
+        world.run(until=120.0)
+    # Tamper with every committed digest: replay can no longer vouch
+    # for the journaled history.
+    payloads, _torn = backend.read_all()
+    tampered = MemoryJournal()
+    for payload in payloads:
+        kind, data = decode_record(payload)
+        if kind == "epoch":
+            data["digest"] = tuple(d + 1 for d in data["digest"])
+        tampered.append(encode_record(kind, data))
+    with pytest.raises(JournalDiverged):
+        resume_world(WorldJournal(tampered))

@@ -29,6 +29,7 @@ import pytest
 from tests.helpers import (
     build_ft_ring,
     launch_ft_tours,
+    run_crash_resume_scenario,
     run_differential_scenario,
     shard_nodes,
 )
@@ -144,6 +145,54 @@ def test_kill_without_restart_identical_between_sharded_backends():
                for o in results["proc"]["outcomes"].values())
 
 
+# -- crash-resume axis -----------------------------------------------------------
+#
+# The fourth differential axis: kill the *coordinator* mid-run (the
+# write-ahead journal's ``kill_world``), rebuild from the journal with
+# ``resume_world`` and run the continuation — the resumed run must be
+# outcome-identical to the uninterrupted run of the same scenario, on
+# every backend, at both kill phases (right after an epoch commit, and
+# mid-barrier between collect and scatter with the commit marker torn).
+
+
+def assert_crash_resume(backend, seed, kill_at, phase="commit",
+                        outage=None, journal_factory=None):
+    resumed, killed = run_crash_resume_scenario(
+        backend, seed=seed, kill_at=kill_at, phase=phase, outage=outage,
+        journal_factory=journal_factory)
+    assert killed, (backend, kill_at, phase)
+    uninterrupted = run_differential_scenario(backend, seed=seed,
+                                              outage=outage)
+    assert resumed == uninterrupted, (backend, kill_at, phase)
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_crash_resume_identical_to_uninterrupted(backend):
+    assert_crash_resume(backend, seed=11, kill_at=0.06,
+                        outage=SCENARIOS["kill-restart-mid"][0])
+
+
+@pytest.mark.parametrize("backend", ("sharded", "proc"))
+def test_mid_barrier_crash_resume_identical(backend):
+    """Kill between barrier collect and scatter: the commit marker is
+    physically torn, so recovery falls back one epoch and re-executes
+    the uncommitted barrier from journaled inputs."""
+    assert_crash_resume(backend, seed=11, kill_at=0.06, phase="barrier",
+                        outage=SCENARIOS["kill-restart-mid"][0])
+
+
+def test_crash_resume_from_reopened_file_journal(tmp_path):
+    """The durable path: journal to disk, crash, reopen the file in a
+    'new process' (a fresh journal over the same path) and resume."""
+    from repro.journal import FileJournal, WorldJournal
+
+    path = tmp_path / "world.journal"
+    factory = lambda: WorldJournal(FileJournal(path))  # noqa: E731
+    assert_crash_resume("proc", seed=11, kill_at=0.08, phase="barrier",
+                        outage=SCENARIOS["kill-restart-mid"][0],
+                        journal_factory=factory)
+
+
 # -- soak tier: the full seed sweep ------------------------------------------------
 
 
@@ -154,3 +203,13 @@ def test_seed_sweep_differential(scenario, seed):
     outage, n_agents = SCENARIOS[scenario]
     results = run_all_backends(seed=seed, outage=outage, n_agents=n_agents)
     assert_differential(results, f"{scenario}/seed={seed}")
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize("backend", BACKENDS)
+@pytest.mark.parametrize("phase", ("commit", "barrier"))
+@pytest.mark.parametrize("kill_at", (0.03, 0.07, 0.3, 1.0))
+@pytest.mark.parametrize("seed", (3, 29))
+def test_crash_resume_sweep(backend, phase, kill_at, seed):
+    assert_crash_resume(backend, seed=seed, kill_at=kill_at, phase=phase,
+                        outage=SCENARIOS["kill-restart-mid"][0])
