@@ -40,7 +40,13 @@ from repro.errors import (
     UsageError,
 )
 from repro.log.entries import BeginOfStepEntry, EndOfStepEntry, SavepointEntry
-from repro.log.modes import LoggingMode, sro_diff
+from repro.log.modes import (
+    LoggingMode,
+    sro_content_hashes,
+    sro_diff,
+    sro_diff_hashed,
+    sro_image_hashed,
+)
 from repro.log.rollback_log import RollbackLog
 from repro.node.execution import abort_and_count, finalize
 from repro.node.runtime import AgentStatus
@@ -229,6 +235,7 @@ class StepProtocol:
         """
         sp_id, virtual = sp_request
         world = self.world
+        sro_hashes = None
         if virtual:
             payload = None
         elif world.logging_mode is LoggingMode.STATE:
@@ -236,17 +243,30 @@ class StepProtocol:
         else:
             # O(#savepoints) via the savepoint index — no entry scan.
             previous = log.last_real_savepoint_id()
+            prev_hashes = (None if previous is None
+                           else log.savepoint_sro_hashes(previous))
             if previous is None:
-                payload = snapshot(agent.sro)
+                payload, sro_hashes = sro_image_hashed(agent.sro)
+            elif prev_hashes is not None:
+                # Content-hash diff base: compares 32-byte digests from
+                # one entry read instead of reconstructing (and
+                # re-serialising) the whole previous SRO state.
+                payload, sro_hashes = sro_diff_hashed(prev_hashes,
+                                                      agent.sro)
             else:
+                # Previous savepoint predates per-key hashes (e.g. a
+                # hand-built log): reconstruct-and-compare, and root a
+                # fresh hash chain at this savepoint.
                 base = log.reconstruct_sro(previous)
                 payload = sro_diff(base, agent.sro)
+                sro_hashes = sro_content_hashes(agent.sro)
         wro_payload = snapshot(agent.wro) if include_wro and not virtual \
             else None
         entry = SavepointEntry(sp_id=sp_id,
                                mode=world.logging_mode.value,
                                payload=payload, virtual=virtual,
-                               wro_payload=wro_payload)
+                               wro_payload=wro_payload,
+                               sro_hashes=sro_hashes)
         log.append(entry, tx)
         world.metrics.incr("savepoints.written")
         if world._journal_capture:

@@ -84,10 +84,14 @@ def _build_world(config: dict[str, Any], journal: WorldJournal):
                             seed=config["seed"], epoch=config["epoch"],
                             journal=journal, **kwargs)
     if backend == "proc":
+        from repro.node.shmring import DEFAULT_RING_SIZE
         return ProcShardedWorld(n_shards=config["n_shards"],
                                 seed=config["seed"], epoch=config["epoch"],
                                 start_method=config["start_method"],
                                 lockstep=config["lockstep"],
+                                ipc=config.get("ipc", "shm"),
+                                ring_size=config.get("ring_size",
+                                                     DEFAULT_RING_SIZE),
                                 journal=journal, **kwargs)
     raise UsageError(f"journal config names unknown backend {backend!r}")
 

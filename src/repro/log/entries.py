@@ -128,6 +128,15 @@ class SavepointEntry(LogEntry):
     paper's mechanism never stores WRO images; the field exists so the
     baseline benchmarks can demonstrate why image-restoring WROs is
     incorrect (Section 4.1).
+
+    ``sro_hashes`` (transition logging, real savepoints) maps each SRO
+    key to a content hash of its serialised value *at this savepoint*.
+    The next savepoint diffs against these digests instead of
+    reconstructing and re-serialising the previous SRO state; the
+    hashes describe the state the savepoint denotes, so diff
+    composition during discard never needs to touch them.  ``None`` on
+    virtual savepoints, state-logging entries and logs written before
+    the field existed (writers fall back to reconstruction).
     """
 
     sp_id: str
@@ -135,6 +144,7 @@ class SavepointEntry(LogEntry):
     payload: Any  # full SRO image (state) or diff vs previous SP (transition)
     virtual: bool = False
     wro_payload: Any = None
+    sro_hashes: Optional[dict] = None
 
     @property
     def kind(self) -> EntryKind:

@@ -22,10 +22,11 @@ changed/added values (as deep snapshots) and removed keys.
 from __future__ import annotations
 
 import enum
+import hashlib
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.storage.serialization import capture, snapshot
+from repro.storage.serialization import capture, restore, snapshot
 
 
 class LoggingMode(str, enum.Enum):
@@ -59,6 +60,63 @@ def sro_diff(old: dict[str, Any], new: dict[str, Any]) -> SRODiff:
         changed[key] = snapshot(value)
     removed = tuple(sorted(k for k in old if k not in new))
     return SRODiff(changed=changed, removed=removed)
+
+
+def sro_value_hash(value: Any) -> bytes:
+    """Content hash of one SRO value (over its serialised form)."""
+    return hashlib.sha256(capture(value)).digest()
+
+
+def sro_content_hashes(sro: dict[str, Any]) -> dict[str, bytes]:
+    """Per-key content hashes of an SRO mapping.
+
+    Stored on every real transition-mode savepoint entry so the *next*
+    savepoint can diff against this one by comparing 32-byte digests —
+    no reconstruction of the previous SRO state (which folds the whole
+    diff chain) and no re-serialisation of its values.
+    """
+    return {key: sro_value_hash(value) for key, value in sro.items()}
+
+
+def sro_diff_hashed(prev_hashes: dict[str, bytes], new: dict[str, Any]
+                    ) -> tuple[SRODiff, dict[str, bytes]]:
+    """Diff ``new`` against a previous savepoint known only by hashes.
+
+    Returns ``(diff, new_hashes)``.  Each current value is serialised
+    exactly once: the capture feeds the hash, and — only for keys whose
+    digest differs from the previous savepoint's — a restore of those
+    same bytes becomes the diff's deep snapshot (same no-aliasing
+    guarantee as :func:`~repro.storage.serialization.snapshot`, without
+    a second serialisation pass).  Unchanged keys cost one capture and
+    a digest compare instead of the old reconstruct-and-compare walk.
+    """
+    changed: dict[str, Any] = {}
+    hashes: dict[str, bytes] = {}
+    for key, value in new.items():
+        blob = capture(value)
+        digest = hashlib.sha256(blob).digest()
+        hashes[key] = digest
+        if prev_hashes.get(key) != digest:
+            changed[key] = restore(blob)
+    removed = tuple(sorted(k for k in prev_hashes if k not in new))
+    return SRODiff(changed=changed, removed=removed), hashes
+
+
+def sro_image_hashed(sro: dict[str, Any]
+                     ) -> tuple[dict[str, Any], dict[str, bytes]]:
+    """A full deep image of ``sro`` plus its per-key content hashes.
+
+    The transition chain's base savepoint: one capture per key serves
+    both the hash and the restore that produces the aliasing-free
+    image (per-key, matching how :func:`sro_apply` rebuilds state).
+    """
+    image: dict[str, Any] = {}
+    hashes: dict[str, bytes] = {}
+    for key, value in sro.items():
+        blob = capture(value)
+        hashes[key] = hashlib.sha256(blob).digest()
+        image[key] = restore(blob)
+    return image, hashes
 
 
 def sro_apply(base: dict[str, Any], diff: SRODiff) -> dict[str, Any]:

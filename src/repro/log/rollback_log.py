@@ -350,6 +350,18 @@ class RollbackLog:
         info = self._sp_index.get(sp_id)
         return info[0] if info is not None else None
 
+    def savepoint_sro_hashes(self, sp_id: str) -> Optional[dict]:
+        """Per-key SRO content hashes recorded at SP(spID), if any.
+
+        One entry read — the fast diff base for transition logging
+        (:func:`~repro.log.modes.sro_diff_hashed`); ``None`` sends the
+        writer down the reconstruct-and-compare fallback.
+        """
+        position = self._sp_position(sp_id)
+        if position is None:
+            raise UsageError(f"no savepoint {sp_id!r} in log")
+        return self._entry_at(position).sro_hashes
+
     def last_end_of_step(self) -> Optional[EndOfStepEntry]:
         """The last EOS entry, skipping trailing savepoint entries.
 

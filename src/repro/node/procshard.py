@@ -90,10 +90,20 @@ shard outage — rather than a hang on a pipe that will never answer.
 from __future__ import annotations
 
 import multiprocessing
+import pickle
 import traceback
 from typing import Any, Optional
 
 from repro.errors import LockConflict, UsageError, WorkerDied, WorkerError
+from repro.node.shmring import (
+    DEFAULT_RING_SIZE,
+    ShmRing,
+    TornFrame,
+    decode_epoch,
+    decode_reply,
+    encode_epoch,
+    encode_reply,
+)
 from repro.node.sharded import (
     CrossShardBridge,
     ShardWorld,
@@ -104,8 +114,13 @@ from repro.node.sharded import (
     next_epoch_barrier,
     outcomes_of,
 )
+from repro.storage import serialization
 from repro.storage.serialization import assert_picklable, capture, restore
 from repro.tx.locks import LockManager
+
+
+def _dumps(obj: Any) -> bytes:
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
 
 #: Fields of an AgentRecord that change while an agent runs; a cheap
 #: fingerprint over them decides whether a record delta must ship
@@ -254,10 +269,18 @@ class RemoteShardContext:
 class _WorkerServer:
     """The command loop of one shard worker process."""
 
-    def __init__(self, conn, ctx: RemoteShardContext, world: ShardWorld):
+    def __init__(self, conn, ctx: RemoteShardContext, world: ShardWorld,
+                 ring_in: Optional[ShmRing] = None,
+                 ring_out: Optional[ShmRing] = None):
         self.conn = conn
         self.ctx = ctx
         self.world = world
+        #: Shared-memory rings of the zero-copy barrier exchange:
+        #: ``ring_in`` carries the coordinator's bulk epoch payloads,
+        #: ``ring_out`` this worker's bulk reply payloads.  None in
+        #: pipe mode.
+        self.ring_in = ring_in
+        self.ring_out = ring_out
         self._record_prints: dict[str, tuple] = {}
 
     # -- record delta tracking ------------------------------------------------------
@@ -426,7 +449,8 @@ class _WorkerServer:
 
     # -- loop -----------------------------------------------------------------------
 
-    def serve(self) -> None:
+    def serve(self) -> str:
+        """Run the command loop; returns why it ended (for cleanup)."""
         while True:
             while not self.conn.poll(0.5):
                 # Orphan defense: a SIGKILLed coordinator can't run the
@@ -435,9 +459,11 @@ class _WorkerServer:
                 # Poll the parent's liveness instead and exit on our own.
                 parent = multiprocessing.parent_process()
                 if parent is None or not parent.is_alive():
-                    return
-            op, payload = self.conn.recv()
+                    return "orphan"
+            op, payload = pickle.loads(self.conn.recv_bytes())
             try:
+                if op == "epoch" and "wire" in payload:
+                    payload = decode_epoch(payload, self.ring_in)
                 reply = self.handle(op, payload)
                 reply["ok"] = True
                 reply["state"] = self._state()
@@ -445,13 +471,20 @@ class _WorkerServer:
                     notes = self.world.drain_journal_notes()
                     if notes:
                         reply["journal"] = notes
+                if op == "epoch" and self.ring_out is not None:
+                    reply = encode_reply(reply, self.ring_out)
             except Exception as exc:  # noqa: BLE001 - shipped to coordinator
                 reply = {"ok": False,
                          "error": f"{type(exc).__name__}: {exc}",
                          "traceback": traceback.format_exc()}
-            self.conn.send(reply)
+            blob = _dumps(reply)
+            if op == "epoch":
+                key = ("ipc_bytes_control" if self.ring_out is not None
+                       else "ipc_bytes_copied")
+                serialization.STATS[key] += len(blob)
+            self.conn.send_bytes(blob)
             if op == "shutdown":
-                return
+                return "shutdown"
 
 
 def _worker_entry(conn, config: dict[str, Any]) -> None:
@@ -475,10 +508,33 @@ def _worker_entry(conn, config: dict[str, Any]) -> None:
                        **config["world_kwargs"])
     world.journal_shard = shard  # notes self-tag with their origin
     ctx.world = world
+    rings = config.get("rings")
+    ring_in = ring_out = None
+    if rings is not None:
+        # Attach to the coordinator-created segments.  All processes
+        # share the coordinator's resource tracker (spawn passes its
+        # fd), so the duplicate attach registration collapses and the
+        # coordinator's unlink clears it for everyone.
+        ring_in = ShmRing.attach(rings[0])
+        ring_out = ShmRing.attach(rings[1])
+    reason = "error"
     try:
-        _WorkerServer(conn, ctx, world).serve()
+        reason = _WorkerServer(conn, ctx, world,
+                               ring_in=ring_in, ring_out=ring_out).serve()
     except (EOFError, KeyboardInterrupt):  # coordinator went away
         pass
+    finally:
+        for ring in (ring_in, ring_out):
+            if ring is None:
+                continue
+            if reason == "shutdown":
+                ring.close()  # the coordinator unlinks on close()
+            else:
+                # Orphaned (coordinator SIGKILLed) or torn down without
+                # a shutdown: nobody else is left to unlink — destroy
+                # the segments so they cannot leak (the shared resource
+                # tracker would catch them too; unlink is idempotent).
+                ring.unlink()
 
 
 # ---------------------------------------------------------------------------
@@ -489,10 +545,16 @@ def _worker_entry(conn, config: dict[str, Any]) -> None:
 class _WorkerHandle:
     """Coordinator-side pipe + process wrapper for one shard worker."""
 
-    def __init__(self, shard: int, process, conn):
+    def __init__(self, shard: int, process, conn,
+                 ring_out: Optional[ShmRing] = None,
+                 ring_in: Optional[ShmRing] = None):
         self.shard = shard
         self.process = process
         self.conn = conn
+        #: Shared-memory rings (shm mode): ``ring_out`` carries epoch
+        #: bulk payloads to the worker, ``ring_in`` its bulk replies.
+        self.ring_out = ring_out
+        self.ring_in = ring_in
         self.peek: Optional[float] = None
         self.now: float = 0.0
         self.suspended = False
@@ -501,23 +563,51 @@ class _WorkerHandle:
         #: coordinator's ingest (drained at each epoch collect).
         self.journal_notes: list[tuple[str, dict]] = []
 
+    def unlink_rings(self) -> None:
+        """Destroy this worker's shm segments (idempotent)."""
+        for ring in (self.ring_out, self.ring_in):
+            if ring is not None:
+                ring.unlink()
+        self.ring_out = self.ring_in = None
+
+    def _died(self) -> WorkerDied:
+        # A dead worker cannot answer for its rings any more: unlink
+        # them here so a SIGKILLed worker (possibly mid-frame) never
+        # leaks a segment, then surface the existing error.
+        self.unlink_rings()
+        return WorkerDied(self.shard, self.process.exitcode)
+
     def send(self, op: str, payload: dict[str, Any]) -> None:
+        if op == "epoch" and self.ring_out is not None:
+            payload = encode_epoch(payload, self.ring_out)
+        blob = _dumps((op, payload))
+        if op == "epoch":
+            key = ("ipc_bytes_control" if self.ring_out is not None
+                   else "ipc_bytes_copied")
+            serialization.STATS[key] += len(blob)
         try:
-            self.conn.send((op, payload))
+            self.conn.send_bytes(blob)
         except (BrokenPipeError, OSError):
-            raise WorkerDied(self.shard, self.process.exitcode) from None
+            raise self._died() from None
 
     def recv(self) -> dict[str, Any]:
         while not self.conn.poll(0.1):
             if not self.process.is_alive():
-                raise WorkerDied(self.shard, self.process.exitcode)
+                raise self._died()
         try:
-            reply = self.conn.recv()
+            reply = pickle.loads(self.conn.recv_bytes())
         except (EOFError, OSError):
-            raise WorkerDied(self.shard, self.process.exitcode) from None
+            raise self._died() from None
         if not reply.get("ok"):
             raise WorkerError(self.shard, reply.get("error", "unknown"),
                               reply.get("traceback", ""))
+        if "wire" in reply:
+            try:
+                reply = decode_reply(reply, self.ring_in)
+            except TornFrame:
+                # A frame torn mid-write by a dying worker: treat it as
+                # the worker death it is instead of wedging the barrier.
+                raise self._died() from None
         state = reply["state"]
         self.peek = state["peek"]
         self.now = state["now"]
@@ -605,11 +695,19 @@ class ProcShardedWorld:
                  start_method: str = "spawn",
                  lockstep: str = "auto",
                  journal: Optional[Any] = None,
+                 ipc: str = "shm",
+                 ring_size: int = DEFAULT_RING_SIZE,
                  **world_kwargs: Any):
         if n_shards < 1:
             raise UsageError(f"need at least 1 shard, got {n_shards}")
         if lockstep not in ("auto", "serial", "parallel"):
             raise UsageError(f"unknown lockstep mode {lockstep!r}")
+        if ipc not in ("shm", "pipe"):
+            raise UsageError(f"unknown ipc mode {ipc!r} "
+                             f"(use 'shm' or 'pipe')")
+        if ring_size < 64:
+            raise UsageError(f"ring_size must be >= 64 bytes, "
+                             f"got {ring_size}")
         net_params = world_kwargs.get("net_params")
         if epoch is None:
             epoch = net_params.latency if net_params is not None else 0.005
@@ -621,13 +719,16 @@ class ProcShardedWorld:
         self.epoch = epoch
         self.lockstep = lockstep
         self.journal = journal
+        self.ring_size = ring_size
+        self.ipc = ipc if ipc == "pipe" else self._probe_shm()
         self._kill_plan: Optional[tuple[float, str]] = None
         if journal is not None and journal.armed \
                 and not journal.config_written:
             journal.record_config(backend="proc", seed=seed,
                                   n_shards=n_shards, epoch=epoch,
                                   start_method=start_method,
-                                  lockstep=lockstep,
+                                  lockstep=lockstep, ipc=ipc,
+                                  ring_size=ring_size,
                                   world_kwargs=capture(world_kwargs))
         self.bridge = CrossShardBridge(n_shards)
         self.last_flush_at = float("-inf")
@@ -647,19 +748,70 @@ class ProcShardedWorld:
             [{} for _ in range(n_shards)]
         self._staged_items: list[list] = [[] for _ in range(n_shards)]
 
+        # One ring pair per worker, created before any process spawns so
+        # a creation failure (no /dev/shm, exhausted segments) can fall
+        # back to pipe mode for the *whole* world — mixing wire formats
+        # across workers would make the accounting unreadable.
+        ring_pairs: list[Optional[tuple[ShmRing, ShmRing]]] = \
+            [None] * n_shards
+        if self.ipc == "shm":
+            try:
+                for index in range(n_shards):
+                    ring_out = ShmRing.create(ring_size)
+                    try:
+                        ring_in = ShmRing.create(ring_size)
+                    except OSError:
+                        ring_out.unlink()
+                        raise
+                    ring_pairs[index] = (ring_out, ring_in)
+            except OSError:
+                for pair in ring_pairs:
+                    if pair is not None:
+                        pair[0].unlink()
+                        pair[1].unlink()
+                ring_pairs = [None] * n_shards
+                self.ipc = "pipe"
+
         mp = multiprocessing.get_context(start_method)
         self._handles: list[_WorkerHandle] = []
-        for index in range(n_shards):
-            parent_conn, child_conn = mp.Pipe()
-            config = {"shard_index": index, "n_shards": n_shards,
-                      "seed": seed, "world_kwargs": world_kwargs,
-                      "journal_capture": journal is not None}
-            process = mp.Process(target=_worker_entry,
-                                 args=(child_conn, config),
-                                 name=f"repro-shard-{index}", daemon=True)
-            process.start()
-            child_conn.close()
-            self._handles.append(_WorkerHandle(index, process, parent_conn))
+        try:
+            for index in range(n_shards):
+                pair = ring_pairs[index]
+                parent_conn, child_conn = mp.Pipe()
+                config = {"shard_index": index, "n_shards": n_shards,
+                          "seed": seed, "world_kwargs": world_kwargs,
+                          "journal_capture": journal is not None,
+                          "rings": (None if pair is None
+                                    else (pair[0].name, pair[1].name))}
+                process = mp.Process(target=_worker_entry,
+                                     args=(child_conn, config),
+                                     name=f"repro-shard-{index}",
+                                     daemon=True)
+                process.start()
+                child_conn.close()
+                self._handles.append(_WorkerHandle(
+                    index, process, parent_conn,
+                    ring_out=None if pair is None else pair[0],
+                    ring_in=None if pair is None else pair[1]))
+        except BaseException:
+            # A failed spawn must not leak the segments of workers that
+            # never started (their handles would never unlink them).
+            for index in range(len(self._handles), n_shards):
+                pair = ring_pairs[index]
+                if pair is not None:
+                    pair[0].unlink()
+                    pair[1].unlink()
+            raise
+
+    @staticmethod
+    def _probe_shm() -> str:
+        """Pick the wire format: shm when segments work here, else pipe."""
+        try:
+            probe = ShmRing.create(64)
+        except (OSError, ImportError):  # pragma: no cover - platform
+            return "pipe"
+        probe.unlink()
+        return "shm"
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -678,6 +830,9 @@ class ProcShardedWorld:
             if handle.process.is_alive():
                 handle.process.terminate()
             handle.conn.close()
+            # The coordinator owns segment destruction: by now the
+            # worker has closed (or been terminated off) its mappings.
+            handle.unlink_rings()
 
     def __enter__(self) -> "ProcShardedWorld":
         return self
@@ -1180,10 +1335,19 @@ class ProcShardedWorld:
                       "resource": resource})["value"]
 
     def serialization_stats(self) -> dict[str, int]:
-        """Summed per-worker serialization STATS counters."""
-        return aggregate_counters(
+        """Summed per-worker serialization STATS counters.
+
+        The coordinator process's own IPC accounting (it encodes the
+        scatter half of every barrier) is folded in on top of the
+        worker sums, so both directions of the exchange are visible.
+        """
+        merged = dict(aggregate_counters(
             [h.request("fetch", {"what": "ser_stats"})["value"]
-             for h in self._handles])
+             for h in self._handles]))
+        own = serialization.stats()
+        for key in serialization.IPC_STAT_KEYS:
+            merged[key] = merged.get(key, 0) + own.get(key, 0)
+        return dict(sorted(merged.items()))
 
     def shard_serialization_stats(self, shard: int) -> dict[str, int]:
         """One worker process's own serialization STATS counters."""

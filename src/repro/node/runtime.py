@@ -400,6 +400,7 @@ class World:
         starts").  Returns the live :class:`AgentRecord`.
         """
         from repro.log.entries import SavepointEntry
+        from repro.log.modes import sro_image_hashed
         from repro.storage.serialization import capture, snapshot
 
         node = self.node(at)
@@ -413,11 +414,21 @@ class World:
                   "initial_savepoints": initial_savepoints})))
         agent.set_control(at, method)
         log = RollbackLog(self.logging_mode)
+        transition = self.logging_mode is LoggingMode.TRANSITION
         for sp_id, virtual in (initial_savepoints or []):
-            payload = None if virtual else snapshot(agent.sro)
+            payload = sro_hashes = None
+            if not virtual:
+                if transition:
+                    # Root of the transition chain: record the per-key
+                    # content hashes so the first step's savepoint can
+                    # hash-diff against this image.
+                    payload, sro_hashes = sro_image_hashed(agent.sro)
+                else:
+                    payload = snapshot(agent.sro)
             entry = SavepointEntry(sp_id=sp_id,
                                    mode=self.logging_mode.value,
-                                   payload=payload, virtual=virtual)
+                                   payload=payload, virtual=virtual,
+                                   sro_hashes=sro_hashes)
             log.append(entry)
             self.metrics.incr("savepoints.written")
             if self._journal_capture:

@@ -41,6 +41,17 @@ PROTOCOL = pickle.HIGHEST_PROTOCOL
 #: ``entry_hydration_deferred`` / ``entry_hydrated`` — frames adopted
 #: lazily at unpack vs actually unpickled later on first read (the gap
 #: is the per-hop ``pickle.loads`` work lazy hydration avoided).
+#:
+#: The ``ipc_*`` / ``frame_reused`` / ``ring_spills`` family instruments
+#: the multiprocess barrier exchange (see :mod:`repro.node.shmring`):
+#: ``ipc_bytes_framed`` — payload bytes shipped zero-copy as shared-
+#: memory ring frames; ``ipc_bytes_copied`` — payload bytes that had to
+#: be freshly serialized at the IPC boundary (the whole exchange in
+#: pipe mode, only ring-capacity spills in shm mode — ≈0 when every
+#: cached blob fits); ``ipc_bytes_control`` — pipe-side control/manifest
+#: pickle bytes in shm mode; ``frame_reused`` — frames whose bytes were
+#: reused byte-for-byte from a cached blob; ``ring_spills`` — frames
+#: that exceeded the ring budget and fell back to the pipe.
 STATS: dict[str, int] = {
     "snapshot_fast": 0,
     "snapshot_pickle": 0,
@@ -48,7 +59,18 @@ STATS: dict[str, int] = {
     "entry_blob_reused": 0,
     "entry_hydration_deferred": 0,
     "entry_hydrated": 0,
+    "ipc_bytes_framed": 0,
+    "ipc_bytes_copied": 0,
+    "ipc_bytes_control": 0,
+    "frame_reused": 0,
+    "ring_spills": 0,
 }
+
+#: The IPC-accounting subset of :data:`STATS` — the keys the process-
+#: backed world facade folds from the coordinator process into its
+#: summed per-worker stats (both barrier directions stay visible).
+IPC_STAT_KEYS = ("ipc_bytes_framed", "ipc_bytes_copied",
+                 "ipc_bytes_control", "frame_reused", "ring_spills")
 
 
 def reset_stats() -> None:

@@ -4,7 +4,15 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.log.entries import BeginOfStepEntry, EndOfStepEntry, SavepointEntry
-from repro.log.modes import LoggingMode, sro_apply, sro_compose, sro_diff
+from repro.log.modes import (
+    LoggingMode,
+    sro_apply,
+    sro_compose,
+    sro_content_hashes,
+    sro_diff,
+    sro_diff_hashed,
+    sro_image_hashed,
+)
 from repro.log.rollback_log import RollbackLog
 
 # SRO spaces: flat string keys to small picklable values.
@@ -43,6 +51,72 @@ def test_diff_snapshots_values():
     diff = sro_diff(old, {"k": value})
     value.append(3)
     assert diff.changed["k"] == [1, 2]
+
+
+# -- hashed diffs (the snapshot-arena fast path) ------------------------------
+
+@given(sro_spaces, sro_spaces)
+@settings(max_examples=80, deadline=None)
+def test_hashed_diff_matches_reconstructing_diff(old, new):
+    reference = sro_diff(old, new)
+    diff, hashes = sro_diff_hashed(sro_content_hashes(old), new)
+    assert diff.changed == reference.changed
+    assert diff.removed == reference.removed
+    assert sro_apply(old, diff) == new
+    assert hashes == sro_content_hashes(new)
+
+
+@given(sro_spaces)
+@settings(max_examples=40, deadline=None)
+def test_hashed_self_diff_is_empty(state):
+    diff, _hashes = sro_diff_hashed(sro_content_hashes(state), state)
+    assert diff.is_empty()
+
+
+def test_hashed_diff_snapshots_values():
+    value = [1, 2]
+    diff, _ = sro_diff_hashed({}, {"k": value})
+    value.append(3)
+    assert diff.changed["k"] == [1, 2]
+
+
+def test_hashed_image_is_aliasing_free():
+    value = {"nested": [1]}
+    image, hashes = sro_image_hashed({"k": value})
+    value["nested"].append(2)
+    assert image == {"k": {"nested": [1]}}
+    assert hashes == sro_content_hashes({"k": {"nested": [1]}})
+
+
+def test_hashed_diff_serialises_each_key_once(monkeypatch):
+    """The fast path's promise: one capture per key, no reconstruction."""
+    import repro.log.modes as modes
+
+    old = {"same": [1, 2], "gone": "x"}
+    new = {"same": [1, 2], "changed": "y"}
+    prev_hashes = sro_content_hashes(old)
+    calls = []
+    real_capture = modes.capture
+    monkeypatch.setattr(modes, "capture",
+                        lambda value: calls.append(value) or
+                        real_capture(value))
+    diff, _ = sro_diff_hashed(prev_hashes, new)
+    assert len(calls) == len(new)
+    assert set(diff.changed) == {"changed"}
+    assert diff.removed == ("gone",)
+
+
+def test_savepoint_sro_hashes_accessor():
+    log = RollbackLog(LoggingMode.TRANSITION)
+    hashes = sro_content_hashes({"a": 1})
+    log.append(SavepointEntry(sp_id="sp-h", mode="transition",
+                              payload={"a": 1}, sro_hashes=hashes))
+    log.append(SavepointEntry(sp_id="sp-bare", mode="transition",
+                              payload=sro_diff({"a": 1}, {"a": 2})))
+    assert log.savepoint_sro_hashes("sp-h") == hashes
+    # Entries written before the arena existed carry no hashes; the
+    # protocol falls back to reconstruct-and-diff for those.
+    assert log.savepoint_sro_hashes("sp-bare") is None
 
 
 # -- transition logging in the log ----------------------------------------------

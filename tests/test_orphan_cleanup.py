@@ -7,12 +7,20 @@ therefore polls :func:`multiprocessing.parent_process` liveness every
 half second and exits on its own — this test is that defense's proof:
 it SIGKILLs a real coordinator process and asserts every worker pid
 vanishes within a few seconds.
+
+With the zero-copy barrier exchange the same scenarios must also not
+leak POSIX shared-memory segments: the coordinator unlinks its rings
+on ``close()`` and on ``WorkerDied``; a worker torn down without a
+shutdown (the orphan path) unlinks its own pair; the shared
+:mod:`multiprocessing` resource tracker is the final backstop.
 """
 
 import os
 import subprocess
 import sys
 import time
+
+import pytest
 
 _CHILD = """
 import sys, time
@@ -24,6 +32,10 @@ if __name__ == "__main__":
     launch_ft_tours(world)
     world.run(until=0.05)
     print(" ".join(str(h.process.pid) for h in world._handles), flush=True)
+    print(" ".join(ring.name
+                   for h in world._handles
+                   for ring in (h.ring_out, h.ring_in)
+                   if ring is not None), flush=True)
     time.sleep(120)  # hold the workers idle until the SIGKILL lands
 """
 
@@ -36,6 +48,25 @@ def _alive(pid):
     except PermissionError:
         return True
     return True
+
+
+def _segment_exists(name):
+    from repro.node.shmring import ShmRing
+    try:
+        ShmRing.attach(name).close()
+    except FileNotFoundError:
+        return False
+    return True
+
+
+def _wait_unlinked(names, deadline_s=15.0):
+    deadline = time.monotonic() + deadline_s
+    while time.monotonic() < deadline:
+        leaked = [name for name in names if _segment_exists(name)]
+        if not leaked:
+            return []
+        time.sleep(0.25)
+    return leaked
 
 
 def test_workers_exit_after_coordinator_sigkill(tmp_path):
@@ -52,7 +83,10 @@ def test_workers_exit_after_coordinator_sigkill(tmp_path):
         line = proc.stdout.readline()
         pids = [int(p) for p in line.split()]
         assert len(pids) == 3
+        ring_names = proc.stdout.readline().split()
+        assert len(ring_names) == 6  # one pair per worker, shm mode
         assert all(_alive(pid) for pid in pids)
+        assert all(_segment_exists(name) for name in ring_names)
         proc.kill()  # SIGKILL: no atexit, no pipe EOF under fork
         proc.wait(timeout=10)
         # The liveness poll runs every 0.5 s; give it a few rounds.
@@ -63,7 +97,44 @@ def test_workers_exit_after_coordinator_sigkill(tmp_path):
             time.sleep(0.25)
         survivors = [pid for pid in pids if _alive(pid)]
         assert not survivors, f"orphaned workers survived: {survivors}"
+        # The orphaned workers unlinked their segments on exit (the
+        # resource tracker would catch any they missed).
+        leaked = _wait_unlinked(ring_names)
+        assert not leaked, f"leaked shm segments: {leaked}"
     finally:
         if proc.poll() is None:
             proc.kill()
         proc.stdout.close()
+
+
+def test_worker_sigkill_mid_barrier_unlinks_rings():
+    """A SIGKILLed worker surfaces as WorkerDied — with its (possibly
+    torn) rings unlinked immediately, and no segment surviving close."""
+    import signal
+
+    from repro.errors import WorkerDied
+    from tests.helpers import build_ft_ring, launch_ft_tours
+
+    world = build_ft_ring("proc", seed=3)
+    try:
+        assert world.ipc == "shm"
+        ring_names = [ring.name for h in world._handles
+                      for ring in (h.ring_out, h.ring_in)]
+        assert all(_segment_exists(name) for name in ring_names)
+        launch_ft_tours(world)
+        world.run(until=0.05)
+        victim = world._handles[1]
+        os.kill(victim.process.pid, signal.SIGKILL)
+        victim.process.join(timeout=10)
+        with pytest.raises(WorkerDied) as excinfo:
+            world.run()
+        assert excinfo.value.shard == 1
+        # The dead worker's rings were unlinked the moment the outage
+        # surfaced — a torn frame must never pin a segment.
+        assert victim.ring_out is None and victim.ring_in is None
+        leaked = _wait_unlinked(ring_names[2:4], deadline_s=5.0)
+        assert not leaked, f"dead worker leaked segments: {leaked}"
+    finally:
+        world.close()
+    leaked = _wait_unlinked(ring_names)
+    assert not leaked, f"leaked shm segments after close: {leaked}"

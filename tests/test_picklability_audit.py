@@ -136,6 +136,93 @@ def test_workload_agent_packages_survive_spawn_roundtrip(spawn_auditor):
         assert size == package.size_bytes
 
 
+# -- every traffic kind through real shm rings in a spawned process ----------------
+
+
+def _ring_echo_child(conn):
+    """Spawned echo worker for the shm wire format.
+
+    Mirrors one worker side of the zero-copy barrier: attaches to the
+    coordinator-created rings, decodes each epoch payload from its
+    inbound ring, then re-encodes the same transfers (plus the supplied
+    journal notes) as an epoch reply through its outbound ring — so
+    every object crosses a real process boundary in both framed
+    directions.
+    """
+    from repro.node.shmring import (
+        ShmRing,
+        decode_epoch,
+        encode_reply,
+    )
+    in_name, out_name = conn.recv()
+    ring_in = ShmRing.attach(in_name)
+    ring_out = ShmRing.attach(out_name)
+    try:
+        while True:
+            message = conn.recv()
+            if message is None:
+                return
+            payload = decode_epoch(message["epoch"], ring_in)
+            reply = {"outbox": [t for _action, t in payload["items"]],
+                     "record_deltas": payload["records"],
+                     "journal": message["notes"]}
+            conn.send(encode_reply(reply, ring_out))
+    finally:
+        ring_in.close()
+        ring_out.close()
+
+
+def harvest_journal_notes():
+    """Real journal payload notes from a journal-capturing FT run."""
+    world = build_ft_ring("world", seed=5, journal_capture=True)
+    launch_ft_tours(world)
+    world.run()
+    return world.drain_journal_notes()
+
+
+def test_bridge_traffic_and_notes_survive_shm_rings_across_spawn():
+    from repro.node.shmring import ShmRing, decode_reply
+
+    transfers = harvest_bridge_traffic()
+    assert {t.kind for t in transfers} == {"package", "shadow", "ledger"}
+    notes = harvest_journal_notes()
+    kinds = {kind for kind, _data in notes}
+    assert "savepoint" in kinds and "store" in kinds
+    # Only value-stable notes can be compared across the boundary.
+    notes = [n for n in notes if restore(capture(n)) == n]
+
+    ctx = multiprocessing.get_context("spawn")
+    ring_out = ShmRing.create(1 << 21)  # coordinator -> worker
+    ring_in = ShmRing.create(1 << 21)   # worker -> coordinator
+    parent, child = ctx.Pipe()
+    process = ctx.Process(target=_ring_echo_child, args=(child,),
+                          daemon=True)
+    process.start()
+    child.close()
+    parent.send((ring_out.name, ring_in.name))
+    try:
+        from repro.node.shmring import encode_epoch
+        # Several barrier-sized batches, so the rings wrap in-process.
+        step = 4
+        for start in range(0, len(transfers), step):
+            chunk = transfers[start:start + step]
+            chunk_notes = notes[start:start + step]
+            payload = {"items": [("deliver", t) for t in chunk],
+                       "records": {"ag-x": b"record-blob-%d" % start}}
+            parent.send({"epoch": encode_epoch(payload, ring_out),
+                         "notes": chunk_notes})
+            reply = decode_reply(parent.recv(), ring_in)
+            assert reply["outbox"] == chunk
+            assert reply["record_deltas"] == \
+                {"ag-x": b"record-blob-%d" % start}
+            assert reply["journal"] == chunk_notes
+    finally:
+        parent.send(None)
+        process.join(timeout=10)
+        ring_out.unlink()
+        ring_in.unlink()
+
+
 # -- readable failure on contract violations ---------------------------------------
 
 
