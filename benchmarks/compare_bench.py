@@ -109,6 +109,21 @@ SPECS = [
     Spec("BENCH_multiproc_shards.json", "ipc.zero_copy_unchanged", "equal"),
     Spec("BENCH_multiproc_shards.json", "ipc.shm_ring_spills", "equal"),
     Spec("BENCH_multiproc_shards.json", "ipc.shm_over_pipe", "higher", 0.5),
+    # Optimistic entangled-epoch speculation: the invariant half is
+    # exact — speculation must not change a bit of the outcome surface,
+    # and at a fixed seed the speculation/rollback counts are
+    # deterministic (a drift means the conflict detector or the epoch
+    # schedule changed); the serial-over-optimistic wall-clock ratio
+    # needs real cores and only guards against a collapse.
+    Spec("BENCH_multiproc_shards.json", "entangled.outcomes_identical",
+         "equal"),
+    Spec("BENCH_multiproc_shards.json", "entangled.epochs_speculated",
+         "equal"),
+    Spec("BENCH_multiproc_shards.json", "entangled.epochs_rolled_back",
+         "equal"),
+    Spec("BENCH_multiproc_shards.json", "entangled.conflict_rate", "equal"),
+    Spec("BENCH_multiproc_shards.json", "entangled.optimistic_over_serial",
+         "higher", 0.5),
     # Write-ahead world journal: journaling must not change the run
     # (identical outcomes, deterministic event/epoch/commit counts at a
     # fixed seed) and crash-resume must land on the identical outcome

@@ -77,6 +77,33 @@ from repro.sim.timing import NetworkParams
 
 __version__ = "1.0.0"
 
+
+def serialization_stats() -> dict:
+    """This process's serialization / IPC counters, as a plain dict.
+
+    A snapshot of :data:`repro.storage.serialization.STATS` — package
+    capture/restore byte totals, incremental pack reuse, lazy log-entry
+    hydration, and (for the process backend) shared-memory IPC traffic
+    (``ipc_bytes_framed`` / ``ipc_bytes_copied`` / ``ipc_bytes_control``
+    / ``frame_reused`` / ``ring_spills``).
+
+    This module-level helper reads the *current process's* counters
+    only.  For a multiprocess run, call
+    :meth:`ProcShardedWorld.serialization_stats` instead: it sums every
+    worker's counters, folds in the coordinator's own IPC accounting,
+    and adds the optimistic-lockstep speculation keys
+    (``spec.epochs_speculated`` / ``spec.epochs_rolled_back`` /
+    ``spec.shards_rolled_back`` / ``spec.conflict_rate``).
+    :meth:`ShardedWorld.serialization_stats` returns the same shape for
+    the in-process backend (with zero ``spec.*`` values).
+
+    Returns:
+        A new ``dict`` mapping counter name to value; mutating it does
+        not affect the live counters.
+    """
+    from repro.storage.serialization import stats
+    return dict(stats())
+
 __all__ = [
     "World",
     "ShardedWorld",
@@ -122,6 +149,7 @@ __all__ = [
     "SqliteJournal",
     "open_backend",
     "resume_world",
+    "serialization_stats",
     "WorldKilled",
     "JournalError",
     "JournalCorrupt",

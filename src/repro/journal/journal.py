@@ -91,11 +91,34 @@ class RecoveredRun:
 class WorldJournal:
     """Group-commit write-ahead journal of one world's execution.
 
+    Records three channels into one append-only backend: the world's
+    config (once, at construction), the op channel (topology changes,
+    launches, crash/kill plans — synced immediately), and per-epoch
+    payload notes (stable-store mutations, durable-queue ops,
+    savepoint frames, bridge routings, record merges) buffered until
+    the barrier's digest-carrying commit marker flushes them as one
+    group commit.  :func:`~repro.journal.resume_world` rebuilds a
+    world from all three.  Under the process backend's optimistic
+    lockstep, a speculative epoch's notes are buffered only after its
+    read log survives conflict detection — an invalidated speculation
+    never reaches the backend.
+
+    Args:
+        backend: A :class:`~repro.journal.MemoryJournal`,
+            :class:`~repro.journal.FileJournal` or
+            :class:`~repro.journal.SqliteJournal` (or anything with
+            the backend protocol); defaults to an in-RAM backend.
+
     ``armed`` gates every write: a journal attached to a world being
     rebuilt for resume stays disarmed while the journaled prefix
     replays (the records already exist), then
     :meth:`rearm` truncates the backend to the recovery frontier and
     re-enables appends for the continuation.
+
+    Raises:
+        JournalError: Writes on a journal whose config record is
+            missing where required, or recovery on an empty journal.
+        JournalCorrupt: Interior frame damage discovered at recovery.
     """
 
     def __init__(self, backend: Optional[JournalBackend] = None):

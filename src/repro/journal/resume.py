@@ -39,7 +39,37 @@ from repro.storage.serialization import restore
 
 
 def resume_world(journal: WorldJournal):
-    """Rebuild the journaled world and replay it to the last commit."""
+    """Rebuild the journaled world and replay it to the last commit.
+
+    Re-opens a journal written by a crashed (or killed) run: rebuilds
+    the world from the config record (any backend — ``World``,
+    ``ShardedWorld``, ``ProcShardedWorld`` — with its recorded knobs,
+    including ``lockstep`` and the IPC settings), re-applies the op
+    channel (topology, launches, crash/kill plans), deterministically
+    re-executes the committed barrier sequence, verifies the event
+    digest of every replayed barrier, then re-arms the journal so the
+    returned world continues journaling where the crash cut off.
+    Torn tails (a commit marker interrupted mid-write, e.g.
+    ``kill_world(phase="barrier")``) are discarded: recovery falls
+    back to the last *complete* group commit.
+
+    Args:
+        journal: The :class:`WorldJournal` to recover — typically
+            constructed over the same backend file/db the crashed run
+            wrote.
+
+    Returns:
+        The rebuilt world, positioned exactly at the recovery
+        frontier.  Caller owns closing it.
+
+    Raises:
+        JournalCorrupt: Frame damage *before* the physical tail (torn
+            tails are tolerated; interior damage is not).
+        JournalDiverged: The replayed execution's digest differs from
+            the committed one — the environment or code no longer
+            reproduces the journaled run.
+        JournalError: An empty/config-less journal.
+    """
     recovered = journal.recover()
     journal.disarm()
     world = _build_world(recovered.config, journal)
@@ -82,6 +112,7 @@ def _build_world(config: dict[str, Any], journal: WorldJournal):
     if backend == "sharded":
         return ShardedWorld(n_shards=config["n_shards"],
                             seed=config["seed"], epoch=config["epoch"],
+                            lockstep=config.get("lockstep", "auto"),
                             journal=journal, **kwargs)
     if backend == "proc":
         from repro.node.shmring import DEFAULT_RING_SIZE

@@ -70,6 +70,56 @@ a schedule per run:
 entangled workload trades the equivalence guarantee for speed and is
 for experiments only).
 
+Optimistic entangled epochs (``lockstep="optimistic"``)
+-------------------------------------------------------
+
+Serial turns keep entangled runs deterministic by giving up all
+multi-core overlap.  ``"optimistic"`` recovers the overlap with the
+paper's own discipline — speculate, detect, roll back:
+
+* **speculate** — the epoch is dispatched to *every* worker at once,
+  each against the barrier-stale views (exactly what the first serial
+  turn would have seen).  Each worker's epoch is its own savepoint:
+  the worker retains the pristine bytes of every state-bearing command
+  it has ever received (the pipe blob plus the epoch's ring frames),
+  so any epoch can be re-derived from scratch.  While speculating, the
+  worker records a **read log** — every foreign claim read, claim-lock
+  view consult, foreign-liveness and suspension check its kernel
+  performed (the only schedule-sensitive inputs an entangled epoch
+  has; see :class:`RemoteShardContext`).
+* **detect** — at the barrier the coordinator validates the read logs
+  *in shard order*, the order serial turns would have used: for each
+  shard it reconstructs the views a serial turn would have served at
+  that point (folding in the dumps of the shards already validated
+  before it) and replays the read log against them.  Every entry equal
+  ⇒ the speculative execution consumed exactly the inputs its serial
+  twin would have — with deterministic kernels, it *is* the serial
+  execution, and its outbox/dumps/record deltas are accepted as-is.
+* **roll back** — any mismatched shard is rolled back to its epoch
+  savepoint and re-executed: the worker rebuilds a fresh kernel,
+  replays its pristine command log (resetting its id namespaces, so
+  the rebuild is bit-identical to the original history) and then runs
+  the conflicted epoch with the authoritative serial-turn views.
+  Validation continues in shard order, so later shards validate
+  against the *post-redo* state — a conflict cascades exactly to the
+  shards whose reads it invalidated, never the whole world.
+
+Speculative state never leaks ahead of its verdict: a shard's journal
+notes, record deltas and outbox are held back until its read log
+validates (or its redo returns), and the journal group commit sits
+after the whole detect/rollback pass — a speculative epoch cannot
+commit until it has survived conflict detection.
+
+Agent-record staleness is deliberately *not* validated: records
+broadcast at barriers, so a speculating shard may see a record copy
+one turn staler than its serial twin would.  No execution path
+branches on foreign record contents (the FT drivers arbitrate through
+the ledger, never through records), records merge under a monotonic
+progress guard, and the only divergence a stale base can produce is
+in auxiliary attempt counters — outside the compared surface
+(outcomes, metrics counters, trace digests), which the differential
+harness pins bit-identical to ``"serial"``.
+
 Process-picklability contract
 -----------------------------
 
@@ -99,10 +149,11 @@ from repro.node.shmring import (
     DEFAULT_RING_SIZE,
     ShmRing,
     TornFrame,
-    decode_epoch,
     decode_reply,
     encode_epoch,
     encode_reply,
+    read_frames,
+    resolve_epoch,
 )
 from repro.node.sharded import (
     CrossShardBridge,
@@ -187,6 +238,12 @@ class RemoteShardContext:
         self._down_view: dict[int, frozenset] = {}
         self._claims_view: dict[int, dict] = {}
         self._locks_view: dict[int, dict] = {}
+        #: Speculation read log (optimistic lockstep): while an epoch
+        #: runs speculatively this is a list collecting one entry per
+        #: foreign-view consult — ``(kind, shard, key, seen)`` — the
+        #: complete schedule-sensitive input set of the epoch.  None
+        #: outside speculative epochs (no logging overhead).
+        self.read_log: Optional[list] = None
         #: Local mirrors of the foreign replicas' lock managers: they
         #: hold only *this* worker's open claim locks (published to the
         #: other workers via the turn dumps); foreign holds arrive
@@ -215,12 +272,18 @@ class RemoteShardContext:
         self._locks_view = views["locks"]
 
     def foreign_node_up(self, shard: int, name: str) -> bool:
-        return name not in self._down_view.get(shard, ())
+        up = name not in self._down_view.get(shard, ())
+        if self.read_log is not None:
+            self.read_log.append(("up", shard, name, up))
+        return up
 
     def shard_suspended(self, shard: int) -> bool:
         if shard == self.shard_index:
             return self.world.sim.suspended
-        return self._suspended_view[shard]
+        seen = self._suspended_view[shard]
+        if self.read_log is not None:
+            self.read_log.append(("susp", shard, None, seen))
+        return seen
 
     def live_shard_indices(self) -> list[int]:
         return [shard for shard in range(self.n_shards)
@@ -231,6 +294,8 @@ class RemoteShardContext:
     def claim_lock(self, tx, shard: int, work_id: int) -> None:
         key = ("claim", work_id)
         foreign = self._locks_view.get(shard, {}).get(work_id)
+        if self.read_log is not None:
+            self.read_log.append(("lock", shard, work_id, foreign))
         if foreign is not None:
             # Held by another worker's open transaction: collide exactly
             # like the in-process cross-replica acquisition would.
@@ -243,7 +308,10 @@ class RemoteShardContext:
     def read_claim(self, shard: int, work_id: int) -> Optional[str]:
         if shard == self.shard_index:
             return self.world.ft.ledger.get(("claim", work_id))
-        return self._claims_view.get(shard, {}).get(work_id)
+        seen = self._claims_view.get(shard, {}).get(work_id)
+        if self.read_log is not None:
+            self.read_log.append(("claim", shard, work_id, seen))
+        return seen
 
     # -- turn dumps (published to the coordinator) ----------------------------------
 
@@ -266,15 +334,91 @@ class RemoteShardContext:
                 if isinstance(key, tuple) and key and key[0] == "claim"}
 
 
+def views_satisfy(views: dict[str, Any], read_log) -> bool:
+    """The optimistic-lockstep conflict detector (pure function).
+
+    ``views`` is what :meth:`ProcShardedWorld._views_for` would have
+    served this shard at its serial turn; ``read_log`` is the list of
+    ``(kind, shard, key, seen)`` entries the shard's speculative epoch
+    recorded against the barrier-stale views.  Returns True iff every
+    logged read would have returned the same value under the serial
+    schedule — in which case the speculative execution, being
+    deterministic in its inputs, *is* the serial execution.  Any
+    mismatch means the speculation consumed an invalidated read (e.g.
+    two shards racing for the same step claim) and the shard must roll
+    back to its epoch savepoint.
+    """
+    claims = views["claims"]
+    locks = views["locks"]
+    down = views["down"]
+    suspended = views["suspended"]
+    for kind, shard, key, seen in read_log:
+        if kind == "claim":
+            now = claims.get(shard, {}).get(key)
+        elif kind == "lock":
+            now = locks.get(shard, {}).get(key)
+        elif kind == "up":
+            now = key not in down.get(shard, ())
+        elif kind == "susp":
+            now = bool(suspended[shard])
+        else:  # pragma: no cover - the log writer is the gate
+            return False
+        if now != seen:
+            return False
+    return True
+
+
+#: Worker commands that mutate worker state and therefore belong in
+#: the optimistic-lockstep replay log (the epoch savepoint's history).
+#: ``fetch`` is a pure read, ``shutdown`` ends the process and
+#: ``redo`` is the rollback protocol itself.
+_LOGGED_OPS = frozenset((
+    "epoch", "add_node", "add_resource", "share_resource",
+    "set_alternates", "launch", "crash_plans", "kill", "enable_digest"))
+
+
+def _build_shard(config: dict[str, Any]
+                 ) -> "tuple[RemoteShardContext, ShardWorld]":
+    """Build (or rebuild) one worker's context + kernel from its config.
+
+    Also (re)sets the process's id namespaces: the module counters are
+    deterministic functions of the shard index, so calling this again
+    before an optimistic-rollback replay restores the exact id
+    sequences the original history consumed.
+    """
+    from repro.agent import packages
+    from repro.log import entries
+    from repro.storage import queues
+
+    shard = config["shard_index"]
+    # Disjoint id namespaces: work ids arbitrate exactly-once globally,
+    # auto savepoint names must stay unique within a migrating agent's
+    # log, and offset item ids keep debug output unambiguous.
+    packages.set_work_id_namespace(shard)
+    queues.set_item_id_namespace(shard)
+    entries.set_savepoint_id_namespace(shard)
+
+    ctx = RemoteShardContext(shard, config["n_shards"])
+    world = ShardWorld(shard_index=shard, sharded=ctx,
+                       seed=config["seed"] + 100_003 * shard,
+                       journal_capture=config.get("journal_capture", False),
+                       **config["world_kwargs"])
+    world.journal_shard = shard  # notes self-tag with their origin
+    ctx.world = world
+    return ctx, world
+
+
 class _WorkerServer:
     """The command loop of one shard worker process."""
 
     def __init__(self, conn, ctx: RemoteShardContext, world: ShardWorld,
+                 config: Optional[dict[str, Any]] = None,
                  ring_in: Optional[ShmRing] = None,
                  ring_out: Optional[ShmRing] = None):
         self.conn = conn
         self.ctx = ctx
         self.world = world
+        self._config = config or {}
         #: Shared-memory rings of the zero-copy barrier exchange:
         #: ``ring_in`` carries the coordinator's bulk epoch payloads,
         #: ``ring_out`` this worker's bulk reply payloads.  None in
@@ -282,6 +426,13 @@ class _WorkerServer:
         self.ring_in = ring_in
         self.ring_out = ring_out
         self._record_prints: dict[str, tuple] = {}
+        #: Optimistic lockstep only: the pristine history of every
+        #: state-bearing command — ``("raw", pipe_blob, ring_frames)``
+        #: entries exactly as received — which is what makes every
+        #: epoch a savepoint (rollback = rebuild the kernel and replay
+        #: the log).  None under the other schedules: no retention.
+        self._spec_log: Optional[list] = \
+            [] if self._config.get("lockstep") == "optimistic" else None
 
     # -- record delta tracking ------------------------------------------------------
 
@@ -327,6 +478,8 @@ class _WorkerServer:
         world, ctx = self.world, self.ctx
         if op == "epoch":
             return self._handle_epoch(payload)
+        if op == "redo":
+            return self._redo(payload)
         if op == "add_node":
             ctx._node_shard[payload["name"]] = payload["shard"]
             if payload["shard"] == ctx.shard_index:
@@ -370,6 +523,10 @@ class _WorkerServer:
 
     def _handle_epoch(self, payload: dict[str, Any]) -> dict[str, Any]:
         world, ctx = self.world, self.ctx
+        # Speculative epoch: log every foreign-view consult so the
+        # coordinator can validate the execution against the views a
+        # serial turn would have served.
+        ctx.read_log = [] if payload.get("spec") else None
         self._merge_records(payload["records"])
         if payload["views"] is not None:
             ctx.update_views(payload["views"])
@@ -422,7 +579,51 @@ class _WorkerServer:
                 "locks": ctx.lock_contributions(),
                 "down": world.failures.down_nodes(),
             }
+        if ctx.read_log is not None:
+            reply["read_log"] = ctx.read_log
+            ctx.read_log = None
         return reply
+
+    def _redo(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """Roll back to the epoch savepoint and re-execute the epoch.
+
+        The conflicted epoch is the last entry of the replay log.  Its
+        pristine payload is re-loaded, its stale views replaced by the
+        coordinator-supplied authoritative (serial-turn) ones, and the
+        log entry rewritten to the corrected command — so a *later*
+        rollback's replay reproduces this redone history, not the
+        mis-speculated one.  Then the savepoint restore: a fresh kernel
+        (fresh metrics, RNG, id namespaces) replays the whole log —
+        deterministically bit-identical to the original history, since
+        every replayed command carries inputs the coordinator validated
+        (or corrected) against the serial schedule — and finally the
+        corrected epoch executes with fresh views.
+        """
+        entry = self._spec_log.pop()
+        op, epoch_payload = self._load_entry(entry)
+        epoch_payload["views"] = payload["views"]
+        epoch_payload["spec"] = False
+        corrected = ("obj", _dumps((op, epoch_payload)), None)
+        self._spec_log.append(corrected)
+        self.ctx, self.world = _build_shard(self._config)
+        self._record_prints = {}
+        for past in self._spec_log[:-1]:
+            past_op, past_payload = self._load_entry(past)
+            self.handle(past_op, past_payload)
+            if self.world._journal_capture:
+                # The replayed prefix was journaled the first time it
+                # executed; its re-derived notes must not ship again.
+                self.world.drain_journal_notes()
+        return self._handle_epoch(epoch_payload)
+
+    def _load_entry(self, entry) -> tuple[str, dict[str, Any]]:
+        """Fresh (op, payload) objects from one pristine log entry."""
+        _kind, blob, frames = entry
+        op, payload = pickle.loads(blob)
+        if "wire" in payload:
+            payload.pop("wire")
+            payload = resolve_epoch(payload, frames or [])
+        return op, payload
 
     def _fetch(self, payload: dict[str, Any]) -> Any:
         world = self.world
@@ -460,10 +661,28 @@ class _WorkerServer:
                 parent = multiprocessing.parent_process()
                 if parent is None or not parent.is_alive():
                     return "orphan"
-            op, payload = pickle.loads(self.conn.recv_bytes())
+            raw = self.conn.recv_bytes()
+            op, payload = pickle.loads(raw)
+            frames: Optional[list] = None
             try:
                 if op == "epoch" and "wire" in payload:
-                    payload = decode_epoch(payload, self.ring_in)
+                    frames = read_frames(self.ring_in, payload.pop("wire"))
+                    payload = resolve_epoch(payload, frames)
+            except Exception as exc:  # noqa: BLE001 - shipped to coordinator
+                # A torn/corrupt wire batch desyncs the ring cursor: the
+                # worker cannot be rolled back out of this, so flag the
+                # error fatal (the coordinator will not attempt a redo).
+                reply = {"ok": False, "fatal": True,
+                         "error": f"{type(exc).__name__}: {exc}",
+                         "traceback": traceback.format_exc()}
+                self.conn.send_bytes(_dumps(reply))
+                continue
+            if self._spec_log is not None and op in _LOGGED_OPS:
+                # Retain the pristine command (raw pipe blob + any ring
+                # frames it referenced) BEFORE executing it: this is the
+                # epoch savepoint a conflict-triggered redo rebuilds from.
+                self._spec_log.append(("raw", raw, frames))
+            try:
                 reply = self.handle(op, payload)
                 reply["ok"] = True
                 reply["state"] = self._state()
@@ -471,14 +690,14 @@ class _WorkerServer:
                     notes = self.world.drain_journal_notes()
                     if notes:
                         reply["journal"] = notes
-                if op == "epoch" and self.ring_out is not None:
+                if op in ("epoch", "redo") and self.ring_out is not None:
                     reply = encode_reply(reply, self.ring_out)
             except Exception as exc:  # noqa: BLE001 - shipped to coordinator
                 reply = {"ok": False,
                          "error": f"{type(exc).__name__}: {exc}",
                          "traceback": traceback.format_exc()}
             blob = _dumps(reply)
-            if op == "epoch":
+            if op in ("epoch", "redo"):
                 key = ("ipc_bytes_control" if self.ring_out is not None
                        else "ipc_bytes_copied")
                 serialization.STATS[key] += len(blob)
@@ -489,25 +708,7 @@ class _WorkerServer:
 
 def _worker_entry(conn, config: dict[str, Any]) -> None:
     """Entry point of one shard worker process."""
-    from repro.agent import packages
-    from repro.log import entries
-    from repro.storage import queues
-
-    shard = config["shard_index"]
-    # Disjoint id namespaces: work ids arbitrate exactly-once globally,
-    # auto savepoint names must stay unique within a migrating agent's
-    # log, and offset item ids keep debug output unambiguous.
-    packages.set_work_id_namespace(shard)
-    queues.set_item_id_namespace(shard)
-    entries.set_savepoint_id_namespace(shard)
-
-    ctx = RemoteShardContext(shard, config["n_shards"])
-    world = ShardWorld(shard_index=shard, sharded=ctx,
-                       seed=config["seed"] + 100_003 * shard,
-                       journal_capture=config.get("journal_capture", False),
-                       **config["world_kwargs"])
-    world.journal_shard = shard  # notes self-tag with their origin
-    ctx.world = world
+    ctx, world = _build_shard(config)
     rings = config.get("rings")
     ring_in = ring_out = None
     if rings is not None:
@@ -519,7 +720,7 @@ def _worker_entry(conn, config: dict[str, Any]) -> None:
         ring_out = ShmRing.attach(rings[1])
     reason = "error"
     try:
-        reason = _WorkerServer(conn, ctx, world,
+        reason = _WorkerServer(conn, ctx, world, config=config,
                                ring_in=ring_in, ring_out=ring_out).serve()
     except (EOFError, KeyboardInterrupt):  # coordinator went away
         pass
@@ -599,8 +800,13 @@ class _WorkerHandle:
         except (EOFError, OSError):
             raise self._died() from None
         if not reply.get("ok"):
-            raise WorkerError(self.shard, reply.get("error", "unknown"),
+            err = WorkerError(self.shard, reply.get("error", "unknown"),
                               reply.get("traceback", ""))
+            # ``fatal`` marks worker-side state the epoch savepoint cannot
+            # recover (e.g. a desynced shm ring cursor); optimistic
+            # lockstep refuses to redo through it.
+            err.fatal = bool(reply.get("fatal"))
+            raise err
         if "wire" in reply:
             try:
                 reply = decode_reply(reply, self.ring_in)
@@ -688,6 +894,46 @@ class ProcShardedWorld:
 
     Always close it (context manager, or :meth:`close`) — worker
     processes are daemonic but prompt teardown keeps test runs tidy.
+
+    Args:
+        n_shards: Number of shard kernels (= worker processes).
+        seed: Root seed; worker ``i`` runs at ``seed + 100_003 * i``.
+        epoch: Virtual-time length of one lockstep epoch (defaults to
+            the network latency).
+        start_method: :mod:`multiprocessing` start method
+            (``"spawn"`` default — everything crossing the pipe must
+            pickle; see the module docstring's contract).
+        lockstep: Epoch schedule: ``"auto"`` (serial turns for
+            entangled workloads, parallel epochs otherwise),
+            ``"serial"``, ``"parallel"``, or ``"optimistic"`` —
+            entangled epochs speculate on all workers concurrently
+            against barrier-stale views, a shard-order conflict
+            detector validates each worker's read log at the barrier,
+            and invalidated shards roll back to their epoch savepoint
+            and re-execute (bit-identical outcomes to ``"serial"``;
+            see the module docstring).  Speculation accounting lands
+            in :meth:`serialization_stats` under
+            ``spec.epochs_speculated`` / ``spec.epochs_rolled_back``
+            / ``spec.shards_rolled_back`` / ``spec.conflict_rate``.
+        journal: Attach a :class:`~repro.journal.WorldJournal` for
+            crash-resumable execution (workers buffer payload notes,
+            the coordinator group-commits per barrier).
+        ipc: Bulk-payload wire: ``"shm"`` zero-copy shared-memory
+            rings (auto-falls back to pipe where shm is unavailable)
+            or ``"pipe"``.
+        ring_size: Byte capacity of each shm ring (>= 64; oversize
+            payloads spill in-band).
+        **world_kwargs: Forwarded to every worker's kernel
+            (``net_params``, ``ft_params``, ``timing``, ...) — must
+            pickle.
+
+    Raises:
+        UsageError: ``n_shards < 1``, bad ``epoch`` / ``lockstep`` /
+            ``ipc`` / ``ring_size`` values, or unpicklable
+            ``world_kwargs``.
+        WorkerDied: Later, from any call whose worker process died.
+        WorkerError: Later, when a worker raises remotely (carries
+            the remote traceback).
     """
 
     def __init__(self, n_shards: int = 2, seed: int = 0,
@@ -700,7 +946,7 @@ class ProcShardedWorld:
                  **world_kwargs: Any):
         if n_shards < 1:
             raise UsageError(f"need at least 1 shard, got {n_shards}")
-        if lockstep not in ("auto", "serial", "parallel"):
+        if lockstep not in ("auto", "serial", "parallel", "optimistic"):
             raise UsageError(f"unknown lockstep mode {lockstep!r}")
         if ipc not in ("shm", "pipe"):
             raise UsageError(f"unknown ipc mode {ipc!r} "
@@ -733,6 +979,11 @@ class ProcShardedWorld:
         self.bridge = CrossShardBridge(n_shards)
         self.last_flush_at = float("-inf")
         self.epochs_run = 0
+        # Optimistic-lockstep accounting (folded into
+        # ``serialization_stats()`` under ``spec.*`` keys).
+        self.spec_epochs_speculated = 0
+        self.spec_epochs_rolled_back = 0
+        self.spec_shards_rolled_back = 0
         self.agents: dict[str, Any] = {}
         self.ft_alternates: dict[str, tuple[str, ...]] = {}
         self._node_shard: dict[str, int] = {}
@@ -781,6 +1032,7 @@ class ProcShardedWorld:
                 config = {"shard_index": index, "n_shards": n_shards,
                           "seed": seed, "world_kwargs": world_kwargs,
                           "journal_capture": journal is not None,
+                          "lockstep": lockstep,
                           "rings": (None if pair is None
                                     else (pair[0].name, pair[1].name))}
                 process = mp.Process(target=_worker_entry,
@@ -1002,10 +1254,19 @@ class ProcShardedWorld:
                 if o.restart_at is not None and not o.revived
                 and self._suspended[o.shard]]
 
-    def _serial(self) -> bool:
+    def _schedule(self) -> str:
+        """The epoch schedule this cycle runs under.
+
+        ``"auto"`` picks serial turns once the workload is entangled
+        (FT alternates or failure injection), ``"optimistic"`` picks
+        speculative parallel turns for the same entangled workloads —
+        independent workloads always run as plain parallel epochs.
+        """
         if self.lockstep == "auto":
-            return self._entangled
-        return self.lockstep == "serial"
+            return "serial" if self._entangled else "parallel"
+        if self.lockstep == "optimistic":
+            return "optimistic" if self._entangled else "parallel"
+        return self.lockstep
 
     # -- world-journal seams (see repro.journal) ------------------------------------
 
@@ -1091,7 +1352,7 @@ class ProcShardedWorld:
         """
         if self._closed:
             raise UsageError("world is closed")
-        serial = self._serial()
+        schedule = self._schedule()
         replay = iter(_replay) if _replay is not None else None
         for _ in range(max_epochs):
             running = [h for h in self._handles if not h.suspended]
@@ -1115,7 +1376,7 @@ class ProcShardedWorld:
                 if any(self._staged_items):
                     # Ship the routed inboxes; applying them may wake
                     # kernels (durable deliveries, retained retries).
-                    self._cycle(barrier=None, serial=serial, run=False,
+                    self._cycle(barrier=None, schedule=schedule, run=False,
                                 max_events=max_events_per_epoch, revives={})
                     continue
                 if self.bridge.pending():
@@ -1131,7 +1392,7 @@ class ProcShardedWorld:
                 # Cap every running kernel's clock at `until`; no flush
                 # (mirrors the in-process driver), but staged inboxes
                 # from the last flush still ship with the command.
-                self._cycle(barrier=until, serial=serial, run=True,
+                self._cycle(barrier=until, schedule=schedule, run=True,
                             max_events=max_events_per_epoch, revives={},
                             cap_to_now=True)
                 self._sync_records()
@@ -1154,7 +1415,7 @@ class ProcShardedWorld:
                     revives[outage.shard] = (
                         outage.restart_at,
                         self.bridge.take_backlog(outage.shard))
-            self._cycle(barrier=barrier, serial=serial, run=True,
+            self._cycle(barrier=barrier, schedule=schedule, run=True,
                         max_events=max_events_per_epoch, revives=revives)
             kill = self._kill_due(barrier)
             if kill == "barrier":
@@ -1219,7 +1480,7 @@ class ProcShardedWorld:
 
     def _epoch_payload(self, shard: int, barrier: Optional[float],
                        run: bool, max_events: int, revives: dict,
-                       cap_to_now: bool, serial: bool) -> dict[str, Any]:
+                       cap_to_now: bool, schedule: str) -> dict[str, Any]:
         handle = self._handles[shard]
         shard_barrier = barrier
         if cap_to_now and barrier is not None:
@@ -1234,10 +1495,11 @@ class ProcShardedWorld:
             "views": self._views_for(shard) if self._entangled else None,
             "last_flush_at": self.last_flush_at,
             "want_dump": self._entangled,
-            "ship_records": serial,
+            "ship_records": schedule in ("serial", "optimistic"),
+            "spec": schedule == "optimistic",
         }
 
-    def _cycle(self, barrier: Optional[float], serial: bool, run: bool,
+    def _cycle(self, barrier: Optional[float], schedule: str, run: bool,
                max_events: int, revives: dict,
                cap_to_now: bool = False) -> None:
         """One coordinated cycle: scatter commands, collect, merge.
@@ -1247,25 +1509,30 @@ class ProcShardedWorld:
         serial mode each worker's turn completes — and its dumps merge
         into the canonical views — before the next worker starts, which
         is what keeps entangled runs identical to the in-process
-        schedule.
+        schedule.  Optimistic mode runs all turns concurrently and
+        repairs mis-speculation afterwards (see ``_cycle_optimistic``).
         """
         targets = [
             shard for shard in range(self.n_shards)
             if (run and not self._handles[shard].suspended)
             or self._staged_items[shard] or shard in revives
             or self._pending_records[shard]]
-        if serial:
+        if schedule == "serial":
             for shard in targets:
                 self._dispatch(shard, barrier, run, max_events, revives,
-                               cap_to_now, serial)
+                               cap_to_now, schedule)
                 self._collect(shard)
+            return
+        if schedule == "optimistic":
+            self._cycle_optimistic(targets, barrier, run, max_events,
+                                   revives, cap_to_now)
             return
         dispatched: list[int] = []
         first_death: Optional[WorkerDied] = None
         try:
             for shard in targets:
                 self._dispatch(shard, barrier, run, max_events, revives,
-                               cap_to_now, serial)
+                               cap_to_now, schedule)
                 dispatched.append(shard)
         except WorkerDied as died:
             first_death = died
@@ -1281,11 +1548,83 @@ class ProcShardedWorld:
         if first_death is not None:
             raise first_death
 
+    def _cycle_optimistic(self, targets: list[int],
+                          barrier: Optional[float], run: bool,
+                          max_events: int, revives: dict,
+                          cap_to_now: bool) -> None:
+        """One speculative entangled cycle: all turns at once, then repair.
+
+        Every target executes its turn concurrently against the
+        barrier-stale views it was dispatched with, recording a log of
+        each foreign claim/lock/liveness read.  The coordinator then
+        validates the logs in ascending shard index — the order serial
+        turns would have used — re-deriving each shard's authoritative
+        views from the canonical state (which folds in every
+        already-validated shard's dump).  A shard whose log still
+        matches provably executed the serial turn and is accepted
+        as-is; a mismatch (or a speculation-induced worker error)
+        triggers a ``redo``: the worker rolls back to its epoch
+        savepoint and re-executes the turn with the authoritative
+        views.  Journal notes from an invalidated speculation are
+        discarded before the redo's notes are ingested, so only the
+        surviving execution reaches the group commit.
+        """
+        marks: dict[int, int] = {}
+        replies: dict[int, dict] = {}
+        errors: dict[int, WorkerError] = {}
+        dispatched: list[int] = []
+        first_death: Optional[WorkerDied] = None
+        try:
+            for shard in targets:
+                self._dispatch(shard, barrier, run, max_events, revives,
+                               cap_to_now, "optimistic")
+                dispatched.append(shard)
+        except WorkerDied as died:
+            first_death = died
+        for shard in dispatched:
+            handle = self._handles[shard]
+            marks[shard] = len(handle.journal_notes)
+            try:
+                replies[shard] = handle.recv()
+            except WorkerDied as died:
+                if first_death is None:
+                    first_death = died
+            except WorkerError as err:
+                if getattr(err, "fatal", False):
+                    raise  # unrecoverable worker state: no redo possible
+                errors[shard] = err
+        if first_death is not None:
+            raise first_death
+        if run and dispatched:
+            self.spec_epochs_speculated += 1
+        conflicts = 0
+        for shard in dispatched:
+            handle = self._handles[shard]
+            views = self._views_for(shard)
+            reply = replies.get(shard)
+            if reply is not None and views_satisfy(
+                    views, reply.get("read_log", ())):
+                self._ingest_journal(handle)
+                self._absorb(shard, reply)
+                continue
+            # Invalidated speculation (or an error only the speculative
+            # views can explain): discard its journal notes, roll the
+            # worker back to the epoch savepoint, re-execute with the
+            # authoritative views.
+            conflicts += 1
+            self.spec_shards_rolled_back += 1
+            del handle.journal_notes[marks[shard]:]
+            reply = handle.request("redo", {"views": views})
+            self._ingest_journal(handle)
+            self._absorb(shard, reply)
+        if conflicts and run:
+            self.spec_epochs_rolled_back += 1
+
     def _dispatch(self, shard: int, barrier: Optional[float], run: bool,
                   max_events: int, revives: dict, cap_to_now: bool,
-                  serial: bool) -> None:
+                  schedule: str) -> None:
         payload = self._epoch_payload(shard, barrier, run, max_events,
-                                      revives, cap_to_now, serial)
+                                      revives, cap_to_now, schedule)
         self._staged_items[shard] = []
         self._pending_records[shard] = {}
         self._handles[shard].send("epoch", payload)
@@ -1294,6 +1633,11 @@ class ProcShardedWorld:
         handle = self._handles[shard]
         reply = handle.recv()
         self._ingest_journal(handle)
+        self._absorb(shard, reply)
+
+    def _absorb(self, shard: int, reply: dict[str, Any]) -> None:
+        """Fold one worker's epoch reply into the canonical state."""
+        handle = self._handles[shard]
         self._suspended[shard] = handle.suspended
         for agent_id, blob in reply.get("record_deltas", {}).items():
             self._merge_record_blob(blob, origin=shard)
@@ -1334,12 +1678,17 @@ class ProcShardedWorld:
             "fetch", {"what": "resource", "node": node,
                       "resource": resource})["value"]
 
-    def serialization_stats(self) -> dict[str, int]:
+    def serialization_stats(self) -> dict[str, Any]:
         """Summed per-worker serialization STATS counters.
 
         The coordinator process's own IPC accounting (it encodes the
         scatter half of every barrier) is folded in on top of the
         worker sums, so both directions of the exchange are visible.
+        Optimistic-lockstep speculation accounting rides along under
+        ``spec.*`` keys: ``spec.epochs_speculated`` /
+        ``spec.epochs_rolled_back`` / ``spec.shards_rolled_back``
+        counters plus the derived ``spec.conflict_rate`` (rolled-back
+        over speculated epochs; 0.0 when nothing speculated).
         """
         merged = dict(aggregate_counters(
             [h.request("fetch", {"what": "ser_stats"})["value"]
@@ -1347,6 +1696,12 @@ class ProcShardedWorld:
         own = serialization.stats()
         for key in serialization.IPC_STAT_KEYS:
             merged[key] = merged.get(key, 0) + own.get(key, 0)
+        merged["spec.epochs_speculated"] = self.spec_epochs_speculated
+        merged["spec.epochs_rolled_back"] = self.spec_epochs_rolled_back
+        merged["spec.shards_rolled_back"] = self.spec_shards_rolled_back
+        merged["spec.conflict_rate"] = (
+            self.spec_epochs_rolled_back / self.spec_epochs_speculated
+            if self.spec_epochs_speculated else 0.0)
         return dict(sorted(merged.items()))
 
     def shard_serialization_stats(self, shard: int) -> dict[str, int]:

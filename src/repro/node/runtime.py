@@ -109,7 +109,46 @@ class RetryPolicy:
 
 
 class World:
-    """A complete simulated mobile-agent system."""
+    """A complete simulated mobile-agent system (single kernel).
+
+    One discrete-event kernel hosting every node: agents migrate, take
+    savepoints, roll back partially, compensate and survive injected
+    crashes exactly as in the paper's model.  For multi-kernel
+    execution of the same workloads see
+    :class:`~repro.node.sharded.ShardedWorld` (in-process shards) and
+    :class:`~repro.node.procshard.ProcShardedWorld` (one worker
+    process per shard) — all three run seeded workloads bit-identically.
+
+    Args:
+        seed: Root of every RNG stream; equal seeds give bit-identical
+            runs (event order, timing jitter, crash draws).
+        timing: :class:`~repro.sim.timing.TimingModel` cost model for
+            step execution / savepoint / rollback work.
+        net_params: :class:`~repro.sim.timing.NetworkParams` — latency,
+            bandwidth, jitter, retry and batching behaviour of the
+            simulated network.
+        logging_mode: How savepoint entries encode SRO restore data
+            (:class:`~repro.log.LoggingMode`).
+        registry: Compensation registry; defaults to the process-global
+            one populated by ``@resource_compensation`` et al.
+        retry_policy: Give-up/backoff policy for agent transfers.
+        ft_takeover_timeout: Legacy shorthand for
+            ``ft_params.takeover_timeout`` (overrides it when given).
+        ft_params: :class:`~repro.exactly_once.fault_tolerant.FTParams`
+            knobs of the fault-tolerant step protocol.
+        journal: Attach a :class:`~repro.journal.WorldJournal` making
+            this world a journaling coordinator (config + ops + epoch
+            group commits; see :func:`~repro.journal.resume_world`).
+        journal_epoch: Virtual-time length of one journal commit epoch
+            (defaults to ``net_params.latency``).
+        journal_capture: Capture-only mode for shard kernels whose
+            coordinator owns the journal (internal seam).
+
+    Raises:
+        UsageError: On invalid knob combinations (negative epochs,
+            unknown nodes at launch time, running a closed world...) —
+            raised by the respective methods, not the constructor.
+    """
 
     def __init__(self, seed: int = 0,
                  timing: TimingModel = DEFAULT_TIMING,

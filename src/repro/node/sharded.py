@@ -527,6 +527,35 @@ class ShardedWorld:
     ``set_alternates``), so benches can swap one for the other.
     ``n_shards=1`` runs the same code path with the bridge idle — the
     reference configuration the determinism tests compare against.
+
+    Args:
+        n_shards: Number of shard kernels the nodes partition across.
+        seed: Root seed; shard ``i`` runs at ``seed + 100_003 * i``.
+            Equal seeds give bit-identical runs on every backend.
+        epoch: Virtual-time length of one lockstep epoch (defaults to
+            the network latency — cross-shard traffic can never skip
+            a barrier it should have been routed at).
+        workers: ``"inline"`` runs every kernel in this process;
+            ``"process"`` returns a
+            :class:`~repro.node.procshard.ProcShardedWorld` instead
+            (construction-time dispatch — extra keyword arguments
+            such as ``lockstep`` / ``ipc`` flow through).
+        journal: Attach a :class:`~repro.journal.WorldJournal` for
+            crash-resumable execution.
+        lockstep: Epoch schedule knob, accepted for facade parity
+            with the process backend: ``"auto"`` / ``"serial"`` /
+            ``"parallel"`` / ``"optimistic"``.  In-process shards
+            always execute sequentially against live sibling state,
+            so every schedule already *is* the serial one here; the
+            knob changes nothing but is recorded in the journal
+            config and in :meth:`serialization_stats` shape.
+        **world_kwargs: Forwarded to every shard's
+            :class:`~repro.node.runtime.World` (``net_params``,
+            ``ft_params``, ``timing``, ...).
+
+    Raises:
+        UsageError: ``n_shards < 1``, a non-positive ``epoch``, an
+            unknown ``workers`` or ``lockstep`` mode.
     """
 
     def __new__(cls, n_shards: int = 2, seed: int = 0,
@@ -548,11 +577,21 @@ class ShardedWorld:
     def __init__(self, n_shards: int = 2, seed: int = 0,
                  epoch: Optional[float] = None, workers: str = "inline",
                  journal: Optional["WorldJournal"] = None,
+                 lockstep: str = "auto",
                  **world_kwargs: Any):
         if n_shards < 1:
             raise UsageError(f"need at least 1 shard, got {n_shards}")
+        if lockstep not in ("auto", "serial", "parallel", "optimistic"):
+            raise UsageError(f"unknown lockstep mode {lockstep!r}")
         self.n_shards = n_shards
         self.seed = seed
+        #: Accepted for facade parity with :class:`ProcShardedWorld`.
+        #: In-process shards always execute sequentially against live
+        #: sibling state, so every schedule — including
+        #: ``"optimistic"`` — already *is* the serial schedule here:
+        #: there is nothing to speculate against and nothing to roll
+        #: back (``spec.*`` stats stay zero).
+        self.lockstep = lockstep
         net_params = world_kwargs.get("net_params")
         if epoch is None:
             epoch = net_params.latency if net_params is not None else 0.005
@@ -566,6 +605,7 @@ class ShardedWorld:
             from repro.storage.serialization import capture
             journal.record_config(backend="sharded", seed=seed,
                                   n_shards=n_shards, epoch=epoch,
+                                  lockstep=lockstep,
                                   world_kwargs=capture(world_kwargs))
         self.bridge = CrossShardBridge(n_shards)
         self._node_shard: dict[str, int] = {}
@@ -951,14 +991,23 @@ class ShardedWorld:
         """
         return self.node(node).get_resource(resource)
 
-    def serialization_stats(self) -> dict[str, int]:
+    def serialization_stats(self) -> dict[str, Any]:
         """Aggregate :data:`repro.storage.serialization.STATS` view.
 
         In-process every shard shares the module counters; the
-        process-backed driver sums each worker's own counters.
+        process-backed driver sums each worker's own counters.  The
+        ``spec.*`` speculation keys are included for shape parity with
+        :meth:`ProcShardedWorld.serialization_stats` and are always
+        zero here: in-process shards execute sequentially against live
+        sibling state, so no epoch ever speculates (see ``lockstep``).
         """
         from repro.storage.serialization import stats
-        return stats()
+        merged = dict(stats())
+        merged["spec.epochs_speculated"] = 0
+        merged["spec.epochs_rolled_back"] = 0
+        merged["spec.shards_rolled_back"] = 0
+        merged["spec.conflict_rate"] = 0.0
+        return dict(sorted(merged.items()))
 
     def enable_trace_digest(self) -> None:
         """Turn on every shard kernel's event-stream digest."""

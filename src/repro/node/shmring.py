@@ -239,6 +239,19 @@ class RingDecoder:
     def __init__(self, ring: ShmRing, count: int):
         self.frames = [ring.read_frame() for _ in range(count)]
 
+    @classmethod
+    def from_frames(cls, frames: "list[bytes]") -> "RingDecoder":
+        """A decoder over already-materialized frames (no ring read).
+
+        Used by the optimistic-lockstep redo path: the worker retains
+        each epoch's frames at receive time, and a rollback replays the
+        pristine payload against the retained bytes instead of the ring
+        (whose cursor has long moved on).
+        """
+        dec = cls.__new__(cls)
+        dec.frames = list(frames)
+        return dec
+
     def resolve(self, token: Any) -> Any:
         if isinstance(token, _Ref):
             return self.frames[token.index]
@@ -293,13 +306,29 @@ def encode_epoch(payload: dict[str, Any], ring: ShmRing) -> dict[str, Any]:
     return payload
 
 
-def decode_epoch(payload: dict[str, Any], ring: ShmRing) -> dict[str, Any]:
-    dec = RingDecoder(ring, payload.pop("wire"))
+def read_frames(ring: ShmRing, count: int) -> "list[bytes]":
+    """Materialize the next ``count`` frames of one batch off ``ring``."""
+    return [ring.read_frame() for _ in range(count)]
+
+
+def resolve_epoch(payload: dict[str, Any],
+                  frames: "list[bytes]") -> dict[str, Any]:
+    """Resolve an epoch manifest against already-materialized frames.
+
+    The ``"wire"`` count must have been popped (its frames are
+    ``frames``).  Split from :func:`decode_epoch` so the worker can
+    keep the frame list for the optimistic-lockstep replay log.
+    """
+    dec = RingDecoder.from_frames(frames)
     payload["items"] = [(action, map_transfer(t, dec.resolve))
                         for action, t in payload["items"]]
     payload["records"] = {aid: dec.resolve(token)
                           for aid, token in payload["records"].items()}
     return payload
+
+
+def decode_epoch(payload: dict[str, Any], ring: ShmRing) -> dict[str, Any]:
+    return resolve_epoch(payload, read_frames(ring, payload.pop("wire")))
 
 
 def encode_reply(reply: dict[str, Any], ring: ShmRing) -> dict[str, Any]:

@@ -1,0 +1,233 @@
+"""Optimistic entangled-epoch lockstep: speculate, detect, roll back.
+
+The contract under test: ``lockstep="optimistic"`` runs entangled
+epochs concurrently on every worker yet stays **bit-identical** to the
+``"serial"`` schedule — outcomes, counters, epoch/event counts, kernel
+trace digests — because the shard-order conflict detector
+(:func:`repro.node.procshard.views_satisfy`) accepts a speculative
+turn only when its read log proves it consumed exactly the inputs its
+serial twin would have, and rolls conflicted shards back to their
+epoch savepoint otherwise.
+
+Covers the conflict-detector edge cases: two shards racing for the
+same step claim within one epoch, speculation overlapping a
+``kill_shard`` outage, and rollback-during-speculation composing with
+``kill_world(phase="barrier")`` journal recovery.
+"""
+
+import pytest
+
+from repro.errors import UsageError
+from repro.node.procshard import views_satisfy
+from tests.helpers import (
+    build_ft_ring,
+    launch_ft_tours,
+    run_crash_resume_scenario,
+    run_differential_scenario,
+)
+
+
+# -- conflict detector unit tests -------------------------------------------------
+
+
+def _views(claims=None, locks=None, down=None, suspended=None):
+    return {
+        "claims": claims or {},
+        "locks": locks or {},
+        "down": down or {},
+        "suspended": suspended if suspended is not None
+        else [False, False, False],
+    }
+
+
+def test_empty_read_log_is_vacuously_valid():
+    # A run=False shipping cycle (or an epoch with no foreign reads)
+    # never conflicts.
+    assert views_satisfy(_views(), [])
+
+
+def test_matching_reads_validate():
+    views = _views(claims={1: {7: "agent-a"}},
+                   locks={1: {9: (2, 41)}},
+                   down={1: frozenset({"n4"})},
+                   suspended=[False, True, False])
+    log = [
+        ("claim", 1, 7, "agent-a"),
+        ("lock", 1, 9, (2, 41)),
+        ("up", 1, "n4", False),
+        ("up", 1, "n5", True),
+        ("susp", 1, None, True),
+        ("susp", 2, None, False),
+    ]
+    assert views_satisfy(views, log)
+
+
+def test_two_shards_claiming_same_step_conflict():
+    # The double-claim race: the speculating shard read work id 7 as
+    # unclaimed and unlocked, but by its serial turn another shard's
+    # validated turn had claimed it.  Either read invalidates alone.
+    speculated_free = [("lock", 1, 7, None), ("claim", 1, 7, None)]
+    assert views_satisfy(_views(), speculated_free)
+    now_claimed = _views(claims={1: {7: "agent-b"}})
+    assert not views_satisfy(now_claimed, speculated_free)
+    now_locked = _views(locks={1: {7: (0, 13)}})
+    assert not views_satisfy(now_locked, speculated_free)
+
+
+def test_liveness_and_suspension_mismatches_conflict():
+    # Speculation saw node n2 up; the serial turn would have seen the
+    # takeover-relevant outage.
+    assert not views_satisfy(_views(down={1: frozenset({"n2"})}),
+                             [("up", 1, "n2", True)])
+    # Speculation saw shard 1 running; serially it was suspended.
+    assert not views_satisfy(_views(suspended=[False, True, False]),
+                             [("susp", 1, None, False)])
+
+
+def test_unknown_read_kind_fails_closed():
+    assert not views_satisfy(_views(), [("bogus", 0, 0, None)])
+
+
+# -- differential: optimistic ≡ serial -------------------------------------------
+
+
+def _assert_identical(a, b, label):
+    for key in a:
+        assert a[key] == b[key], (label, key)
+
+
+def test_optimistic_identical_to_serial_crash_free():
+    serial = run_differential_scenario("proc", seed=11, lockstep="serial")
+    optimistic = run_differential_scenario("proc", seed=11,
+                                           lockstep="optimistic")
+    _assert_identical(serial, optimistic, "crash-free")
+    assert all(o["status"] == "finished"
+               for o in optimistic["outcomes"].values())
+
+
+def test_optimistic_identical_to_serial_through_kill_shard():
+    """Speculative epochs overlapping a whole-shard outage + restart."""
+    outage = (1, 0.08, 2.0)
+    serial = run_differential_scenario("proc", seed=11, outage=outage,
+                                       lockstep="serial")
+    optimistic = run_differential_scenario("proc", seed=11, outage=outage,
+                                           lockstep="optimistic")
+    _assert_identical(serial, optimistic, "kill-restart")
+
+
+def test_optimistic_matches_auto_and_in_process_backend():
+    proc_opt = run_differential_scenario("proc", seed=7,
+                                         lockstep="optimistic")
+    proc_auto = run_differential_scenario("proc", seed=7, lockstep="auto")
+    _assert_identical(proc_auto, proc_opt, "auto-vs-optimistic")
+    # The in-process backend accepts the knob (its sequential shards
+    # make every schedule the serial one) and matches bit-for-bit.
+    sharded = run_differential_scenario("sharded", seed=7,
+                                        lockstep="optimistic")
+    for key in ("outcomes", "debits", "counters", "epochs", "events"):
+        assert sharded[key] == proc_opt[key], key
+
+
+def test_optimistic_trace_digests_match_serial():
+    """Kernel-level equivalence through a kill + restart: the exact
+    (time, label) event stream, even on shards that were rolled back
+    and re-executed."""
+    digests = {}
+    for lockstep in ("serial", "optimistic"):
+        world = build_ft_ring("proc", seed=5, lockstep=lockstep)
+        try:
+            world.enable_trace_digest()
+            world.kill_shard(1, at=0.08, restart_at=2.0)
+            launch_ft_tours(world)
+            world.run()
+            digests[lockstep] = world.trace_digests()
+        finally:
+            world.close()
+    assert digests["serial"] == digests["optimistic"]
+    assert len(digests["optimistic"]) == 3
+
+
+# -- speculation accounting -------------------------------------------------------
+
+
+def test_speculation_counters_and_stats():
+    world = build_ft_ring("proc", seed=3, lockstep="optimistic")
+    try:
+        world.kill_shard(1, at=0.08, restart_at=2.0)
+        launch_ft_tours(world)
+        world.run()
+        stats = world.serialization_stats()
+    finally:
+        world.close()
+    assert world.spec_epochs_speculated > 0
+    assert world.spec_epochs_rolled_back > 0  # the outage invalidates
+    assert world.spec_shards_rolled_back >= world.spec_epochs_rolled_back
+    assert stats["spec.epochs_speculated"] == world.spec_epochs_speculated
+    assert stats["spec.epochs_rolled_back"] == world.spec_epochs_rolled_back
+    assert stats["spec.shards_rolled_back"] == world.spec_shards_rolled_back
+    assert 0.0 < stats["spec.conflict_rate"] < 1.0
+
+
+def test_serial_runs_never_speculate():
+    world = build_ft_ring("proc", seed=3, lockstep="serial")
+    try:
+        launch_ft_tours(world)
+        world.run()
+        stats = world.serialization_stats()
+    finally:
+        world.close()
+    assert stats["spec.epochs_speculated"] == 0
+    assert stats["spec.conflict_rate"] == 0.0
+
+
+def test_in_process_stats_have_zero_spec_keys():
+    world = build_ft_ring("sharded", seed=3, lockstep="optimistic")
+    launch_ft_tours(world)
+    world.run()
+    stats = world.serialization_stats()
+    assert stats["spec.epochs_speculated"] == 0
+    assert stats["spec.epochs_rolled_back"] == 0
+    assert stats["spec.conflict_rate"] == 0.0
+
+
+# -- composition with the journal -------------------------------------------------
+
+
+def test_optimistic_crash_resume_identical_to_serial():
+    """Rollback-during-speculation composing with journal recovery:
+    ``kill_world(phase="barrier")`` tears the commit marker mid-run,
+    the resumed optimistic world replays and continues — landing on
+    the same bits as the serial crash-resume."""
+    serial, killed_s = run_crash_resume_scenario(
+        "proc", seed=5, kill_at=0.1, phase="barrier", lockstep="serial")
+    optimistic, killed_o = run_crash_resume_scenario(
+        "proc", seed=5, kill_at=0.1, phase="barrier",
+        lockstep="optimistic")
+    assert killed_s and killed_o  # the kill really interrupted both
+    _assert_identical(serial, optimistic, "crash-resume")
+
+
+def test_optimistic_crash_resume_through_outage():
+    """The full composition: speculation + kill_shard conflicts +
+    mid-barrier world kill + journal recovery."""
+    outage = (1, 0.08, 2.0)
+    serial, killed_s = run_crash_resume_scenario(
+        "proc", seed=11, kill_at=0.1, phase="barrier", outage=outage,
+        lockstep="serial")
+    optimistic, killed_o = run_crash_resume_scenario(
+        "proc", seed=11, kill_at=0.1, phase="barrier", outage=outage,
+        lockstep="optimistic")
+    assert killed_s and killed_o
+    _assert_identical(serial, optimistic, "crash-resume-outage")
+
+
+# -- knob validation --------------------------------------------------------------
+
+
+def test_unknown_lockstep_rejected_by_both_backends():
+    from repro import ProcShardedWorld, ShardedWorld
+
+    with pytest.raises(UsageError):
+        ShardedWorld(n_shards=2, lockstep="hopeful")
+    with pytest.raises(UsageError):
+        ProcShardedWorld(n_shards=2, lockstep="hopeful")
