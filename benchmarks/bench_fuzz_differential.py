@@ -1,0 +1,120 @@
+"""EVAL-FUZZ — differential fuzzing throughput and divergence count.
+
+The fuzz lane's performance envelope and its headline invariant,
+measured exactly as the nightly CI job runs it:
+
+* **sweep** — generated scenario workloads (random itineraries over
+  the semantic compensations, crash/outage schedules) cross-checked on
+  the unsharded and the in-process sharded backend plus the model
+  oracle.  Records seeds/minute (the budget planner for the nightly
+  seed range) and the divergence count, which is gated ``equal`` to 0.
+  The model-predicted rollback total across the sweep is deterministic
+  at a fixed ``GENERATOR_VERSION`` — a drift means the generator
+  changed without a version bump.
+* **tri** — a smaller range through all three backends including the
+  multiprocess workers (spawn cost dominates), again gated at zero
+  divergences.
+
+Emits ``benchmarks/results/BENCH_fuzz_differential.json``;
+``BENCH_QUICK=1`` shrinks both ranges for smoke runs.
+"""
+
+import json
+import os
+import time
+
+from repro.fuzz import BACKENDS, generate_case, predict, run_seed_range
+
+from bench_paths import results_dir
+from repro.bench import format_table
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+SWEEP_SEEDS = 12 if QUICK else 60
+TRI_SEEDS = 2 if QUICK else 8
+
+RESULTS_DIR = results_dir()
+JSON_PATH = RESULTS_DIR / "BENCH_fuzz_differential.json"
+
+
+def record_json(section, payload):
+    """Merge one section into the shared JSON artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data = {}
+    if JSON_PATH.exists():
+        data = json.loads(JSON_PATH.read_text())
+    data[section] = payload
+    data["quick_mode"] = QUICK
+    JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+def predicted_rollbacks(n_seeds):
+    """Model-side rollback total — deterministic per generator version."""
+    total = 0
+    for seed in range(n_seeds):
+        expected = predict(generate_case(seed))
+        total += sum(agent["rollbacks"]
+                     for agent in expected["agents"].values())
+    return total
+
+
+def test_eval_fuzz_sweep(benchmark, record_table):
+    def measure():
+        t0 = time.perf_counter()
+        summary = run_seed_range(0, SWEEP_SEEDS,
+                                 backends=("world", "sharded"))
+        elapsed = time.perf_counter() - t0
+        return summary, elapsed
+
+    summary, elapsed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    per_minute = SWEEP_SEEDS / elapsed * 60.0
+    rollbacks = predicted_rollbacks(SWEEP_SEEDS)
+    rows = [
+        ["seeds checked", summary["seeds"]],
+        ["divergences", len(summary["failing_seeds"])],
+        ["predicted rollbacks", rollbacks],
+        ["wall (s)", round(elapsed, 3)],
+        ["seeds / minute", round(per_minute, 1)],
+    ]
+    record_table("fuzz_sweep", format_table(
+        ["metric", "value"], rows,
+        title=f"EVAL-FUZZ sweep: seeds [0:{SWEEP_SEEDS}) on "
+              f"world+sharded + model oracle"))
+    record_json("sweep", {
+        "seeds": summary["seeds"],
+        "backends": ["world", "sharded"],
+        "divergences": len(summary["failing_seeds"]),
+        "failing_repros": summary["repros"],
+        "predicted_rollbacks": rollbacks,
+        "elapsed_s": round(elapsed, 3),
+        "seeds_per_minute": round(per_minute, 1),
+    })
+    assert summary["failing_seeds"] == []
+
+
+def test_eval_fuzz_tri_backend(benchmark, record_table):
+    def measure():
+        t0 = time.perf_counter()
+        summary = run_seed_range(0, TRI_SEEDS, backends=BACKENDS)
+        return summary, time.perf_counter() - t0
+
+    summary, elapsed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        ["seeds checked", summary["seeds"]],
+        ["divergences", len(summary["failing_seeds"])],
+        ["wall (s)", round(elapsed, 3)],
+        ["seconds / seed", round(elapsed / TRI_SEEDS, 2)],
+    ]
+    record_table("fuzz_tri", format_table(
+        ["metric", "value"], rows,
+        title=f"EVAL-FUZZ tri-backend: seeds [0:{TRI_SEEDS}) incl. "
+              f"multiprocess workers"))
+    record_json("tri", {
+        "seeds": summary["seeds"],
+        "backends": list(BACKENDS),
+        "divergences": len(summary["failing_seeds"]),
+        "failing_repros": summary["repros"],
+        "elapsed_s": round(elapsed, 3),
+        "seconds_per_seed": round(elapsed / TRI_SEEDS, 2),
+    })
+    assert summary["failing_seeds"] == []

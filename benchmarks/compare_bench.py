@@ -14,8 +14,11 @@ directory, then invokes this script to compare the freshly emitted
 
 Exit status: 0 when every metric passes, 1 on any regression, 2 on
 usage/environment errors (missing fresh artifact, quick/full-mode
-mismatch).  A markdown report is written to ``--report`` (and echoed)
-so CI can upload it as an artifact.
+mismatch), 3 when a gated file has **no committed baseline** — a bench
+was added to ``SPECS`` without committing its
+``benchmarks/results/BENCH_*.json`` (run the bench once and commit the
+emitted file).  A markdown report is written to ``--report`` (and
+echoed) so CI can upload it as an artifact.
 
 Refreshing baselines after an intentional perf change::
 
@@ -24,7 +27,8 @@ Refreshing baselines after an intentional perf change::
         benchmarks/bench_sharded_scale.py \
         benchmarks/bench_cross_shard_ft.py \
         benchmarks/bench_multiproc_shards.py \
-        benchmarks/bench_journal.py
+        benchmarks/bench_journal.py \
+        benchmarks/bench_fuzz_differential.py
 
 (which rewrites ``benchmarks/results/BENCH_*.json`` in place) — then
 commit the changed JSONs with a note in the PR.
@@ -139,6 +143,17 @@ SPECS = [
     Spec("BENCH_journal.json", "resume.torn_tail", "equal"),
     Spec("BENCH_journal.json", "resume.frontier_barrier", "equal"),
     Spec("BENCH_journal.json", "resume.resume_over_full_ratio", "lower", 3.0),
+    # Differential fuzzing: zero divergences is the whole point — any
+    # failing seed is a cross-backend or model-oracle mismatch.  The
+    # predicted rollback total is deterministic at a fixed
+    # GENERATOR_VERSION (a drift means the generator changed without a
+    # version bump); seeds/minute guards the nightly lane's budget.
+    Spec("BENCH_fuzz_differential.json", "sweep.divergences", "equal"),
+    Spec("BENCH_fuzz_differential.json", "sweep.predicted_rollbacks",
+         "equal"),
+    Spec("BENCH_fuzz_differential.json", "sweep.seeds_per_minute",
+         "higher", 0.3),
+    Spec("BENCH_fuzz_differential.json", "tri.divergences", "equal"),
 ]
 
 
@@ -191,8 +206,9 @@ def fmt(value: Any) -> str:
 
 def compare(
     baseline_dir: pathlib.Path, fresh_dir: pathlib.Path
-) -> tuple[list[str], int, int]:
-    """Run every spec; returns (report lines, failures, usage errors)."""
+) -> tuple[list[str], int, int, int]:
+    """Run every spec; returns (report lines, failures, usage errors,
+    missing baseline files)."""
     lines = [
         "# Bench-regression report",
         "",
@@ -204,6 +220,7 @@ def compare(
     ]
     failures = 0
     errors = 0
+    missing_baselines = 0
     for name in sorted({spec.file for spec in SPECS}):
         baseline_data = load(baseline_dir, name)
         fresh_data = load(fresh_dir, name)
@@ -212,7 +229,12 @@ def compare(
             errors += 1
             continue
         if baseline_data is None:
-            lines.append(f"| {name} | **no baseline** | - | - | SKIP |")
+            # A gated file with no committed baseline means the gate is
+            # not actually gating it — fail loudly instead of skipping.
+            lines.append(
+                f"| {name} | **no baseline** | - | committed | NO-BASELINE |"
+            )
+            missing_baselines += 1
             continue
         if baseline_data.get("quick_mode") != fresh_data.get("quick_mode"):
             lines.append(
@@ -248,11 +270,19 @@ def compare(
                 f" {fmt(fresh_value)} | {threshold} | {status} |"
             )
     lines.append("")
-    verdict = "PASS" if not failures and not errors else "FAIL"
+    clean = not failures and not errors and not missing_baselines
+    verdict = "PASS" if clean else "FAIL"
     lines.append(
-        f"**{verdict}** — {failures} regression(s), {errors} gate error(s)."
+        f"**{verdict}** — {failures} regression(s), {errors} gate"
+        f" error(s), {missing_baselines} missing baseline file(s)."
     )
-    return lines, failures, errors
+    if missing_baselines:
+        lines.append(
+            "\nA gated BENCH_*.json has no committed baseline: run the"
+            " bench once and commit the emitted file under"
+            " benchmarks/results/."
+        )
+    return lines, failures, errors, missing_baselines
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -278,7 +308,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         help="write the markdown report here as well",
     )
     args = parser.parse_args(argv)
-    lines, failures, errors = compare(args.baseline, args.fresh)
+    lines, failures, errors, missing = compare(args.baseline, args.fresh)
     report = "\n".join(lines) + "\n"
     print(report)
     if args.report is not None:
@@ -286,6 +316,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         args.report.write_text(report)
     if errors:
         return 2
+    if missing:
+        return 3
     return 1 if failures else 0
 
 

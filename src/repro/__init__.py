@@ -52,6 +52,7 @@ from repro.journal import (
 )
 from repro.itinerary import Itinerary, ItineraryAgent, StepEntry, SubItinerary
 from repro.log import LoggingMode, RollbackLog
+from repro.log.entries import Recoverability
 from repro.node import (
     AgentRecord,
     AgentStatus,
@@ -123,6 +124,7 @@ __all__ = [
     "FTParams",
     "LoggingMode",
     "RollbackLog",
+    "Recoverability",
     "resource_compensation",
     "agent_compensation",
     "mixed_compensation",

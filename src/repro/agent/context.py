@@ -31,7 +31,12 @@ from repro.errors import (
     StepAbortRequest,
     UsageError,
 )
-from repro.log.entries import OperationEntry, OperationKind, SavepointEntry
+from repro.log.entries import (
+    OperationEntry,
+    OperationKind,
+    Recoverability,
+    SavepointEntry,
+)
 from repro.resources.base import ResourceView
 from repro.storage.serialization import snapshot
 
@@ -91,6 +96,7 @@ class StepContext:
         self._non_compensatable = False
         self._alternates: tuple[str, ...] = ()
         self._has_mixed = False
+        self._recoverability = Recoverability.EXACT
 
     # -- ambient facts ------------------------------------------------------------
 
@@ -182,9 +188,28 @@ class StepContext:
     def mark_non_compensatable(self) -> None:
         """Declare this step impossible to compensate (Section 3.2).
 
-        After this step commits, no rollback may cross it.
+        After this step commits, no rollback may cross it — any
+        rollback request across it *fails* the agent.  For the softer
+        variant where the driver routes around the step instead, see
+        :meth:`annotate_recoverability`.
         """
         self._non_compensatable = True
+        self._recoverability = Recoverability.UNRECOVERABLE
+
+    def annotate_recoverability(self, level: str) -> None:
+        """Annotate this step's recoverability level (DART-style).
+
+        ``level`` is one of :data:`~repro.log.entries.Recoverability.ALL`:
+        ``"exact"`` (the default — compensation restores the pre-step
+        state), ``"semantic"`` (compensation restores an acceptable
+        state: refund minus fees, un-reserve with penalty, cancel by
+        notification) or ``"unrecoverable"`` (no compensation exists —
+        a rollback crossing this step is *adjusted*: the driver
+        ratchets the target up to the nearest savepoint above it).
+        """
+        if level not in Recoverability.ALL:
+            raise UsageError(f"unknown recoverability level {level!r}")
+        self._recoverability = level
 
     def declare_alternates(self, *nodes: str) -> None:
         """Name nodes able to run this step's compensation (FT rollback)."""
@@ -244,6 +269,10 @@ class StepContext:
             raise NotCompensatable(
                 f"step {blocker.step_index} on {blocker.node} cannot be "
                 f"compensated; rollback to {sp_id!r} impossible")
+        if self._log.choose_rollback_point(sp_id) is None:
+            raise NotCompensatable(
+                f"an unrecoverable step blocks rollback to {sp_id!r} and "
+                f"no savepoint lies above it")
         raise RollbackRequest(sp_id)
 
     def abort_and_restart(self) -> None:
@@ -272,4 +301,5 @@ class StepContext:
             "has_mixed": self._has_mixed,
             "non_compensatable": self._non_compensatable,
             "alternates": self._alternates,
+            "recoverability": self._recoverability,
         }

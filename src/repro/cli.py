@@ -14,6 +14,11 @@ metrics a platform operator would want.  Commands:
     prediction next to the measured values.
 ``trace``
     Run a tour with crash injection and print the event timeline.
+``fuzz``
+    Differential fuzzing: generate seeded scenario workloads and
+    cross-check all three execution backends against each other and
+    against the model oracle (``--seed-range A:B``), or replay one
+    failing seed from its repro string (``--repro fuzz:v1:seed=N``).
 
 All scenarios are deterministic per ``--seed``.
 """
@@ -166,6 +171,83 @@ def cmd_trace(args) -> int:
     return 0 if result.status.value == "finished" else 1
 
 
+def _fuzz_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed-range", default="0:20", metavar="A:B",
+                        help="half-open seed range to sweep (default 0:20)")
+    parser.add_argument("--repro", default=None, metavar="STRING",
+                        help="replay one failing seed from its repro "
+                             "string (fuzz:v1:seed=N)")
+    parser.add_argument("--backends", default="world,sharded,proc",
+                        help="comma-separated backend subset "
+                             "(default: all three)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write failing-seed repro strings here, "
+                             "one per line (CI artifact)")
+
+
+def cmd_fuzz(args) -> int:
+    from repro.fuzz import (
+        BACKENDS,
+        case_from_repro,
+        check_case,
+        parse_repro,
+        repro_string,
+        run_seed_range,
+    )
+
+    backends = tuple(b.strip() for b in args.backends.split(",") if b.strip())
+    unknown = [b for b in backends if b not in BACKENDS]
+    if unknown:
+        print(f"unknown backend(s) {unknown}; choose from {BACKENDS}")
+        return 2
+
+    if args.repro is not None:
+        try:
+            seed = parse_repro(args.repro)
+        except ValueError as exc:
+            print(exc)
+            return 2
+        failures = check_case(case_from_repro(args.repro), backends=backends)
+        if failures:
+            print(f"seed {seed} REPRODUCES ({len(failures)} finding(s)):")
+            for message in failures:
+                print(f"  {message}")
+            return 1
+        print(f"seed {seed}: clean on {', '.join(backends)}")
+        return 0
+
+    try:
+        start, stop = (int(part) for part in args.seed_range.split(":"))
+    except ValueError:
+        print(f"--seed-range must be A:B, got {args.seed_range!r}")
+        return 2
+
+    def progress(seed, messages):
+        marker = "DIVERGED" if messages else "ok"
+        print(f"  seed {seed}: {marker}", flush=True)
+
+    print(f"fuzzing seeds [{start}:{stop}) on {', '.join(backends)}")
+    summary = run_seed_range(start, stop, backends=backends,
+                             on_progress=progress)
+    if args.out is not None:
+        import pathlib
+
+        path = pathlib.Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("".join(f"{line}\n" for line in summary["repros"]))
+    if summary["failing_seeds"]:
+        print(f"{len(summary['failing_seeds'])} of {summary['seeds']} "
+              f"seeds diverged:")
+        for seed in summary["failing_seeds"]:
+            print(f"  {repro_string(seed)}")
+            for message in summary["failures"][seed]:
+                print(f"    {message}")
+        return 1
+    print(f"all {summary['seeds']} seeds clean "
+          f"(zero divergences across {', '.join(backends)})")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -180,6 +262,10 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=doc)
         _tour_args(p)
         p.set_defaults(fn=fn)
+    fuzz = sub.add_parser(
+        "fuzz", help="differential fuzzing across the three backends")
+    _fuzz_args(fuzz)
+    fuzz.set_defaults(fn=cmd_fuzz)
     return parser
 
 

@@ -52,6 +52,7 @@ from repro.log.entries import (
     EndOfStepEntry,
     OperationEntry,
     OperationKind,
+    Recoverability,
     SavepointEntry,
 )
 from repro.log.rollback_log import RollbackLog
@@ -110,6 +111,33 @@ class RollbackDriverBase:
                 f"rollback to {sp_id!r}")
             world.step_protocol._consume(node, item, "rollback-blocked")
             return
+
+        # Consult the per-step recoverability annotations: a rollback
+        # crossing an unrecoverable step is not failed (that is the
+        # hard non-compensatable stop above) but *adjusted* — the
+        # effective target ratchets up to the nearest savepoint above
+        # the newest unrecoverable step on the path.
+        effective = log.choose_rollback_point(sp_id)
+        if effective is None:
+            abort_and_count(node, tx, "rollback-unrecoverable")
+            world.agent_failed(
+                package.agent_id,
+                f"an unrecoverable step blocks rollback to {sp_id!r} "
+                f"and no savepoint lies above it")
+            world.step_protocol._consume(node, item, "rollback-unrecoverable")
+            return
+        if effective != sp_id:
+            requested = sp_id
+            sp_id = effective
+
+            def _adjusted() -> None:
+                world.metrics.incr("rollback.adjusted")
+                world.metrics.record(node.sim.now, "rollback-adjusted",
+                                     agent=package.agent_id,
+                                     requested=requested,
+                                     savepoint=effective, node=node.name)
+
+            tx.register_commit(_adjusted)
 
         if log.savepoint_reached(sp_id):
             # The savepoint was set directly before the aborting step
@@ -180,6 +208,10 @@ class RollbackDriverBase:
             eos = log.pop(tx)
             if not isinstance(eos, EndOfStepEntry):
                 raise LogCorrupt(f"expected EOS, found {eos!r}")
+            if (getattr(eos, "recoverability", Recoverability.EXACT)
+                    == Recoverability.SEMANTIC):
+                tx.register_commit(
+                    lambda: world.metrics.incr("compensation.semantic_steps"))
             self._compensate_step(node, tx, agent, log, eos)
         except LogCorrupt as exc:
             abort_and_count(node, tx, "log-corrupt")

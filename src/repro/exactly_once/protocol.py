@@ -162,7 +162,8 @@ class StepProtocol:
                                   step_index=package.step_index,
                                   has_mixed=flags["has_mixed"],
                                   alternates=flags["alternates"],
-                                  non_compensatable=flags["non_compensatable"]),
+                                  non_compensatable=flags["non_compensatable"],
+                                  recoverability=flags["recoverability"]),
                    tx)
         for sp_id in ctx.staged_discards():
             log.discard_savepoint(sp_id, tx)

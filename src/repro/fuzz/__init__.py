@@ -1,0 +1,53 @@
+"""Seeded differential fuzzing of the scenario pack.
+
+``generate_case(seed)`` deterministically derives a workload — random
+itineraries over the semantic scenarios of :mod:`repro.scenarios`,
+random resource placements, and a random failure/outage schedule —
+and ``check_case`` runs it on all three execution backends, comparing
+them against each other *and* against an independent model oracle.
+A failing seed reproduces from the one-line string
+``fuzz:v1:seed=<N>`` (``python -m repro fuzz --repro ...``).
+"""
+
+from repro.fuzz.generator import (
+    GENERATOR_VERSION,
+    AgentPlan,
+    FuzzCase,
+    canonical_json,
+    case_digest,
+    case_from_repro,
+    generate_case,
+    parse_repro,
+    repro_string,
+    validate_case,
+)
+from repro.fuzz.model import ModelError, predict
+from repro.fuzz.runner import (
+    BACKENDS,
+    build_case_world,
+    check_case,
+    run_case_on,
+    run_seed,
+    run_seed_range,
+)
+
+__all__ = [
+    "AgentPlan",
+    "BACKENDS",
+    "FuzzCase",
+    "GENERATOR_VERSION",
+    "ModelError",
+    "build_case_world",
+    "canonical_json",
+    "case_digest",
+    "case_from_repro",
+    "check_case",
+    "generate_case",
+    "parse_repro",
+    "predict",
+    "repro_string",
+    "run_case_on",
+    "run_seed",
+    "run_seed_range",
+    "validate_case",
+]

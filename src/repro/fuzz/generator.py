@@ -1,0 +1,262 @@
+"""Seeded scenario generator: random itineraries, placements, failures.
+
+Every draw comes from one ``random.Random(seed)`` stream, floats are
+rounded to three decimals, and the JSON form is canonical (sorted keys,
+compact separators) — so a :class:`FuzzCase` is **byte-identical for
+the same seed on every supported Python version** (the Mersenne
+generator and shortest-float repr are version-stable; nothing here
+touches hash randomization or dict-order-dependent iteration).  The
+seed-stability test pins golden digests to enforce this.
+
+Generated plans respect the structural contract of
+:class:`repro.scenarios.agent.ScenarioAgent` (checked by
+:func:`validate_case`):
+
+* a ``rollback`` position ``s`` sits at ``s >= 2``, and ``plan[s-1]``
+  is a compensatable op step (not ``ship``, not another rollback) — so
+  the rollback guard always trips after the rollback ran;
+* its requested target position ``t`` carries a savepoint
+  (``savepoint`` flag, or a ``ship`` ratchet) with
+  ``prev_site < t <= s - 2`` — windows of successive rollback sites
+  are disjoint and non-empty, so re-execution converges.
+
+The one-line repro string for a failing seed is
+``fuzz:v<version>:seed=<N>`` (see :func:`repro_string` /
+:func:`case_from_repro`); committed corpus entries store the whole
+case JSON instead, so they stay valid when the generator evolves.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.scenarios.agent import StepSpec
+
+#: Bump when a generator change may alter the case a seed produces.
+GENERATOR_VERSION = 1
+
+#: Weighted bag the forward op of each plan position is drawn from.
+_OPS_BAG = ("purchase", "purchase", "book", "book", "reserve", "reserve",
+            "voucher", "promise", "ship")
+
+
+@dataclass
+class AgentPlan:
+    """One agent's generated itinerary."""
+
+    agent_id: str
+    steps: list[StepSpec] = field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        return {"agent_id": self.agent_id,
+                "steps": [step.to_json() for step in self.steps]}
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "AgentPlan":
+        return cls(agent_id=data["agent_id"],
+                   steps=[StepSpec.from_json(s) for s in data["steps"]])
+
+
+@dataclass
+class FuzzCase:
+    """One generated workload: itineraries x placement x failures."""
+
+    version: int
+    seed: int
+    n_nodes: int
+    n_shards: int
+    mode: str          # RollbackMode value: "basic" | "optimized"
+    horizon: float
+    agents: list[AgentPlan] = field(default_factory=list)
+    crashes: list[dict[str, Any]] = field(default_factory=list)
+    outage: Optional[dict[str, Any]] = None
+
+    def nodes(self) -> list[str]:
+        return [f"n{i}" for i in range(self.n_nodes)]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "version": self.version,
+            "seed": self.seed,
+            "n_nodes": self.n_nodes,
+            "n_shards": self.n_shards,
+            "mode": self.mode,
+            "horizon": self.horizon,
+            "agents": [plan.to_json() for plan in self.agents],
+            "crashes": self.crashes,
+            "outage": self.outage,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "FuzzCase":
+        return cls(
+            version=data["version"], seed=data["seed"],
+            n_nodes=data["n_nodes"], n_shards=data["n_shards"],
+            mode=data["mode"], horizon=data["horizon"],
+            agents=[AgentPlan.from_json(p) for p in data["agents"]],
+            crashes=list(data.get("crashes", [])),
+            outage=data.get("outage"))
+
+
+def canonical_json(case: FuzzCase) -> str:
+    """The byte-stable serialised form (sorted keys, no whitespace)."""
+    return json.dumps(case.to_json(), sort_keys=True,
+                      separators=(",", ":"))
+
+
+def case_digest(case: FuzzCase) -> str:
+    """SHA-256 of the canonical JSON — the cross-version identity."""
+    return hashlib.sha256(canonical_json(case).encode("utf-8")).hexdigest()
+
+
+def repro_string(seed: int) -> str:
+    """The one-line reproducer printed for a failing seed."""
+    return f"fuzz:v{GENERATOR_VERSION}:seed={seed}"
+
+
+def parse_repro(repro: str) -> int:
+    """Seed of a ``fuzz:v<V>:seed=<N>`` repro string (version-checked)."""
+    parts = repro.strip().split(":")
+    if (len(parts) != 3 or parts[0] != "fuzz"
+            or not parts[1].startswith("v")
+            or not parts[2].startswith("seed=")):
+        raise ValueError(f"malformed repro string {repro!r}")
+    version = int(parts[1][1:])
+    if version != GENERATOR_VERSION:
+        raise ValueError(
+            f"repro string {repro!r} is for generator v{version}; this "
+            f"build generates v{GENERATOR_VERSION} (replay the committed "
+            f"corpus JSON instead)")
+    return int(parts[2][len("seed="):])
+
+
+def case_from_repro(repro: str) -> FuzzCase:
+    """Regenerate the failing case named by a repro string."""
+    return generate_case(parse_repro(repro))
+
+
+def _generate_plan(rng: random.Random, agent_id: str,
+                   nodes: list[str]) -> AgentPlan:
+    steps: list[StepSpec] = []
+    length = rng.randint(5, 9)
+    sites = 0
+    last_site = -1
+    while len(steps) < length:
+        pos = len(steps)
+        candidates = [t for t in range(last_site + 1, pos - 1)
+                      if steps[t].savepoint or steps[t].op == "ship"]
+        can_roll = (sites < 2 and pos >= 2 and candidates
+                    and steps[pos - 1].op not in ("ship", "rollback"))
+        if can_roll and rng.random() < 0.4:
+            t = rng.choice(candidates)
+            target = f"sp{t}" if steps[t].savepoint else f"rt{t}"
+            steps.append(StepSpec(op="rollback", node=rng.choice(nodes),
+                                  target=target))
+            sites += 1
+            last_site = pos
+            continue
+        op = rng.choice(_OPS_BAG)
+        spec = StepSpec(op=op, node=rng.choice(nodes))
+        if op in ("purchase", "voucher", "book", "reserve", "ship"):
+            spec.amount = rng.randint(50, 400)
+        if op == "book":
+            spec.fee = rng.randint(1, 30)
+        if op == "reserve":
+            spec.penalty = rng.randint(1, 30)
+        if op in ("voucher", "promise"):
+            spec.tag = f"t{rng.randint(0, 99)}"
+        if op != "ship":
+            spec.savepoint = rng.random() < 0.5
+        steps.append(spec)
+    return AgentPlan(agent_id=agent_id, steps=steps)
+
+
+def generate_case(seed: int) -> FuzzCase:
+    """The deterministic workload for ``seed`` (same seed, same bytes)."""
+    rng = random.Random(seed)
+    n_nodes = rng.randint(6, 10)
+    n_shards = 3
+    nodes = [f"n{i}" for i in range(n_nodes)]
+    mode = rng.choice(["basic", "optimized"])
+    agents = [_generate_plan(rng, f"ag{a}", nodes)
+              for a in range(rng.randint(1, 3))]
+    crashes = []
+    for _ in range(rng.randint(0, 2)):
+        crashes.append({"node": rng.choice(nodes),
+                        "at": round(rng.uniform(0.5, 8.0), 3),
+                        "down": round(rng.uniform(0.2, 1.5), 3)})
+    outage = None
+    if rng.random() < 0.4:
+        at = round(rng.uniform(1.0, 6.0), 3)
+        outage = {"shard": rng.randrange(n_shards), "at": at,
+                  "restart_at": round(at + rng.uniform(1.0, 3.0), 3)}
+    case = FuzzCase(version=GENERATOR_VERSION, seed=seed, n_nodes=n_nodes,
+                    n_shards=n_shards, mode=mode, horizon=240.0,
+                    agents=agents, crashes=crashes, outage=outage)
+    validate_case(case)
+    return case
+
+
+def _target_position(target: str) -> int:
+    if not (target.startswith("sp") or target.startswith("rt")):
+        raise ValueError(f"unparseable savepoint id {target!r}")
+    return int(target[2:])
+
+
+def validate_case(case: FuzzCase) -> None:
+    """Check the structural contract; raise ``ValueError`` on breach.
+
+    The generator upholds these by construction; corpus entries and
+    hand-written cases go through the same gate before a run, so a
+    malformed case fails loudly instead of livelocking an agent.
+    """
+    nodes = set(case.nodes())
+    if case.outage is not None:
+        if not 0 <= case.outage["shard"] < case.n_shards:
+            raise ValueError("outage names a shard that does not exist")
+        if case.outage["restart_at"] <= case.outage["at"]:
+            raise ValueError("outage restart_at must be after at")
+    for crash in case.crashes:
+        if crash["node"] not in nodes:
+            raise ValueError(f"crash names unknown node {crash['node']!r}")
+    for plan in case.agents:
+        last_site = -1
+        for pos, spec in enumerate(plan.steps):
+            if spec.node not in nodes:
+                raise ValueError(
+                    f"{plan.agent_id}[{pos}] on unknown node {spec.node!r}")
+            if spec.op != "rollback":
+                if spec.op == "book" and spec.fee >= spec.amount:
+                    raise ValueError(
+                        f"{plan.agent_id}[{pos}]: fee >= amount")
+                if spec.op == "reserve" and spec.penalty >= spec.amount:
+                    raise ValueError(
+                        f"{plan.agent_id}[{pos}]: penalty >= amount")
+                continue
+            if pos < 2:
+                raise ValueError(
+                    f"{plan.agent_id}[{pos}]: rollback site before step 2")
+            prev = plan.steps[pos - 1]
+            if prev.op in ("ship", "rollback"):
+                raise ValueError(
+                    f"{plan.agent_id}[{pos}]: rollback guard step is "
+                    f"{prev.op!r} (would never trip)")
+            t = _target_position(spec.target)
+            if not (last_site < t <= pos - 2):
+                raise ValueError(
+                    f"{plan.agent_id}[{pos}]: target {spec.target!r} "
+                    f"outside ({last_site}, {pos - 2}]")
+            anchor = plan.steps[t]
+            if spec.target.startswith("sp") and not anchor.savepoint:
+                raise ValueError(
+                    f"{plan.agent_id}[{pos}]: target {spec.target!r} "
+                    f"was never constituted")
+            if spec.target.startswith("rt") and anchor.op != "ship":
+                raise ValueError(
+                    f"{plan.agent_id}[{pos}]: ratchet {spec.target!r} "
+                    f"has no ship step")
+            last_site = pos

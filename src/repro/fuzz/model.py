@@ -1,0 +1,150 @@
+"""The model oracle: what a fuzz case *must* produce, computed flat.
+
+A pure-Python re-execution of each agent's plan with the semantic
+compensation rules applied symbolically — no kernel, no transactions,
+no backends.  It is deliberately independent of the execution machinery
+(it shares only the plan format and the account-naming conventions), so
+a bug in a compensating operation, in the rollback driver's
+recoverability adjustment, or in the exactly-once protocol shows up as
+a model mismatch on *every* backend even when the three backends agree
+with each other.
+
+Placement is the one thing the model does not predict: under the
+fault-tolerant protocol a crashed node's steps divert to alternates, so
+*which* node's bank carries an effect depends on the failure schedule.
+The model therefore predicts placement-free aggregates — per-agent
+customer spend and the cross-node totals of the shared accounts — plus
+the exact outcome payload (the WRO result dict) and the rollback count,
+all of which are placement-invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.fuzz.generator import AgentPlan, FuzzCase, _target_position
+from repro.scenarios.agent import CUSTOMER_SEED, SHARED_ACCOUNTS
+
+
+class ModelError(Exception):
+    """The plan breaks the scenario contract (model cannot execute it)."""
+
+
+def predict_agent(plan: AgentPlan) -> dict[str, Any]:
+    """Symbolic execution of one agent's plan.
+
+    Returns ``{"result", "rollbacks", "delta"}`` where ``delta`` maps
+    ``"customer"`` and each shared account to the agent's net
+    contribution (minor units).
+    """
+    steps = plan.steps
+    wro: dict[str, Any] = {"undone": [], "vouchers": [], "voided": [],
+                           "promises": [], "notices": [],
+                           "fees_lost": 0, "penalties_lost": 0}
+    delta = {"customer": 0}
+    delta.update({account: 0 for account in SHARED_ACCOUNTS})
+    rollbacks = 0
+    pos = 0
+    fuel = 10_000  # defensive: a contract breach must not spin forever
+    while pos < len(steps):
+        fuel -= 1
+        if fuel <= 0:
+            raise ModelError(f"{plan.agent_id}: plan does not converge")
+        spec = steps[pos]
+        if spec.op == "rollback":
+            if (pos - 1) not in wro["undone"]:
+                rollbacks += 1
+                t = _target_position(spec.target)
+                effective = t
+                for u in range(pos - 1, t, -1):
+                    if steps[u].op == "ship":
+                        # The driver ratchets to the savepoint above
+                        # the newest unrecoverable step on the path.
+                        effective = u
+                        break
+                for k in range(pos - 1, effective, -1):
+                    _compensate(plan.agent_id, steps[k], k, wro, delta)
+                pos = effective + 1
+                continue
+        else:
+            _forward(spec, pos, wro, delta)
+        pos += 1
+    result = {
+        "pos": len(steps),
+        "undone": list(wro["undone"]),
+        "vouchers": list(wro["vouchers"]),
+        "voided": list(wro["voided"]),
+        "promises": list(wro["promises"]),
+        "notices": list(wro["notices"]),
+        "fees_lost": wro["fees_lost"],
+        "penalties_lost": wro["penalties_lost"],
+    }
+    return {"result": result, "rollbacks": rollbacks, "delta": delta}
+
+
+def _forward(spec, pos: int, wro: dict[str, Any],
+             delta: dict[str, int]) -> None:
+    if spec.op in ("purchase", "voucher", "book", "ship"):
+        delta["customer"] -= spec.amount
+        delta["merchant"] += spec.amount
+        if spec.op == "voucher":
+            wro["vouchers"].append(f"{pos}:{spec.tag}")
+    elif spec.op == "reserve":
+        delta["customer"] -= spec.amount
+        delta["escrow-pool"] += spec.amount
+    elif spec.op == "promise":
+        wro["promises"].append(f"{pos}:{spec.tag}")
+    else:
+        raise ModelError(f"unknown forward op {spec.op!r}")
+
+
+def _compensate(agent_id: str, spec, pos: int, wro: dict[str, Any],
+                delta: dict[str, int]) -> None:
+    # Operation entries pop newest-first, so within a step the
+    # mark_undone ACE (logged last) runs before the op-specific entry.
+    if spec.op == "purchase":
+        wro["undone"].append(pos)
+        delta["merchant"] -= spec.amount
+        delta["customer"] += spec.amount
+    elif spec.op == "voucher":
+        wro["undone"].append(pos)
+        delta["merchant"] -= spec.amount
+        delta["customer"] += spec.amount
+        wro["voided"].append(pos)
+    elif spec.op == "book":
+        wro["undone"].append(pos)
+        wro["fees_lost"] += spec.fee
+        delta["merchant"] -= spec.amount
+        delta["customer"] += spec.amount - spec.fee
+        delta["fees"] += spec.fee
+    elif spec.op == "reserve":
+        wro["undone"].append(pos)
+        wro["penalties_lost"] += spec.penalty
+        delta["escrow-pool"] -= spec.amount
+        delta["customer"] += spec.amount - spec.penalty
+        delta["penalties"] += spec.penalty
+    elif spec.op == "promise":
+        wro["undone"].append(pos)
+        wro["notices"].append(f"cancelled:{pos}:{spec.tag}")
+    else:
+        raise ModelError(
+            f"{agent_id}[{pos}]: {spec.op!r} inside a rollback window")
+
+
+def predict(case: FuzzCase) -> dict[str, Any]:
+    """The full expected outcome surface of a case.
+
+    ``agents`` maps agent id to the per-agent prediction (including the
+    expected cross-node customer-account total); ``totals`` maps each
+    shared account to its expected cross-node balance sum.
+    """
+    agents = {}
+    totals = {account: 0 for account in SHARED_ACCOUNTS}
+    for plan in case.agents:
+        prediction = predict_agent(plan)
+        prediction["customer_total"] = (case.n_nodes * CUSTOMER_SEED
+                                        + prediction["delta"]["customer"])
+        agents[plan.agent_id] = prediction
+        for account in SHARED_ACCOUNTS:
+            totals[account] += prediction["delta"][account]
+    return {"agents": agents, "totals": totals}

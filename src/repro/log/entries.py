@@ -52,6 +52,33 @@ def set_savepoint_id_namespace(index: int, stride: int = 10 ** 9) -> None:
     _SP_SEQ = itertools.count(1 + index * stride)
 
 
+class Recoverability:
+    """Per-step recoverability annotation (DART-style levels).
+
+    Plain strings rather than an enum: the value rides inside every
+    serialised :class:`EndOfStepEntry`, and old log blobs written
+    before the field existed must restore against the dataclass default
+    (``"exact"``).
+
+    * ``EXACT`` — compensation restores the pre-step state bit for bit
+      (the default; e.g. a full refund).
+    * ``SEMANTIC`` — compensation restores an *acceptable* state, not
+      the original one (refund minus fees, un-reserve with penalty,
+      compensate-by-notification).  Rollback may cross it; the residue
+      is the price.
+    * ``UNRECOVERABLE`` — the step's effects cannot be compensated at
+      all (goods shipped).  Unlike the hard
+      ``mark_non_compensatable()`` stop, the rollback driver *adjusts*:
+      it ratchets the target up to the nearest savepoint above the
+      unrecoverable step instead of failing the rollback.
+    """
+
+    EXACT = "exact"
+    SEMANTIC = "semantic"
+    UNRECOVERABLE = "unrecoverable"
+    ALL = (EXACT, SEMANTIC, UNRECOVERABLE)
+
+
 class EntryKind(enum.Enum):
     """Discriminator for log entries."""
 
@@ -191,13 +218,19 @@ class OperationEntry(LogEntry):
 
 @dataclass
 class EndOfStepEntry(LogEntry):
-    """EOS — the step ended; carries the optimization/FT metadata."""
+    """EOS — the step ended; carries the optimization/FT metadata.
+
+    ``recoverability`` is the step's :class:`Recoverability` level; the
+    rollback driver reads it (newest first) to choose the partial-
+    rollback point.
+    """
 
     node: str
     step_index: int
     has_mixed: bool = False
     alternates: tuple[str, ...] = ()
     non_compensatable: bool = False
+    recoverability: str = Recoverability.EXACT
 
     @property
     def kind(self) -> EntryKind:

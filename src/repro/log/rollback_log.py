@@ -51,6 +51,7 @@ from repro.log.entries import (
     EndOfStepEntry,
     LogEntry,
     OperationEntry,
+    Recoverability,
     SavepointEntry,
 )
 from repro.log.modes import LoggingMode, SRODiff, sro_apply, sro_compose
@@ -398,6 +399,37 @@ class RollbackLog:
             if isinstance(entry, EndOfStepEntry) and entry.non_compensatable:
                 return entry
         return None
+
+    def choose_rollback_point(self, sp_id: str) -> Optional[str]:
+        """The deepest reachable target for a rollback request to ``sp_id``.
+
+        Consults the per-step :class:`~repro.log.entries.Recoverability`
+        annotations: walking from the newest entry down towards
+        SP(spID), an EOS annotated ``unrecoverable`` stops the walk —
+        the effective target becomes the nearest savepoint *above* that
+        step (the last one seen on the way down), or ``None`` when no
+        savepoint lies above it.  Returns ``sp_id`` itself when no
+        unrecoverable step blocks the path.
+
+        Steps marked ``non_compensatable`` are not handled here — they
+        are a hard stop, checked separately via
+        :meth:`blocking_non_compensatable` before this adjustment runs.
+        """
+        stop = self._sp_position(sp_id)
+        if stop is None:
+            raise UsageError(f"no savepoint {sp_id!r} in log")
+        candidate: Optional[str] = None
+        for position in range(len(self._entries) - 1, stop - 1, -1):
+            entry = self._entry_at(position)
+            if isinstance(entry, SavepointEntry):
+                if position == stop:
+                    return sp_id
+                candidate = entry.sp_id
+            elif (isinstance(entry, EndOfStepEntry)
+                    and getattr(entry, "recoverability", Recoverability.EXACT)
+                    == Recoverability.UNRECOVERABLE):
+                return candidate
+        return sp_id
 
     # -- SRO restoration ------------------------------------------------------------------
 

@@ -1,0 +1,37 @@
+"""Structured tool-agent scenarios with semantic compensations.
+
+The scenario pack pairs the rollback machinery with DART-style
+*semantic* compensations and per-step recoverability annotations
+(``exact`` / ``semantic`` / ``unrecoverable`` — see
+:class:`repro.log.entries.Recoverability`): refunds that keep a fee,
+reservations that release with a penalty, promises that can only be
+cancelled by notification, and shipments nothing can take back —
+the rollback driver ratchets past those to the nearest savepoint.
+
+Importing this package registers the ``scn.*`` compensating operations
+in the process-global registry (workers re-register on unpickle import,
+so scenario agents run on every backend).  The seeded workload
+generator over these scenarios lives in :mod:`repro.fuzz`.
+"""
+
+from repro.scenarios import ops
+from repro.scenarios.agent import (
+    CUSTOMER_SEED,
+    OP_KINDS,
+    SEMANTIC_OPS,
+    SHARED_ACCOUNTS,
+    ScenarioAgent,
+    StepSpec,
+)
+from repro.scenarios.ops import INJECT_BUG_ENV
+
+__all__ = [
+    "CUSTOMER_SEED",
+    "INJECT_BUG_ENV",
+    "OP_KINDS",
+    "SEMANTIC_OPS",
+    "SHARED_ACCOUNTS",
+    "ScenarioAgent",
+    "StepSpec",
+    "ops",
+]

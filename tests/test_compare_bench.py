@@ -80,6 +80,43 @@ def test_missing_fresh_artifact_is_a_gate_error(fresh_copy):
     assert code == 2
 
 
+def test_missing_baseline_file_exits_3_with_distinct_message(
+        fresh_copy, tmp_path):
+    """A gated file whose committed baseline is absent must not be
+    silently skipped: exit 3 (distinct from regression=1 / env=2) and
+    say which file to commit."""
+    partial = tmp_path / "baselines"
+    partial.mkdir()
+    for name in GATED_FILES:
+        if name != "BENCH_journal.json":
+            shutil.copy(BASELINES / name, partial / name)
+    report = tmp_path / "report.md"
+    code = compare_bench.main(["--fresh", str(fresh_copy),
+                               "--baseline", str(partial),
+                               "--report", str(report)])
+    assert code == 3
+    text = report.read_text()
+    assert "**FAIL**" in text
+    assert "NO-BASELINE" in text
+    assert "BENCH_journal.json" in text
+    assert "commit" in text
+
+
+def test_missing_fresh_artifact_outranks_missing_baseline(fresh_copy,
+                                                          tmp_path):
+    """When both problems exist, the environment error (2) wins — a
+    bench that did not even run must be fixed first."""
+    partial = tmp_path / "baselines"
+    partial.mkdir()
+    for name in GATED_FILES:
+        if name != "BENCH_journal.json":
+            shutil.copy(BASELINES / name, partial / name)
+    (fresh_copy / "BENCH_sharded_scale.json").unlink()
+    code = compare_bench.main(["--fresh", str(fresh_copy),
+                               "--baseline", str(partial)])
+    assert code == 2
+
+
 def test_quick_full_mode_mismatch_is_a_gate_error(fresh_copy):
     path = fresh_copy / "BENCH_serialization.json"
     data = json.loads(path.read_text())

@@ -1,0 +1,49 @@
+"""Replay the committed fuzz regression corpus (tier-1).
+
+Every ``tests/fuzz_corpus/seed-*.json`` stores a full serialised
+:class:`~repro.fuzz.FuzzCase` — not just a seed — so entries stay
+replayable even after the generator evolves past the version that
+found them.  Each entry is cross-checked on the unsharded and the
+in-process sharded backend plus the model oracle; the multiprocess
+backend runs the same cases through the differential suite's soak
+tier, keeping this replay cheap enough for every CI run.
+
+A new divergence found by the nightly fuzz lane gets added here:
+``python -m repro fuzz --repro <string>`` to confirm, then serialise
+the case (see docs/fuzzing.md).
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.fuzz import FuzzCase, case_digest, check_case, validate_case
+
+CORPUS_DIR = pathlib.Path(__file__).parent / "fuzz_corpus"
+ENTRIES = sorted(CORPUS_DIR.glob("seed-*.json"))
+
+
+def load(path):
+    return json.loads(path.read_text())
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_is_well_formed(path):
+    data = load(path)
+    case = FuzzCase.from_json(data)
+    validate_case(case)
+    # The committed digest pins the case bytes: an accidental hand-edit
+    # of an entry fails here instead of silently weakening the corpus.
+    assert case_digest(case) == data["digest"], path.name
+
+
+@pytest.mark.parametrize("path", ENTRIES, ids=lambda p: p.stem)
+def test_corpus_entry_replays_clean(path):
+    case = FuzzCase.from_json(load(path))
+    failures = check_case(case, backends=("world", "sharded"))
+    assert failures == [], f"{path.name}: {failures}"

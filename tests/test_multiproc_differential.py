@@ -193,6 +193,33 @@ def test_crash_resume_from_reopened_file_journal(tmp_path):
                         journal_factory=factory)
 
 
+# -- generated workloads: the fuzzer feeds the same harness -----------------------
+#
+# The fixed scenarios above pin known-interesting schedules; the seeded
+# fuzzer (:mod:`repro.fuzz`) generates arbitrary itineraries over the
+# semantic scenario pack — rollbacks across ship ratchets, fee-bearing
+# compensations, node crashes, shard outages — and runs the same
+# three-backend cross-check *plus* the model oracle.  The quick tier
+# replays two seeds chosen (by a coverage scan) to exercise the
+# ratchet-adjusted rollback and the semantic-residue paths; the soak
+# tier sweeps wide.
+
+
+@pytest.mark.parametrize("seed", (8, 11))
+def test_generated_workload_differential(seed):
+    from repro.fuzz import run_seed
+
+    assert run_seed(seed) == []
+
+
+@pytest.mark.soak
+@pytest.mark.parametrize("seed", range(0, 50, 2))
+def test_generated_seed_sweep_differential(seed):
+    from repro.fuzz import run_seed
+
+    assert run_seed(seed) == []
+
+
 # -- soak tier: the full seed sweep ------------------------------------------------
 
 

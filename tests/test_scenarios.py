@@ -1,0 +1,218 @@
+"""The scenario pack: semantic compensations + recoverability levels.
+
+Three layers under test:
+
+* ``RollbackLog.choose_rollback_point`` — the pure ratchet rule that
+  picks the nearest savepoint above the newest unrecoverable step;
+* the driver integration — a requested rollback across a ``ship`` step
+  lands on the ratchet savepoint, counts ``rollback.adjusted``, and a
+  rollback with *no* savepoint above the unrecoverable step fails the
+  agent instead of livelocking;
+* the semantic compensations themselves — refund-minus-fee and
+  release-with-penalty leave their residue in the fees/penalties
+  accounts and in the agent's WRO, and the model oracle agrees.
+"""
+
+import pytest
+
+from repro import AgentStatus, MobileAgent, Recoverability, RollbackMode
+from repro.errors import UsageError
+from repro.fuzz import FuzzCase, check_case
+from repro.log.entries import (
+    BeginOfStepEntry,
+    EndOfStepEntry,
+    SavepointEntry,
+)
+from repro.log.rollback_log import RollbackLog
+from repro.scenarios import ScenarioAgent, StepSpec
+from repro.fuzz.runner import build_case_world, run_case_on
+
+from tests.helpers import build_line_world
+
+
+# -- choose_rollback_point: the pure ratchet rule ---------------------------------
+
+
+def build_log(*specs):
+    """specs: ("sp", id) | ("step", index, recoverability)."""
+    log = RollbackLog()
+    for spec in specs:
+        if spec[0] == "sp":
+            log.append(SavepointEntry(sp_id=spec[1], mode="state",
+                                      payload={}, virtual=False))
+        else:
+            _, index, level = spec
+            log.append(BeginOfStepEntry(node="n", step_index=index))
+            log.append(EndOfStepEntry(node="n", step_index=index,
+                                      recoverability=level))
+    return log
+
+
+def test_choose_point_is_identity_without_unrecoverable_steps():
+    log = build_log(("sp", "a"), ("step", 0, Recoverability.EXACT),
+                    ("step", 1, Recoverability.SEMANTIC))
+    assert log.choose_rollback_point("a") == "a"
+
+
+def test_choose_point_ratchets_to_savepoint_above_unrecoverable():
+    log = build_log(("sp", "a"), ("step", 0, Recoverability.EXACT),
+                    ("step", 1, Recoverability.UNRECOVERABLE),
+                    ("sp", "c"), ("step", 2, Recoverability.EXACT))
+    assert log.choose_rollback_point("a") == "c"
+    # Requesting the ratchet point itself is already safe.
+    assert log.choose_rollback_point("c") == "c"
+
+
+def test_choose_point_uses_newest_unrecoverable_step():
+    log = build_log(("sp", "a"), ("step", 0, Recoverability.UNRECOVERABLE),
+                    ("sp", "b"), ("step", 1, Recoverability.UNRECOVERABLE),
+                    ("sp", "c"), ("step", 2, Recoverability.EXACT))
+    assert log.choose_rollback_point("a") == "c"
+    assert log.choose_rollback_point("b") == "c"
+
+
+def test_choose_point_none_when_no_savepoint_above():
+    log = build_log(("sp", "a"), ("step", 0, Recoverability.EXACT),
+                    ("step", 1, Recoverability.UNRECOVERABLE))
+    assert log.choose_rollback_point("a") is None
+
+
+def test_choose_point_unknown_savepoint_raises():
+    with pytest.raises(UsageError):
+        build_log(("sp", "a")).choose_rollback_point("missing")
+
+
+# -- driver integration -----------------------------------------------------------
+
+
+def scenario_case(steps, *, seed=0, n_nodes=3, mode="optimized"):
+    from repro.fuzz.generator import GENERATOR_VERSION, AgentPlan
+
+    return FuzzCase(version=GENERATOR_VERSION, seed=seed, n_nodes=n_nodes,
+                    n_shards=3, mode=mode, horizon=120.0,
+                    agents=[AgentPlan(agent_id="ag0", steps=steps)])
+
+
+def run_world(case):
+    from repro.agent.packages import Protocol
+
+    world = build_case_world(case, "world")
+    for plan in case.agents:
+        agent = ScenarioAgent(plan.agent_id, plan.steps)
+        world.launch(agent, at=plan.steps[0].node, method="step",
+                     mode=RollbackMode(case.mode),
+                     protocol=Protocol.FAULT_TOLERANT)
+    world.run(until=case.horizon)
+    return world
+
+
+RATCHET_STEPS = [
+    StepSpec(op="purchase", node="n0", amount=100, savepoint=True),
+    StepSpec(op="book", node="n1", amount=200, fee=20),
+    StepSpec(op="ship", node="n2", amount=300),
+    StepSpec(op="purchase", node="n0", amount=50),
+    StepSpec(op="rollback", node="n1", target="sp0"),
+]
+
+
+def test_rollback_across_ship_lands_on_ratchet_savepoint():
+    """sp0 is requested, but the ship at position 2 is unrecoverable:
+    the driver adjusts the target to rt2 and compensates only position
+    3.  The shipped money stays gone; the model oracle predicts the
+    same surface."""
+    case = scenario_case(RATCHET_STEPS)
+    world = run_world(case)
+    outcome = world.outcomes()["ag0"]
+    assert outcome["status"] == "finished"
+    assert outcome["result"]["undone"] == [3]
+    assert world.metrics.count("rollback.adjusted") == 1
+    assert any(details["requested"] == "sp0"
+               and details["savepoint"] == "rt2"
+               for _, _, details in world.metrics.events("rollback-adjusted"))
+    assert check_case(case, backends=("world",)) == []
+
+
+def test_semantic_compensations_leave_fee_and_penalty_residue():
+    """Un-book and un-reserve are *semantic*: the customer gets the
+    amount minus fee/penalty back, the residue lands in the fees and
+    penalties accounts, and the WRO records what was lost."""
+    steps = [
+        StepSpec(op="book", node="n0", amount=200, fee=15, savepoint=True),
+        StepSpec(op="purchase", node="n1", amount=100),
+        StepSpec(op="reserve", node="n2", amount=150, penalty=10),
+        StepSpec(op="rollback", node="n0", target="sp0"),
+    ]
+    case = scenario_case(steps)
+    world = run_world(case)
+    outcome = world.outcomes()["ag0"]
+    assert outcome["status"] == "finished"
+    result = outcome["result"]
+    assert result["fees_lost"] == 0        # the booked step itself survives
+    assert result["penalties_lost"] == 10  # the reserve was compensated
+    assert sorted(result["undone"]) == [1, 2]
+    record = run_case_on(case, "world")
+    totals = {account: sum(per_node.get(account, 0)
+                           for per_node in record["balances"].values())
+              for account in ("fees", "penalties")}
+    assert totals == {"fees": 0, "penalties": 10}
+    assert world.metrics.count("compensation.semantic_steps") >= 1
+    assert check_case(case, backends=("world",)) == []
+
+
+class UnrescuableShipper(MobileAgent):
+    """Ships (unrecoverable) without constituting any savepoint above —
+    so no partial-rollback point exists and the rollback must fail the
+    agent rather than spin."""
+
+    def first(self, ctx):
+        ctx.savepoint("start")
+        ctx.goto("n1", "ship")
+
+    def ship(self, ctx):
+        ctx.resource("bank").deposit("a", 5)
+        ctx.annotate_recoverability(Recoverability.UNRECOVERABLE)
+        ctx.goto("n0", "regret")
+
+    def regret(self, ctx):
+        ctx.rollback("start")
+
+
+def test_unrecoverable_without_landing_savepoint_fails_agent():
+    world = build_line_world(2)
+    record = world.launch(UnrescuableShipper("doomed"), at="n0",
+                          method="first", mode=RollbackMode.BASIC)
+    world.run(max_events=500_000)
+    assert record.status is AgentStatus.FAILED
+    assert "unrecoverable" in record.failure
+    # The block was detected at initiation: nothing was compensated.
+    assert world.metrics.count("compensation.tx_attempted") == 0
+
+
+class BadAnnotator(MobileAgent):
+    def first(self, ctx):
+        try:
+            ctx.annotate_recoverability("sorta-reversible")
+        except UsageError as exc:
+            ctx.finish({"rejected": str(exc)})
+
+
+def test_annotate_recoverability_rejects_unknown_level():
+    world = build_line_world(1)
+    record = world.launch(BadAnnotator("picky"), at="n0", method="first",
+                          mode=RollbackMode.BASIC)
+    world.run(max_events=100_000)
+    assert record.status is AgentStatus.FINISHED
+    assert "sorta-reversible" in record.result["rejected"]
+
+
+def test_old_eos_entries_default_to_exact():
+    """Blobs pickled before the annotation existed restore with
+    ``recoverability == "exact"``: the dataclass default doubles as the
+    class attribute an old instance falls back to."""
+    import pickle
+
+    entry = EndOfStepEntry(node="n", step_index=0)
+    assert pickle.loads(pickle.dumps(entry)).recoverability == \
+        Recoverability.EXACT
+    del entry.__dict__["recoverability"]  # simulate an old blob's state
+    assert entry.recoverability == Recoverability.EXACT
