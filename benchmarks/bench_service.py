@@ -1,0 +1,279 @@
+"""EVAL-SERVICE — gateway throughput, launch latency, and parity.
+
+The world-as-a-service tentpole's performance claims, measured against
+a live in-process gateway (stdlib asyncio HTTP + SSE):
+
+* **parity** — one seeded tour launched over HTTP into each backend
+  (``world``, ``sharded``, ``proc``) must produce the identical
+  per-agent outcome and trace digest as the same ``(WorldSpec,
+  LaunchSpec)`` pair run scripted.  Gated ``equal`` — the gateway is
+  not allowed to perturb a single bit of the run.
+* **load** — a threaded load generator sustains launches against one
+  hosted world while an SSE subscription timestamps each ``agent``
+  outcome event; reports sustained requests/second and the p50/p99
+  launch-to-outcome latency.  Wall-clock metrics get generous bands
+  (CI machines are noisy); the completion count is exact.
+
+Emits ``benchmarks/results/BENCH_service.json``; the bench-regression
+gate (``compare_bench.py``) pins the parity flags and completion count
+exactly and bands req/s and p99.
+
+``BENCH_QUICK=1`` shrinks the workload for smoke runs.
+"""
+
+import asyncio
+import json
+import os
+import threading
+import time
+import urllib.error
+import urllib.request
+
+from repro.bench import format_table
+from repro.service import (
+    Gateway,
+    LaunchSpec,
+    WorldSpec,
+    build_world,
+    resolve_launch,
+)
+
+from bench_paths import results_dir
+
+QUICK = bool(os.environ.get("BENCH_QUICK"))
+
+PARITY_SEED = 11
+PARITY_STEPS = 4 if QUICK else 6
+LOAD_LAUNCHES = 8 if QUICK else 48
+LOAD_WORKERS = 2 if QUICK else 4
+LOAD_STEPS = 4
+
+RESULTS_DIR = results_dir()
+JSON_PATH = RESULTS_DIR / "BENCH_service.json"
+
+
+def record_json(section, payload):
+    """Merge one section into the shared JSON artifact."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    data = {}
+    if JSON_PATH.exists():
+        data = json.loads(JSON_PATH.read_text())
+    data[section] = payload
+    data["quick_mode"] = QUICK
+    JSON_PATH.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+
+
+class LiveGateway:
+    """The gateway on a loop thread + blocking HTTP/SSE helpers."""
+
+    def __init__(self, **kwargs):
+        self.gateway = Gateway(**kwargs)
+        self.base = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self):
+        async def run():
+            host, port = await self.gateway.start("127.0.0.1", 0)
+            self.base = f"http://{host}:{port}"
+            self._ready.set()
+            await self.gateway.serve_forever()
+
+        self.loop = asyncio.new_event_loop()
+        try:
+            self.loop.run_until_complete(run())
+        finally:
+            self.loop.close()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(10), "gateway never bound"
+        return self
+
+    def __exit__(self, *exc):
+        future = asyncio.run_coroutine_threadsafe(
+            self.gateway.shutdown(), self.loop)
+        future.result(timeout=120)
+        self._thread.join(timeout=10)
+
+    def request(self, method, path, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(self.base + path, data=data,
+                                     method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=60) as resp:
+                return resp.status, json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            return exc.code, json.loads(exc.read().decode())
+
+
+def scripted_run(world_json, launch_json, agent_id):
+    """The scripted twin of one gateway launch (shared build path)."""
+    wspec = WorldSpec.from_json(dict(world_json))
+    lspec = LaunchSpec.from_json(dict(launch_json))
+    world, _journal = build_world(wspec)
+    try:
+        resolved = resolve_launch(lspec, wspec, agent_id)
+        world.launch(resolved.agent, at=resolved.at,
+                     method=resolved.method, **resolved.kwargs)
+        world.run()
+        return (json.loads(json.dumps(world.outcomes(), default=repr)),
+                list(world.trace_digests()))
+    finally:
+        if hasattr(world, "close"):
+            world.close()
+
+
+def gateway_run(gw, world_json, launch_json):
+    """One launch over HTTP, drained; returns (agent, outcomes, digests)."""
+    status, made = gw.request("POST", "/worlds", world_json)
+    assert status == 201, made
+    wid = made["world"]
+    status, launched = gw.request("POST", f"/worlds/{wid}/launch",
+                                  launch_json)
+    assert status == 202, launched
+    agent = launched["agent"]
+    deadline = time.monotonic() + 120
+    while time.monotonic() < deadline:
+        status, snap = gw.request("GET", f"/worlds/{wid}/agents/{agent}")
+        if snap.get("status") in ("finished", "failed"):
+            break
+        time.sleep(0.01)
+    status, drained = gw.request("DELETE", f"/worlds/{wid}")
+    assert status == 200, drained
+    return agent, drained["agents"], drained["trace_digests"]
+
+
+def test_eval_service_parity(benchmark, record_table):
+    def measure():
+        rows, verdicts = [], {}
+        with LiveGateway() as gw:
+            for backend in ("world", "sharded", "proc"):
+                wjson = {"backend": backend, "nodes": 4, "n_shards": 2,
+                         "seed": PARITY_SEED}
+                ljson = {"steps": PARITY_STEPS, "mode": "optimized",
+                         "mixed_fraction": 0.25}
+                t0 = time.perf_counter()
+                agent, got_out, got_dig = gateway_run(gw, wjson, ljson)
+                gw_s = time.perf_counter() - t0
+                want_out, want_dig = scripted_run(wjson, ljson, agent)
+                identical = (got_out == want_out and got_dig == want_dig)
+                verdicts[backend] = identical
+                status = got_out.get(agent, {}).get("status")
+                rows.append([backend, status, identical,
+                             got_dig, round(gw_s, 3)])
+        return rows, verdicts
+
+    rows, verdicts = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        ["backend", "status", "gateway == scripted", "trace digests",
+         "gateway run (s)"],
+        rows,
+        title=f"EVAL-SERVICE parity: {PARITY_STEPS}-step tour, "
+              f"seed {PARITY_SEED}, HTTP vs scripted")
+    record_table("service_parity", table)
+    record_json("parity", {
+        "seed": PARITY_SEED,
+        "steps": PARITY_STEPS,
+        "world_identical": verdicts["world"],
+        "sharded_identical": verdicts["sharded"],
+        "proc_identical": verdicts["proc"],
+    })
+    assert all(verdicts.values()), verdicts
+
+
+def test_eval_service_load(benchmark, record_table):
+    def measure():
+        arrivals = {}
+        starts = {}
+        arrived = threading.Event()
+        with LiveGateway(max_inflight=LOAD_LAUNCHES + 1) as gw:
+            status, made = gw.request(
+                "POST", "/worlds",
+                {"backend": "world", "nodes": 4, "seed": 5})
+            assert status == 201, made
+            wid = made["world"]
+
+            def watch_sse():
+                # Timestamp every terminal-agent event off the live
+                # stream: launch-to-outcome = agent event - POST start.
+                with urllib.request.urlopen(
+                        f"{gw.base}/worlds/{wid}/events",
+                        timeout=300) as resp:
+                    event = None
+                    for raw in resp:
+                        line = raw.decode().strip()
+                        if line.startswith("event:"):
+                            event = line.split(":", 1)[1].strip()
+                        elif line.startswith("data:") and event == "agent":
+                            data = json.loads(line.split(":", 1)[1])
+                            arrivals.setdefault(data["agent"],
+                                                time.perf_counter())
+                            if len(arrivals) >= LOAD_LAUNCHES:
+                                arrived.set()
+                                return
+                        elif line.startswith("event: end"):
+                            return
+
+            watcher = threading.Thread(target=watch_sse, daemon=True)
+            watcher.start()
+            time.sleep(0.1)  # let the subscription attach
+
+            def worker(ids):
+                for agent_id in ids:
+                    starts[agent_id] = time.perf_counter()
+                    while True:
+                        status, body = gw.request(
+                            "POST", f"/worlds/{wid}/launch",
+                            {"steps": LOAD_STEPS, "agent_id": agent_id})
+                        if status != 429:
+                            break
+                        time.sleep(0.01)
+                    assert status == 202, body
+
+            ids = [f"ld-{k}" for k in range(LOAD_LAUNCHES)]
+            lanes = [ids[w::LOAD_WORKERS] for w in range(LOAD_WORKERS)]
+            t0 = time.perf_counter()
+            threads = [threading.Thread(target=worker, args=(lane,))
+                       for lane in lanes]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+            posted_s = time.perf_counter() - t0
+            assert arrived.wait(240), \
+                f"only {len(arrivals)}/{LOAD_LAUNCHES} outcomes arrived"
+            total_s = time.perf_counter() - t0
+            watcher.join(timeout=10)
+            status, snap = gw.request("GET", f"/worlds/{wid}")
+            finished = sum(1 for o in snap["agents"].values()
+                           if o["status"] == "finished")
+            gw.request("DELETE", f"/worlds/{wid}")
+        latencies = sorted((arrivals[a] - starts[a]) * 1000.0
+                           for a in arrivals)
+        p50 = latencies[len(latencies) // 2]
+        p99 = latencies[min(len(latencies) - 1,
+                            int(len(latencies) * 0.99))]
+        return {
+            "launches": LOAD_LAUNCHES,
+            "workers": LOAD_WORKERS,
+            "steps": LOAD_STEPS,
+            "completed": finished,
+            "post_req_per_s": round(LOAD_LAUNCHES / posted_s, 1),
+            "outcome_per_s": round(LOAD_LAUNCHES / total_s, 1),
+            "p50_ms": round(p50, 1),
+            "p99_ms": round(p99, 1),
+        }
+
+    result = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table = format_table(
+        ["launches", "workers", "completed", "POST req/s",
+         "outcomes/s", "p50 (ms)", "p99 (ms)"],
+        [[result["launches"], result["workers"], result["completed"],
+          result["post_req_per_s"], result["outcome_per_s"],
+          result["p50_ms"], result["p99_ms"]]],
+        title=f"EVAL-SERVICE load: {LOAD_LAUNCHES} launches x "
+              f"{LOAD_STEPS} steps over {LOAD_WORKERS} client threads")
+    record_table("service_load", table)
+    record_json("load", result)
+    assert result["completed"] == LOAD_LAUNCHES

@@ -28,7 +28,8 @@ Refreshing baselines after an intentional perf change::
         benchmarks/bench_cross_shard_ft.py \
         benchmarks/bench_multiproc_shards.py \
         benchmarks/bench_journal.py \
-        benchmarks/bench_fuzz_differential.py
+        benchmarks/bench_fuzz_differential.py \
+        benchmarks/bench_service.py
 
 (which rewrites ``benchmarks/results/BENCH_*.json`` in place) — then
 commit the changed JSONs with a note in the PR.
@@ -154,6 +155,18 @@ SPECS = [
     Spec("BENCH_fuzz_differential.json", "sweep.seeds_per_minute",
          "higher", 0.3),
     Spec("BENCH_fuzz_differential.json", "tri.divergences", "equal"),
+    # World-as-a-service gateway: the parity flags are the whole
+    # contract — a launch streamed over HTTP must be bit-identical to
+    # the scripted run on every backend — and every load launch must
+    # reach a terminal outcome.  Requests/second and the p99
+    # launch-to-outcome latency are wall-clock on a threaded client,
+    # so they only guard against a collapse.
+    Spec("BENCH_service.json", "parity.world_identical", "equal"),
+    Spec("BENCH_service.json", "parity.sharded_identical", "equal"),
+    Spec("BENCH_service.json", "parity.proc_identical", "equal"),
+    Spec("BENCH_service.json", "load.completed", "equal"),
+    Spec("BENCH_service.json", "load.post_req_per_s", "higher", 0.25),
+    Spec("BENCH_service.json", "load.p99_ms", "lower", 4.0),
 ]
 
 

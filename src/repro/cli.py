@@ -19,6 +19,12 @@ metrics a platform operator would want.  Commands:
     cross-check all three execution backends against each other and
     against the model oracle (``--seed-range A:B``), or replay one
     failing seed from its repro string (``--repro fuzz:v1:seed=N``).
+``serve``
+    Run the world-as-a-service HTTP gateway: create worlds with
+    ``POST /worlds``, launch agents with ``POST /worlds/{id}/launch``,
+    stream live telemetry from ``GET /worlds/{id}/events`` (SSE).
+    SIGTERM/SIGINT drain gracefully (epoch finishes, journal commits,
+    shm rings close).
 
 All scenarios are deterministic per ``--seed``.
 """
@@ -221,6 +227,13 @@ def cmd_fuzz(args) -> int:
     except ValueError:
         print(f"--seed-range must be A:B, got {args.seed_range!r}")
         return 2
+    if stop <= start:
+        # A vacuous "all 0 seeds clean" exit 0 on 5:5 / 10:3 would let a
+        # typo'd CI sweep pass without fuzzing anything.
+        shape = "empty" if stop == start else "inverted"
+        print(f"--seed-range must satisfy A < B, got {args.seed_range!r} "
+              f"({shape} range — zero seeds would be fuzzed)")
+        return 2
 
     def progress(seed, messages):
         marker = "DIVERGED" if messages else "ok"
@@ -248,6 +261,52 @@ def cmd_fuzz(args) -> int:
     return 0
 
 
+def _serve_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8472,
+                        help="bind port; 0 picks a free one (default 8472)")
+    parser.add_argument("--max-inflight", type=int, default=8,
+                        help="per-tenant in-flight launch cap before "
+                             "429 + Retry-After (default 8)")
+    parser.add_argument("--max-pending", type=int, default=64,
+                        help="per-world queued-launch cap (default 64)")
+    parser.add_argument("--retry-after", type=float, default=1.0,
+                        help="Retry-After seconds on 429 (default 1.0)")
+    parser.add_argument("--metrics-every", type=int, default=16,
+                        help="emit a metrics SSE event every N epochs "
+                             "(default 16)")
+    parser.add_argument("--drain-timeout", type=float, default=30.0,
+                        help="seconds to wait for each world to drain "
+                             "on shutdown (default 30)")
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.service import serve
+
+    if args.port < 0 or args.port > 65535:
+        print(f"--port must be in [0, 65535], got {args.port}")
+        return 2
+    for name in ("max_inflight", "max_pending"):
+        if getattr(args, name) < 1:
+            print(f"--{name.replace('_', '-')} must be >= 1, got "
+                  f"{getattr(args, name)}")
+            return 2
+    try:
+        asyncio.run(serve(
+            args.host, args.port,
+            max_inflight=args.max_inflight,
+            max_pending=args.max_pending,
+            retry_after=args.retry_after,
+            metrics_every=args.metrics_every,
+            drain_timeout=args.drain_timeout))
+    except KeyboardInterrupt:  # pragma: no cover - direct ^C fallback
+        pass
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -266,6 +325,10 @@ def build_parser() -> argparse.ArgumentParser:
         "fuzz", help="differential fuzzing across the three backends")
     _fuzz_args(fuzz)
     fuzz.set_defaults(fn=cmd_fuzz)
+    srv = sub.add_parser(
+        "serve", help="run the world-as-a-service HTTP gateway")
+    _serve_args(srv)
+    srv.set_defaults(fn=cmd_serve)
     return parser
 
 

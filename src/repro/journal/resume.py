@@ -105,6 +105,13 @@ def _build_world(config: dict[str, Any], journal: WorldJournal):
     from repro.node.sharded import ShardedWorld
 
     backend = config.get("backend")
+    live = config.get("live_attach")
+    if live is not None:
+        raise UsageError(
+            f"journal was attached to an already-running world (at "
+            f"t={live.get('at')}, {live.get('events_processed')} events "
+            f"in) and lacks the run's prefix — it is a telemetry/audit "
+            f"journal, not a resumable one")
     kwargs = restore(config["world_kwargs"])
     if backend == "world":
         return World(seed=config["seed"], journal=journal,

@@ -142,6 +142,7 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import traceback
+import warnings
 from typing import Any, Optional
 
 from repro.errors import LockConflict, UsageError, WorkerDied, WorkerError
@@ -172,6 +173,31 @@ from repro.tx.locks import LockManager
 
 def _dumps(obj: Any) -> bytes:
     return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def _teardown_step(what: str, fn, *exc_types: type) -> bool:
+    """Run one best-effort teardown action, surfacing (not hiding) failure.
+
+    Teardown must keep going — a failed pipe close must not leave shm
+    segments behind — but it must not *hide* failures either: a leaked
+    ``psm_*`` segment is undiagnosable if the unlink error vanished into
+    ``except Exception: pass``.  Each suppressed failure therefore bumps
+    ``serialization.STATS["teardown.suppressed"]`` and emits a
+    :class:`ResourceWarning` naming the step.  Only the expected
+    ``exc_types`` are caught; anything else propagates.
+
+    Returns ``True`` when ``fn`` completed without raising.
+    """
+    try:
+        fn()
+    except exc_types as exc:
+        serialization.STATS["teardown.suppressed"] += 1
+        warnings.warn(
+            f"suppressed teardown failure in {what}: "
+            f"{type(exc).__name__}: {exc}",
+            ResourceWarning, stacklevel=2)
+        return False
+    return True
 
 #: Fields of an AgentRecord that change while an agent runs; a cheap
 #: fingerprint over them decides whether a record delta must ship
@@ -729,13 +755,16 @@ def _worker_entry(conn, config: dict[str, Any]) -> None:
             if ring is None:
                 continue
             if reason == "shutdown":
-                ring.close()  # the coordinator unlinks on close()
+                # The coordinator unlinks on close().
+                _teardown_step(f"worker ring close ({ring.name})",
+                               ring.close, OSError, BufferError)
             else:
                 # Orphaned (coordinator SIGKILLed) or torn down without
                 # a shutdown: nobody else is left to unlink — destroy
                 # the segments so they cannot leak (the shared resource
                 # tracker would catch them too; unlink is idempotent).
-                ring.unlink()
+                _teardown_step(f"worker ring unlink ({ring.name})",
+                               ring.unlink, OSError, BufferError)
 
 
 # ---------------------------------------------------------------------------
@@ -1068,23 +1097,35 @@ class ProcShardedWorld:
     # -- lifecycle ----------------------------------------------------------------
 
     def close(self) -> None:
-        """Shut the worker processes down (idempotent)."""
+        """Shut the worker processes down (idempotent).
+
+        Teardown is best-effort — one dead worker must not stop the
+        others from being shut down or their segments from being
+        unlinked — but every suppressed failure is counted in
+        ``serialization.STATS["teardown.suppressed"]`` and surfaced as
+        a :class:`ResourceWarning` (see :func:`_teardown_step`), so a
+        leaked ``psm_*`` segment or stuck pipe leaves a trail.
+        """
         if self._closed:
             return
         self._closed = True
         for handle in self._handles:
-            try:
-                handle.send("shutdown", {})
-            except WorkerDied:
-                pass
+            # A WorkerDied here already unlinked the rings (_died);
+            # it is the one expected failure of a shutdown send.
+            _teardown_step(f"shutdown send to shard {handle.shard}",
+                           lambda h=handle: h.send("shutdown", {}),
+                           WorkerDied)
         for handle in self._handles:
             handle.process.join(timeout=5)
             if handle.process.is_alive():
-                handle.process.terminate()
-            handle.conn.close()
+                _teardown_step(f"terminate of shard {handle.shard}",
+                               handle.process.terminate, OSError)
+            _teardown_step(f"pipe close of shard {handle.shard}",
+                           handle.conn.close, OSError)
             # The coordinator owns segment destruction: by now the
             # worker has closed (or been terminated off) its mappings.
-            handle.unlink_rings()
+            _teardown_step(f"ring unlink of shard {handle.shard}",
+                           handle.unlink_rings, OSError, BufferError)
 
     def __enter__(self) -> "ProcShardedWorld":
         return self
@@ -1093,10 +1134,12 @@ class ProcShardedWorld:
         self.close()
 
     def __del__(self):  # pragma: no cover - best-effort teardown
-        try:
-            self.close()
-        except Exception:
-            pass
+        # GC can collect a half-constructed facade (failed spawn) before
+        # ``_closed`` exists; anything beyond that is close()'s job and
+        # close() already narrows + surfaces its own failures.
+        if getattr(self, "_closed", None) is False:
+            _teardown_step("ProcShardedWorld.__del__ close", self.close,
+                           OSError, RuntimeError)
 
     # -- topology -----------------------------------------------------------------
 
@@ -1355,85 +1398,125 @@ class ProcShardedWorld:
         schedule = self._schedule()
         replay = iter(_replay) if _replay is not None else None
         for _ in range(max_epochs):
-            running = [h for h in self._handles if not h.suspended]
-            next_times = [t for t in (h.peek for h in running)
-                          if t is not None]
-            next_times += [o.restart_at for o in self._due_restarts()]
-            # Routed-but-unshipped inbox items will schedule kernel
-            # events the moment they are applied; the in-process driver
-            # sees those through the destination's peek right after its
-            # flush, so barrier selection must account for them here or
-            # the two drivers walk different barrier sequences.
-            for shard, items in enumerate(self._staged_items):
-                if self._suspended[shard]:
-                    continue  # frozen kernel: events wait for a revival
-                now = self._handles[shard].now
-                next_times += [max(transfer.at, now)
-                               for action, transfer in items
-                               if action == "deliver"
-                               and transfer.kind in ("package", "shadow")]
-            if not next_times:
-                if any(self._staged_items):
-                    # Ship the routed inboxes; applying them may wake
-                    # kernels (durable deliveries, retained retries).
-                    self._cycle(barrier=None, schedule=schedule, run=False,
-                                max_events=max_events_per_epoch, revives={})
-                    continue
-                if self.bridge.pending():
-                    # Retained shadow retries and forwards committed on
-                    # the last epoch's final event must still resolve.
-                    self._route(self.now)
-                    continue
-                self._sync_records()
-                self._journal_final_commit()
+            if not self._step(until, max_events_per_epoch, schedule,
+                              replay):
                 return
-            soonest = min(next_times)
-            if until is not None and soonest > until:
-                # Cap every running kernel's clock at `until`; no flush
-                # (mirrors the in-process driver), but staged inboxes
-                # from the last flush still ship with the command.
-                self._cycle(barrier=until, schedule=schedule, run=True,
-                            max_events=max_events_per_epoch, revives={},
-                            cap_to_now=True)
-                self._sync_records()
-                return
-            if replay is not None:
-                barrier = next(replay, None)
-                if barrier is None:
-                    return  # replayed prefix complete
-            else:
-                floor_now = max((h.now for h in running), default=self.now)
-                barrier = next_epoch_barrier(soonest, self.epoch,
-                                             floor_now)
-                if until is not None and barrier > until:
-                    barrier = until
-            revives: dict[int, tuple] = {}
-            for outage in self._due_restarts():
-                if outage.restart_at <= barrier:
-                    outage.revived = True
-                    self._suspended[outage.shard] = False
-                    revives[outage.shard] = (
-                        outage.restart_at,
-                        self.bridge.take_backlog(outage.shard))
-            self._cycle(barrier=barrier, schedule=schedule, run=True,
-                        max_events=max_events_per_epoch, revives=revives)
-            kill = self._kill_due(barrier)
-            if kill == "barrier":
-                # Mid-barrier crash: the workers executed the epoch and
-                # their outboxes were collected, but the marker is torn
-                # and the routed inboxes never ship — recovery falls
-                # back one barrier.
-                self._journal_commit(barrier, torn=True)
-                from repro.errors import WorldKilled
-                raise WorldKilled(barrier, "barrier")
-            self._route(barrier)
-            self.epochs_run += 1
-            self._journal_commit(barrier)
-            if kill == "commit":
-                from repro.errors import WorldKilled
-                raise WorldKilled(barrier, "commit")
         raise UsageError(
             f"sharded run exceeded {max_epochs} epochs; likely livelock")
+
+    def _step(self, until: Optional[float], max_events_per_epoch: int,
+              schedule: str, replay) -> bool:
+        """One iteration of the lockstep loop; False when nothing is left."""
+        running = [h for h in self._handles if not h.suspended]
+        next_times = [t for t in (h.peek for h in running)
+                      if t is not None]
+        next_times += [o.restart_at for o in self._due_restarts()]
+        # Routed-but-unshipped inbox items will schedule kernel
+        # events the moment they are applied; the in-process driver
+        # sees those through the destination's peek right after its
+        # flush, so barrier selection must account for them here or
+        # the two drivers walk different barrier sequences.
+        for shard, items in enumerate(self._staged_items):
+            if self._suspended[shard]:
+                continue  # frozen kernel: events wait for a revival
+            now = self._handles[shard].now
+            next_times += [max(transfer.at, now)
+                           for action, transfer in items
+                           if action == "deliver"
+                           and transfer.kind in ("package", "shadow")]
+        if not next_times:
+            if any(self._staged_items):
+                # Ship the routed inboxes; applying them may wake
+                # kernels (durable deliveries, retained retries).
+                self._cycle(barrier=None, schedule=schedule, run=False,
+                            max_events=max_events_per_epoch, revives={})
+                return True
+            if self.bridge.pending():
+                # Retained shadow retries and forwards committed on
+                # the last epoch's final event must still resolve.
+                self._route(self.now)
+                return True
+            self._sync_records()
+            self._journal_final_commit()
+            return False
+        soonest = min(next_times)
+        if until is not None and soonest > until:
+            # Cap every running kernel's clock at `until`; no flush
+            # (mirrors the in-process driver), but staged inboxes
+            # from the last flush still ship with the command.
+            self._cycle(barrier=until, schedule=schedule, run=True,
+                        max_events=max_events_per_epoch, revives={},
+                        cap_to_now=True)
+            self._sync_records()
+            return False
+        if replay is not None:
+            barrier = next(replay, None)
+            if barrier is None:
+                return False  # replayed prefix complete
+        else:
+            floor_now = max((h.now for h in running), default=self.now)
+            barrier = next_epoch_barrier(soonest, self.epoch,
+                                         floor_now)
+            if until is not None and barrier > until:
+                barrier = until
+        revives: dict[int, tuple] = {}
+        for outage in self._due_restarts():
+            if outage.restart_at <= barrier:
+                outage.revived = True
+                self._suspended[outage.shard] = False
+                revives[outage.shard] = (
+                    outage.restart_at,
+                    self.bridge.take_backlog(outage.shard))
+        self._cycle(barrier=barrier, schedule=schedule, run=True,
+                    max_events=max_events_per_epoch, revives=revives)
+        kill = self._kill_due(barrier)
+        if kill == "barrier":
+            # Mid-barrier crash: the workers executed the epoch and
+            # their outboxes were collected, but the marker is torn
+            # and the routed inboxes never ship — recovery falls
+            # back one barrier.
+            self._journal_commit(barrier, torn=True)
+            from repro.errors import WorldKilled
+            raise WorldKilled(barrier, "barrier")
+        self._route(barrier)
+        self.epochs_run += 1
+        self._journal_commit(barrier)
+        if kill == "commit":
+            from repro.errors import WorldKilled
+            raise WorldKilled(barrier, "commit")
+        return True
+
+    def step_epoch(self, max_events_per_epoch: int = 10_000_000) -> bool:
+        """Advance one lockstep iteration; False once every worker is idle.
+
+        The reentrant twin of :meth:`run` (same contract as
+        :meth:`~repro.node.sharded.ShardedWorld.step_epoch`): each call
+        walks one iteration of the identical deterministic barrier
+        sequence — advancing the workers, routing the bridge, group-
+        committing the journal — or resolves a pending staged-inbox
+        ship/bridge flush without advancing the clock (still True).
+        False means drained: records synced, journal final-committed.
+        Idle calls are repeatable; a later :meth:`launch` makes the
+        next call True again.
+        """
+        if self._closed:
+            raise UsageError("world is closed")
+        return self._step(None, max_events_per_epoch, self._schedule(),
+                          None)
+
+    def attach_journal(self, journal: "WorldJournal") -> None:
+        """Not supported on the process-backed facade — constructor only.
+
+        Worker processes bake ``journal_capture`` into their spawn
+        config, so capture hooks cannot be wired after the fact without
+        restarting every worker.  Pass ``journal=`` to the
+        :class:`ProcShardedWorld` constructor instead (the service
+        gateway does exactly that).
+        """
+        raise UsageError(
+            "ProcShardedWorld cannot attach a journal to live workers "
+            "(capture mode is baked into the spawn config); pass "
+            "journal= to the constructor instead")
 
     def _sync_records(self) -> None:
         """Pull every worker's pending record deltas into the merged

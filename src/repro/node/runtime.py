@@ -220,13 +220,7 @@ class World:
             RollbackMode.SAGA: SagaRollback(self),
         }
         if self._journal_capture:
-            ledger = self.ft.ledger
-
-            def _ledger_note(op, key, value):
-                self.journal_note("store", store=ledger.name, op=op,
-                                  key=key, value=value)
-
-            ledger.on_mutate = _ledger_note
+            self._wire_ledger_hook()
         if journal is not None and journal.armed \
                 and not journal.config_written:
             from repro.storage.serialization import capture
@@ -352,6 +346,95 @@ class World:
 
         node.stable.on_mutate = _store_note
         node.queue.on_journal = _queue_note
+
+    def _wire_ledger_hook(self) -> None:
+        """Route step-ledger mutations into the payload channel."""
+        ledger = self.ft.ledger
+
+        def _ledger_note(op, key, value):
+            self.journal_note("store", store=ledger.name, op=op,
+                              key=key, value=value)
+
+        ledger.on_mutate = _ledger_note
+
+    def attach_journal(self, journal: "WorldJournal",
+                       journal_epoch: Optional[float] = None) -> None:
+        """Start journaling a *live* world from this moment on.
+
+        The constructor knob makes a world a journaling coordinator for
+        its whole lifetime; this seam arms one mid-flight — the service
+        gateway uses it to give every hosted world a telemetry journal
+        without rebuilding it.  Capture hooks are wired onto every
+        existing node (and the step ledger), the config record carries a
+        ``live_attach`` marker with the attach position, and subsequent
+        ops, payload notes and epoch barriers commit exactly as if the
+        journal had been passed to the constructor.
+
+        A live-attached journal is an *audit/telemetry* journal: it does
+        not contain the pre-attach prefix of the run, so
+        :func:`~repro.journal.resume_world` refuses it (a pristine
+        world — nothing launched, no event processed — attaches with a
+        normal resumable config instead).
+
+        Raises:
+            UsageError: A journal is already attached.
+        """
+        if self.journal is not None:
+            raise UsageError("world already has a journal attached")
+        if journal_epoch is not None:
+            if journal_epoch <= 0:
+                raise UsageError(
+                    f"journal_epoch must be positive, got {journal_epoch}")
+            self.journal_epoch = journal_epoch
+        pristine = (self.sim.events_processed == 0 and not self.nodes
+                    and not self.agents)
+        self.journal = journal
+        self._journal_capture = True
+        self._owns_ops = True
+        for node in self.nodes.values():
+            self._wire_journal_hooks(node)
+        self._wire_ledger_hook()
+        if journal.armed and not journal.config_written:
+            from repro.storage.serialization import capture
+            config: dict[str, Any] = dict(
+                backend="world", seed=self.sim._seed,
+                journal_epoch=self.journal_epoch,
+                world_kwargs=capture({
+                    "timing": self.timing, "net_params": self.net_params,
+                    "logging_mode": self.logging_mode,
+                    "retry_policy": self.retry_policy,
+                    "ft_params": self.ft_params,
+                    "registry": None if self.registry is GLOBAL_REGISTRY
+                    else self.registry}))
+            if not pristine:
+                config["live_attach"] = {
+                    "events_processed": self.sim.events_processed,
+                    "at": self.sim.now}
+            journal.record_config(**config)
+
+    def detach_journal(self) -> "WorldJournal":
+        """Stop journaling: final group commit, unhook, hand back.
+
+        The inverse of :meth:`attach_journal` (and of the constructor
+        knob): buffered payload notes are committed under one last
+        barrier, every capture hook is unwired, and the journal is
+        returned to the caller — the world keeps running unjournaled.
+
+        Raises:
+            UsageError: No journal is attached.
+        """
+        if self.journal is None:
+            raise UsageError("world has no journal attached")
+        self._journal_final_commit()
+        journal, self.journal = self.journal, None
+        self._journal_capture = False
+        self._owns_ops = False
+        self._journal_notes.clear()
+        for node in self.nodes.values():
+            node.stable.on_mutate = None
+            node.queue.on_journal = None
+        self.ft.ledger.on_mutate = None
+        return journal
 
     # -- topology -------------------------------------------------------------------
 
@@ -579,27 +662,48 @@ class World:
         if self.journal is None:
             self.sim.run(until=until, max_events=max_events)
             return
-        from repro.node.sharded import next_epoch_barrier
-        while True:
-            soonest = self.sim.peek_time()
-            if soonest is None:
-                break
-            if until is not None and soonest > until:
-                break
-            barrier = next_epoch_barrier(soonest, self.journal_epoch,
-                                         self.sim.now)
-            if until is not None and barrier > until:
-                barrier = until
-            self.sim.run_epoch(barrier, max_events=max_events)
-            kill = self._kill_due(barrier)
-            self._journal_commit(barrier, torn=(kill == "barrier"))
-            if kill is not None:
-                from repro.errors import WorldKilled
-                raise WorldKilled(barrier, kill)
-        self._journal_final_commit()
+        while self._step(until, max_events):
+            pass
         if until is not None:
             # Idle advance to ``until``, matching the plain path.
             self.sim.run(until=until, max_events=max_events)
+
+    def _step(self, until: Optional[float], max_events: int) -> bool:
+        """One barrier of the epoch-ized run loop; False when drained."""
+        from repro.node.sharded import next_epoch_barrier
+        soonest = self.sim.peek_time()
+        if soonest is None or (until is not None and soonest > until):
+            self._journal_final_commit()
+            return False
+        barrier = next_epoch_barrier(soonest, self.journal_epoch,
+                                     self.sim.now)
+        if until is not None and barrier > until:
+            barrier = until
+        self.sim.run_epoch(barrier, max_events=max_events)
+        kill = self._kill_due(barrier)
+        self._journal_commit(barrier, torn=(kill == "barrier"))
+        if kill is not None:
+            from repro.errors import WorldKilled
+            raise WorldKilled(barrier, kill)
+        return True
+
+    def step_epoch(self, max_events: int = 10_000_000) -> bool:
+        """Advance exactly one epoch barrier; False once the world is idle.
+
+        The reentrant twin of :meth:`run`: each call executes the next
+        barrier of the *same* deterministic epoch grid the journaled run
+        loop walks (``journal_epoch`` spacing, shared
+        :func:`~repro.node.sharded.next_epoch_barrier` arithmetic), with
+        the same group commit and ``kill_world`` check per barrier —
+        ``run()`` is exactly ``while world.step_epoch(): pass``, so a
+        stepped run and a straight run of the same seed produce
+        identical event order, outcomes and trace digests.  Long-lived
+        hosts (the service gateway) interleave launches and telemetry
+        reads between calls.  Idle calls (False) are safe and repeated:
+        new work scheduled later — another :meth:`launch` — simply makes
+        the next call return True again.
+        """
+        return self._step(None, max_events)
 
     def all_done(self) -> bool:
         """True when no agent is still running."""

@@ -599,6 +599,7 @@ class ShardedWorld:
             raise UsageError(f"epoch must be positive, got {epoch}")
         self.epoch = epoch
         self.journal = journal
+        self._world_kwargs = dict(world_kwargs)
         self._kill_plan: Optional[tuple[float, str]] = None
         if journal is not None and journal.armed \
                 and not journal.config_written:
@@ -744,6 +745,70 @@ class ShardedWorld:
         if self.journal is not None and self.journal.armed:
             self.journal.record_op(op, **data)
 
+    def attach_journal(self, journal: "WorldJournal") -> None:
+        """Start journaling a *live* sharded world from this moment on.
+
+        The facade twin of :meth:`~repro.node.runtime.World.
+        attach_journal`: every shard switches into capture mode
+        (payload notes buffer straight into ``journal``), capture hooks
+        are wired onto each shard's existing nodes and ledger replica,
+        and subsequent ops and barrier group commits land exactly as if
+        the journal had been passed to the constructor.  A non-pristine
+        attach records a ``live_attach`` marker, making the journal
+        telemetry-only (:func:`~repro.journal.resume_world` refuses it).
+
+        Raises:
+            UsageError: A journal is already attached.
+        """
+        if self.journal is not None:
+            raise UsageError("world already has a journal attached")
+        pristine = (not self._node_shard and not self.agents
+                    and all(w.sim.events_processed == 0
+                            for w in self.shards))
+        self.journal = journal
+        for index, world in enumerate(self.shards):
+            world._journal_capture = True
+            world.journal = journal
+            world.journal_shard = index
+            for node in world.nodes.values():
+                world._wire_journal_hooks(node)
+            world._wire_ledger_hook()
+        if journal.armed and not journal.config_written:
+            from repro.storage.serialization import capture
+            config: dict[str, Any] = dict(
+                backend="sharded", seed=self.seed,
+                n_shards=self.n_shards, epoch=self.epoch,
+                lockstep=self.lockstep,
+                world_kwargs=capture(self._world_kwargs))
+            if not pristine:
+                config["live_attach"] = {
+                    "events_processed": sum(w.sim.events_processed
+                                            for w in self.shards),
+                    "at": self.now}
+            journal.record_config(**config)
+
+    def detach_journal(self) -> "WorldJournal":
+        """Stop journaling: final group commit, unhook every shard.
+
+        Returns the journal; the world keeps running unjournaled.
+
+        Raises:
+            UsageError: No journal is attached.
+        """
+        if self.journal is None:
+            raise UsageError("world has no journal attached")
+        self._journal_final_commit()
+        journal, self.journal = self.journal, None
+        for world in self.shards:
+            world._journal_capture = False
+            world.journal = None
+            world._journal_notes.clear()
+            for node in world.nodes.values():
+                node.stable.on_mutate = None
+                node.queue.on_journal = None
+            world.ft.ledger.on_mutate = None
+        return journal
+
     def _journal_digest(self) -> tuple:
         """Per-shard event counts at the barrier — the commit digest."""
         return tuple(w.sim.events_processed for w in self.shards)
@@ -884,68 +949,90 @@ class ShardedWorld:
         verbatim instead of re-deriving it, and returns once exhausted.
         """
         replay = iter(_replay) if _replay is not None else None
-        journaling = self.journal is not None
         for _ in range(max_epochs):
-            running = [w for w in self.shards if not w.sim.suspended]
-            next_times = [t for t in (w.sim.peek_time() for w in running)
-                          if t is not None]
-            next_times += [o.restart_at for o in self._due_restarts()]
-            if not next_times:
-                if self.bridge.pending():
-                    # Retained shadow retries and forwards committed on
-                    # the last epoch's final event must still resolve.
-                    self.bridge.flush(self.shards, self.now)
-                    self.last_flush_at = self.now
-                    continue
-                self._journal_final_commit()
-                return  # every live kernel drained, nothing left to bridge
-            soonest = min(next_times)
-            if until is not None and soonest > until:
-                for world in running:
-                    world.sim.run_epoch(max(until, world.sim.now))
+            if not self._step(until, max_events_per_epoch, replay):
                 return
-            if replay is not None:
-                barrier = next(replay, None)
-                if barrier is None:
-                    return  # replayed prefix complete
-            else:
-                # A revival may be due before the clocks of the running
-                # shards (they advanced while the dead kernel froze);
-                # the barrier can never move backwards.
-                floor_now = max((w.sim.now for w in running),
-                                default=self.now)
-                barrier = next_epoch_barrier(soonest, self.epoch,
-                                             floor_now)
-                if until is not None and barrier > until:
-                    barrier = until
-            for outage in self._due_restarts():
-                if outage.restart_at <= barrier:
-                    self._revive(outage)
-            for world in self.shards:
-                if world.sim.suspended:
-                    continue
-                world.sim.run_epoch(barrier,
-                                    max_events=max_events_per_epoch)
-            kill = self._kill_due(barrier)
-            if kill == "barrier":
-                # Mid-barrier crash: the epoch ran and its payload
-                # notes are buffered, but the marker is torn and the
-                # bridge never scatters — recovery falls back one
-                # barrier.
-                self._journal_commit(barrier, torn=True)
-                from repro.errors import WorldKilled
-                raise WorldKilled(barrier, "barrier")
-            moved = self.bridge.flush(self.shards, barrier)
-            self.last_flush_at = barrier
-            self.epochs_run += 1
-            if moved and journaling and self.journal.armed:
-                self.journal.buffer("bridge", moved=moved, barrier=barrier)
-            self._journal_commit(barrier)
-            if kill == "commit":
-                from repro.errors import WorldKilled
-                raise WorldKilled(barrier, "commit")
         raise UsageError(
             f"sharded run exceeded {max_epochs} epochs; likely livelock")
+
+    def _step(self, until: Optional[float], max_events_per_epoch: int,
+              replay) -> bool:
+        """One iteration of the lockstep loop; False when nothing is left."""
+        running = [w for w in self.shards if not w.sim.suspended]
+        next_times = [t for t in (w.sim.peek_time() for w in running)
+                      if t is not None]
+        next_times += [o.restart_at for o in self._due_restarts()]
+        if not next_times:
+            if self.bridge.pending():
+                # Retained shadow retries and forwards committed on
+                # the last epoch's final event must still resolve.
+                self.bridge.flush(self.shards, self.now)
+                self.last_flush_at = self.now
+                return True
+            self._journal_final_commit()
+            return False  # every live kernel drained, nothing to bridge
+        soonest = min(next_times)
+        if until is not None and soonest > until:
+            for world in running:
+                world.sim.run_epoch(max(until, world.sim.now))
+            return False
+        if replay is not None:
+            barrier = next(replay, None)
+            if barrier is None:
+                return False  # replayed prefix complete
+        else:
+            # A revival may be due before the clocks of the running
+            # shards (they advanced while the dead kernel froze);
+            # the barrier can never move backwards.
+            floor_now = max((w.sim.now for w in running),
+                            default=self.now)
+            barrier = next_epoch_barrier(soonest, self.epoch,
+                                         floor_now)
+            if until is not None and barrier > until:
+                barrier = until
+        for outage in self._due_restarts():
+            if outage.restart_at <= barrier:
+                self._revive(outage)
+        for world in self.shards:
+            if world.sim.suspended:
+                continue
+            world.sim.run_epoch(barrier,
+                                max_events=max_events_per_epoch)
+        kill = self._kill_due(barrier)
+        if kill == "barrier":
+            # Mid-barrier crash: the epoch ran and its payload
+            # notes are buffered, but the marker is torn and the
+            # bridge never scatters — recovery falls back one
+            # barrier.
+            self._journal_commit(barrier, torn=True)
+            from repro.errors import WorldKilled
+            raise WorldKilled(barrier, "barrier")
+        moved = self.bridge.flush(self.shards, barrier)
+        self.last_flush_at = barrier
+        self.epochs_run += 1
+        if moved and self.journal is not None and self.journal.armed:
+            self.journal.buffer("bridge", moved=moved, barrier=barrier)
+        self._journal_commit(barrier)
+        if kill == "commit":
+            from repro.errors import WorldKilled
+            raise WorldKilled(barrier, "commit")
+        return True
+
+    def step_epoch(self, max_events_per_epoch: int = 10_000_000) -> bool:
+        """Advance one lockstep iteration; False once every shard is idle.
+
+        The reentrant twin of :meth:`run` (which is exactly
+        ``while self.step_epoch(): pass`` bounded by ``max_epochs``):
+        each call picks the next barrier on the same deterministic grid,
+        advances every live kernel to it, flushes the bridge and group-
+        commits the journal, so a stepped run reproduces a straight
+        run's event order, outcomes and trace digests bit for bit.  A
+        call may also resolve a pending bridge flush without advancing
+        the clock — still True — and returns False only when every live
+        kernel is drained and nothing is left to bridge.  Idle calls are
+        repeatable; a later :meth:`launch` makes the next call True.
+        """
+        return self._step(None, max_events_per_epoch, None)
 
     # -- results ----------------------------------------------------------------------------
 

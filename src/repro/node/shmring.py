@@ -66,6 +66,7 @@ driver auto-falls back to pipe mode when segment creation fails.
 from __future__ import annotations
 
 import struct
+import warnings
 import zlib
 from dataclasses import replace
 from multiprocessing import shared_memory
@@ -172,10 +173,19 @@ class ShmRing:
 
     def close(self) -> None:
         if self.shm is not None:
+            name = self.shm.name
             try:
                 self.shm.close()
-            except (OSError, BufferError):  # pragma: no cover - teardown
-                pass
+            except (OSError, BufferError) as exc:  # pragma: no cover
+                # Exported memoryviews can pin the mapping (BufferError)
+                # and the munmap itself can fail (OSError).  Closing must
+                # stay best-effort, but not silent: a pinned mapping is
+                # exactly the kind of leak that needs a diagnosis trail.
+                serialization.STATS["teardown.suppressed"] += 1
+                warnings.warn(
+                    f"suppressed shm close failure for ring {name}: "
+                    f"{type(exc).__name__}: {exc}",
+                    ResourceWarning, stacklevel=2)
             self.shm = None
 
     def unlink(self) -> None:
@@ -187,6 +197,20 @@ class ShmRing:
                 shm.unlink()
             except FileNotFoundError:
                 pass  # already unlinked by the other side / the tracker
+            except OSError as exc:  # pragma: no cover - platform teardown
+                serialization.STATS["teardown.suppressed"] += 1
+                warnings.warn(
+                    f"suppressed shm unlink failure for ring {shm.name}: "
+                    f"{type(exc).__name__}: {exc} — segment may be leaked",
+                    ResourceWarning, stacklevel=2)
+
+    def __del__(self):  # pragma: no cover - GC teardown
+        # ``attach`` can fail before ``__init__`` ran (bad name raises
+        # inside SharedMemory), leaving a partially-constructed object
+        # without ``self.shm``; an unconditional close() would then turn
+        # the real error into a masking AttributeError at GC time.
+        if getattr(self, "shm", None) is not None:
+            self.close()
 
 
 # ---------------------------------------------------------------------------

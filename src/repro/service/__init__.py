@@ -1,0 +1,32 @@
+"""World-as-a-service: asyncio gateway hosting live sharded worlds.
+
+See :mod:`repro.service.gateway` for the HTTP surface,
+:mod:`repro.service.host` for the stepper-thread bridge between the
+synchronous epoch-barrier drivers and the event loop, and
+:mod:`repro.service.worlds` for the shared world/launch construction
+path that makes gateway runs bit-identical to scripted runs.
+"""
+
+from repro.service.gateway import Gateway, serve
+from repro.service.host import AdmissionFull, HostClosed, Subscription, WorldHost
+from repro.service.worlds import (
+    LaunchSpec,
+    ResolvedLaunch,
+    WorldSpec,
+    build_world,
+    resolve_launch,
+)
+
+__all__ = [
+    "AdmissionFull",
+    "Gateway",
+    "HostClosed",
+    "LaunchSpec",
+    "ResolvedLaunch",
+    "Subscription",
+    "WorldHost",
+    "WorldSpec",
+    "build_world",
+    "resolve_launch",
+    "serve",
+]

@@ -1,0 +1,510 @@
+"""The world host: a stepper thread bridging sync worlds to asyncio.
+
+The epoch-barrier drivers are synchronous and blocking; the gateway is
+an asyncio event loop.  :class:`WorldHost` owns one live world and runs
+it on a dedicated **stepper thread** via the reentrant
+``step_epoch()`` seam (PR 10), interleaving between barriers:
+
+* **launch hand-off** — HTTP launch requests enqueue
+  :class:`_LaunchCmd` objects on a *bounded* command queue; the stepper
+  applies them between epochs (so launches serialize in arrival order
+  on the barrier grid) and signals the waiting request thread;
+* **admission control** — per-tenant in-flight caps and the bounded
+  queue itself reject overload with :class:`AdmissionFull`, which the
+  gateway maps to ``429`` + ``Retry-After``;
+* **telemetry fan-out** — after each barrier the host emits structured
+  events (``epoch`` per journal group commit, ``agent`` per terminal
+  outcome, ``timeline`` deltas, periodic ``metrics`` snapshots) to
+  every :class:`Subscription`.  Subscriber queues are bounded and
+  *never* block the stepper: a slow client drops events (counted in
+  ``events.dropped``), it does not stall the world;
+* **graceful drain** — :meth:`drain` stops admission, lets the
+  in-flight epoch finish, group-commits any buffered journal tail,
+  emits a final ``drain`` event carrying outcomes and trace digests,
+  and closes the world (which unlinks shm rings on the process
+  backend).
+
+Every read of world state (snapshots, agent lookups) takes the same
+lock the stepper holds across one barrier, so observers only ever see
+barrier-consistent state.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.errors import UsageError
+from repro.node.runtime import AgentStatus
+from repro.service.worlds import (
+    LaunchSpec,
+    ResolvedLaunch,
+    WorldSpec,
+    build_world,
+    resolve_launch,
+)
+
+
+class AdmissionFull(Exception):
+    """The launch was rejected by admission control (HTTP 429)."""
+
+    def __init__(self, message: str, retry_after: float):
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+class HostClosed(Exception):
+    """The host is draining or closed (HTTP 503)."""
+
+
+@dataclass
+class _LaunchCmd:
+    resolved: ResolvedLaunch
+    spec: LaunchSpec
+    done: threading.Event = field(default_factory=threading.Event)
+    result: Optional[dict[str, Any]] = None
+    error: Optional[BaseException] = None
+
+
+class Subscription:
+    """One bounded event feed off a :class:`WorldHost`.
+
+    Async subscribers (the SSE handler) pass their event loop: the
+    stepper thread posts events via ``call_soon_threadsafe`` into a
+    bounded :class:`asyncio.Queue`.  Sync subscribers (tests, benches)
+    pass no loop and read a bounded :class:`queue.Queue`.  Either way a
+    full queue **drops** the event and counts it — backpressure never
+    propagates to the stepper.  A ``None`` item marks the end of the
+    stream (host drained).
+    """
+
+    def __init__(self, depth: int = 256,
+                 loop: Optional[asyncio.AbstractEventLoop] = None):
+        self.loop = loop
+        self.dropped = 0
+        self.closed = False
+        if loop is None:
+            self._sync: Optional[queue.Queue] = queue.Queue(maxsize=depth)
+            self._async: Optional[asyncio.Queue] = None
+        else:
+            self._sync = None
+            self._async = asyncio.Queue(maxsize=depth)
+
+    # -- producer side (stepper thread) -------------------------------------------
+
+    def offer(self, item: Optional[dict[str, Any]]) -> None:
+        if self.closed:
+            return
+        if self._sync is not None:
+            try:
+                self._sync.put_nowait(item)
+            except queue.Full:
+                self.dropped += 1
+            return
+        loop = self.loop
+        assert loop is not None
+        try:
+            loop.call_soon_threadsafe(self._offer_async, item)
+        except RuntimeError:  # loop already closed mid-drain
+            self.closed = True
+
+    def _offer_async(self, item: Optional[dict[str, Any]]) -> None:
+        assert self._async is not None
+        try:
+            self._async.put_nowait(item)
+        except asyncio.QueueFull:
+            self.dropped += 1
+
+    # -- consumer side ------------------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[dict]:
+        """Sync read (None ⇒ stream over); raises ``queue.Empty``."""
+        assert self._sync is not None, "async subscription: use aget()"
+        return self._sync.get(timeout=timeout)
+
+    async def aget(self) -> Optional[dict[str, Any]]:
+        """Async read (None ⇒ stream over)."""
+        assert self._async is not None, "sync subscription: use get()"
+        return await self._async.get()
+
+
+class WorldHost:
+    """One live world + its stepper thread + its subscribers.
+
+    Knobs (all per world): ``max_inflight`` — per-tenant cap on
+    launched-but-unfinished agents; ``max_pending`` — bound of the
+    launch hand-off queue; ``retry_after`` — seconds suggested to
+    rejected clients; ``sub_depth`` — per-subscriber event queue bound;
+    ``metrics_every`` — barriers between ``metrics`` events;
+    ``launch_timeout`` — how long a launch request waits for the
+    stepper to apply its command.
+    """
+
+    def __init__(self, world_id: str, spec: WorldSpec, *,
+                 max_inflight: int = 8, max_pending: int = 64,
+                 retry_after: float = 1.0, sub_depth: int = 512,
+                 metrics_every: int = 16, launch_timeout: float = 30.0,
+                 idle_wait: float = 0.05):
+        self.world_id = world_id
+        self.spec = spec
+        self.max_inflight = max_inflight
+        self.retry_after = retry_after
+        self.sub_depth = sub_depth
+        self.metrics_every = metrics_every
+        self.launch_timeout = launch_timeout
+        self.idle_wait = idle_wait
+        self.world, self.journal = build_world(spec)
+        self._commands: queue.Queue = queue.Queue(maxsize=max_pending)
+        #: Guards world state across one barrier (stepper) and during
+        #: snapshot reads (request handlers).
+        self._world_lock = threading.Lock()
+        #: Guards subscriber/retained-event/admission bookkeeping.
+        self._meta_lock = threading.Lock()
+        self._subs: list[Subscription] = []
+        self._retained: deque = deque(maxlen=1024)
+        self._seq = 0
+        self._agent_seq = 0
+        self._inflight: dict[str, set[str]] = {}
+        self._reported: set[str] = set()
+        self._commits_seen = 0
+        self._steps = 0
+        self._timeline_pos: list[int] = []
+        self._stopping = threading.Event()
+        self._drained = threading.Event()
+        #: Kicks the stepper out of its idle park (a launch arrived or
+        #: a drain began) without waiting out ``idle_wait``.
+        self._wake = threading.Event()
+        self.events_dropped = 0
+        #: Final snapshot captured at drain time, before the world
+        #: closes (the process backend cannot be queried afterwards).
+        self._final: Optional[dict[str, Any]] = None
+        self._thread = threading.Thread(
+            target=self._run, name=f"repro-host-{world_id}", daemon=True)
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> "WorldHost":
+        if not self._started:
+            self._started = True
+            self._thread.start()
+        return self
+
+    @property
+    def draining(self) -> bool:
+        return self._stopping.is_set()
+
+    def drain(self, timeout: float = 30.0) -> dict[str, Any]:
+        """Graceful shutdown: finish the epoch, commit, close, report.
+
+        Idempotent; returns the final snapshot.  Raises
+        :class:`UsageError` when the stepper fails to drain within
+        ``timeout`` (the world is then left as-is for diagnosis).
+        """
+        self._stopping.set()
+        self._wake.set()
+        if self._started:
+            self._drained.wait(timeout)
+            if not self._drained.is_set():
+                raise UsageError(
+                    f"world {self.world_id} failed to drain within "
+                    f"{timeout}s")
+        else:
+            self._shutdown()
+        return self.snapshot()
+
+    # -- admission + launch -------------------------------------------------------
+
+    def launch(self, spec: LaunchSpec) -> dict[str, Any]:
+        """Admit, enqueue and wait for one launch; returns the record.
+
+        Raises :class:`AdmissionFull` on per-tenant overflow or a full
+        hand-off queue, :class:`HostClosed` once draining.
+        """
+        if self._stopping.is_set():
+            raise HostClosed(f"world {self.world_id} is draining")
+        with self._meta_lock:
+            tenant = spec.tenant
+            inflight = self._inflight.setdefault(tenant, set())
+            if len(inflight) >= self.max_inflight:
+                raise AdmissionFull(
+                    f"tenant {tenant!r} has {len(inflight)} launches in "
+                    f"flight (max_inflight={self.max_inflight})",
+                    self.retry_after)
+            self._agent_seq += 1
+            agent_id = spec.agent_id or f"ag-{self._agent_seq}"
+            if agent_id in self.world.agents or agent_id in inflight:
+                raise UsageError(f"agent {agent_id!r} already launched")
+            inflight.add(agent_id)
+        resolved = resolve_launch(spec, self.spec, agent_id)
+        resolved.tenant = tenant
+        cmd = _LaunchCmd(resolved=resolved, spec=spec)
+        try:
+            self._commands.put_nowait(cmd)
+        except queue.Full:
+            with self._meta_lock:
+                inflight.discard(agent_id)
+            raise AdmissionFull(
+                f"launch queue full ({self._commands.maxsize} pending)",
+                self.retry_after) from None
+        self._wake.set()
+        if not cmd.done.wait(self.launch_timeout):
+            raise UsageError(
+                f"launch of {agent_id!r} not applied within "
+                f"{self.launch_timeout}s")
+        if cmd.error is not None:
+            with self._meta_lock:
+                inflight.discard(agent_id)
+            raise cmd.error
+        assert cmd.result is not None
+        return cmd.result
+
+    # -- subscriptions ------------------------------------------------------------
+
+    def subscribe(self, loop: Optional[asyncio.AbstractEventLoop] = None,
+                  replay: bool = True) -> Subscription:
+        """Attach one event feed; ``replay`` first delivers the retained
+        backlog (bounded at 1024 events), gap-free with the live tail."""
+        sub = Subscription(depth=self.sub_depth, loop=loop)
+        with self._meta_lock:
+            if replay:
+                for item in self._retained:
+                    sub.offer(item)
+            if self._drained.is_set():
+                sub.offer(None)
+            else:
+                self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        sub.closed = True
+        with self._meta_lock:
+            if sub in self._subs:
+                self._subs.remove(sub)
+            self.events_dropped += sub.dropped
+
+    def _emit(self, event: str, data: dict[str, Any]) -> None:
+        with self._meta_lock:
+            self._seq += 1
+            item = {"seq": self._seq, "event": event, "data": data}
+            self._retained.append(item)
+            for sub in self._subs:
+                sub.offer(item)
+
+    # -- snapshots ----------------------------------------------------------------
+
+    def snapshot(self) -> dict[str, Any]:
+        """Barrier-consistent world summary (the ``GET /worlds/{id}``)."""
+        with self._world_lock:
+            if self._final is not None:
+                return dict(self._final)
+            return self._snapshot_locked()
+
+    def _snapshot_locked(self) -> dict[str, Any]:
+        world = self.world
+        counters = (world.counters() if hasattr(world, "counters")
+                    else dict(world.metrics.summary()))
+        snap = {
+            "world": self.world_id,
+            "spec": self.spec.to_json(),
+            "status": ("drained" if self._drained.is_set() else
+                       "draining" if self._stopping.is_set() else
+                       "running"),
+            "now": self._now(),
+            "epochs": self._steps,
+            "agents": world.outcomes(),
+            "counters": counters,
+            "serialization_stats": world.serialization_stats(),
+            "trace_digests": world.trace_digests(),
+            "events_dropped": self.events_dropped
+            + sum(s.dropped for s in self._subs),
+        }
+        if self.journal is not None:
+            snap["journal"] = self.journal.stats()
+        return snap
+
+    def agent_snapshot(self, agent_id: str) -> dict[str, Any]:
+        with self._world_lock:
+            if self._final is not None:
+                outcome = self._final["agents"].get(agent_id)
+            else:
+                outcome = self.world.outcomes().get(agent_id)
+        if outcome is None:
+            raise UsageError(f"no agent {agent_id!r}")
+        return {"agent": agent_id, "world": self.world_id, **outcome}
+
+    def _now(self) -> float:
+        world = self.world
+        now = getattr(world, "now", None)
+        if now is None:
+            now = world.sim.now
+        return float(now) if now != float("-inf") else 0.0
+
+    # -- the stepper thread -------------------------------------------------------
+
+    def _run(self) -> None:
+        self._emit("world", {"world": self.world_id,
+                             "spec": self.spec.to_json()})
+        try:
+            while not self._stopping.is_set():
+                applied = self._apply_commands()
+                with self._world_lock:
+                    progressed = self.world.step_epoch()
+                    if progressed:
+                        self._steps += 1
+                    self._post_step(progressed)
+                if not progressed and not applied:
+                    # Idle: park until a launch arrives or drain starts.
+                    self._wake.wait(self.idle_wait)
+                    self._wake.clear()
+        except BaseException as exc:  # pragma: no cover - defensive
+            self._emit("error", {"error": f"{type(exc).__name__}: {exc}"})
+        finally:
+            self._shutdown()
+
+    def _apply_commands(self) -> bool:
+        applied = False
+        while True:
+            try:
+                cmd = self._commands.get_nowait()
+            except queue.Empty:
+                return applied
+            try:
+                with self._world_lock:
+                    record = self.world.launch(
+                        cmd.resolved.agent, at=cmd.resolved.at,
+                        method=cmd.resolved.method, **cmd.resolved.kwargs)
+                cmd.result = {
+                    "agent": record.agent_id, "world": self.world_id,
+                    "tenant": cmd.resolved.tenant,
+                    "status": record.status.value,
+                    "launched_at": self._now(),
+                }
+                self._emit("launch", dict(cmd.result))
+                applied = True
+            except BaseException as exc:
+                cmd.error = exc
+            finally:
+                cmd.done.set()
+
+    def _post_step(self, progressed: bool) -> None:
+        """Telemetry after one barrier (world lock held)."""
+        world = self.world
+        if self.journal is not None:
+            commits = self.journal.stats()["commits"]
+            while self._commits_seen < commits:
+                self._emit("epoch", {"commit": self._commits_seen,
+                                     "barrier": self._now(),
+                                     "epochs": self._steps})
+                self._commits_seen += 1
+        elif progressed:
+            self._emit("epoch", {"commit": None, "barrier": self._now(),
+                                 "epochs": self._steps})
+        self._emit_timeline()
+        for agent_id, record in world.agents.items():
+            if record.status is AgentStatus.RUNNING:
+                continue
+            if agent_id in self._reported:
+                continue
+            self._reported.add(agent_id)
+            outcome = world.outcomes().get(agent_id, {})
+            self._emit("agent", {"agent": agent_id, **outcome})
+            with self._meta_lock:
+                for inflight in self._inflight.values():
+                    inflight.discard(agent_id)
+        if progressed and self.metrics_every \
+                and self._steps % self.metrics_every == 0:
+            self._emit_metrics()
+
+    def _emit_timeline(self) -> None:
+        """Ship new per-agent timeline records (world lock held).
+
+        The single-kernel and in-process-shard backends expose live
+        :class:`~repro.sim.metrics.Metrics` timelines; the process
+        backend's live only in its workers, so there the ``agent`` /
+        ``epoch`` events are the timeline.
+        """
+        world = self.world
+        if hasattr(world, "shards"):
+            sources = [w.metrics.timeline for w in world.shards]
+        elif hasattr(world, "metrics"):
+            sources = [world.metrics.timeline]
+        else:
+            return
+        if len(self._timeline_pos) != len(sources):
+            self._timeline_pos = [0] * len(sources)
+        fresh: list[tuple[float, str, dict]] = []
+        for i, timeline in enumerate(sources):
+            fresh.extend(timeline[self._timeline_pos[i]:])
+            self._timeline_pos[i] = len(timeline)
+        if not fresh:
+            return
+        fresh.sort(key=lambda item: item[0])
+        self._emit("timeline", {"entries": [
+            {"at": at, "kind": kind, **details}
+            for at, kind, details in fresh]})
+
+    def _emit_metrics(self) -> None:
+        world = self.world
+        counters = (world.counters() if hasattr(world, "counters")
+                    else dict(world.metrics.summary()))
+        self._emit("metrics", {
+            "now": self._now(), "epochs": self._steps,
+            "counters": counters,
+            "serialization_stats": world.serialization_stats()})
+
+    def _shutdown(self) -> None:
+        """Drain tail: reject stragglers, commit, report, close."""
+        self._stopping.set()
+        while True:
+            try:
+                cmd = self._commands.get_nowait()
+            except queue.Empty:
+                break
+            cmd.error = HostClosed(f"world {self.world_id} is draining")
+            cmd.done.set()
+        with self._world_lock:
+            world = self.world
+            try:
+                if self.journal is not None:
+                    # The last idle step already group-committed a
+                    # drained world; a mid-run drain flushes its
+                    # buffered tail here.
+                    world._journal_final_commit()
+                    commits = self.journal.stats()["commits"]
+                    while self._commits_seen < commits:
+                        self._emit("epoch",
+                                   {"commit": self._commits_seen,
+                                    "barrier": self._now(),
+                                    "epochs": self._steps})
+                        self._commits_seen += 1
+                self._emit_timeline()
+                self._emit("drain", {
+                    "world": self.world_id, "now": self._now(),
+                    "epochs": self._steps, "agents": world.outcomes(),
+                    "trace_digests": world.trace_digests(),
+                    "journal": (self.journal.stats()
+                                if self.journal is not None else None),
+                })
+                final = self._snapshot_locked()
+                final["status"] = "drained"
+            except BaseException as exc:
+                # A world whose workers already died cannot be queried;
+                # still report *something* and keep the drain moving.
+                final = {"world": self.world_id,
+                         "spec": self.spec.to_json(),
+                         "status": "drained", "agents": {},
+                         "error": f"{type(exc).__name__}: {exc}"}
+                self._emit("error", dict(final))
+            self._final = final
+            if hasattr(world, "close"):
+                world.close()
+        with self._meta_lock:
+            subs, self._subs = self._subs, []
+        for sub in subs:
+            sub.offer(None)
+        self._drained.set()

@@ -52,6 +52,11 @@ PROTOCOL = pickle.HIGHEST_PROTOCOL
 #: pickle bytes in shm mode; ``frame_reused`` — frames whose bytes were
 #: reused byte-for-byte from a cached blob; ``ring_spills`` — frames
 #: that exceeded the ring budget and fell back to the pipe.
+#:
+#: ``teardown.suppressed`` counts errors swallowed during best-effort
+#: teardown (worker shutdown, shm unlink, pipe close): each one also
+#: emits a :class:`ResourceWarning`, so leaked-segment diagnosis has a
+#: counter and a message instead of a silent ``pass``.
 STATS: dict[str, int] = {
     "snapshot_fast": 0,
     "snapshot_pickle": 0,
@@ -64,6 +69,7 @@ STATS: dict[str, int] = {
     "ipc_bytes_control": 0,
     "frame_reused": 0,
     "ring_spills": 0,
+    "teardown.suppressed": 0,
 }
 
 #: The IPC-accounting subset of :data:`STATS` — the keys the process-

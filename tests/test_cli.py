@@ -56,3 +56,51 @@ def test_saga_mode_accepted(capsys):
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["nonsense"])
+
+
+def test_fuzz_rejects_malformed_seed_range(capsys):
+    code = main(["fuzz", "--seed-range", "abc"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "must be A:B" in out
+
+
+def test_fuzz_rejects_empty_seed_range(capsys):
+    # 5:5 is half-open and empty: sweeping zero seeds must not report
+    # "all clean" with exit 0 — that would let a typo'd CI job pass.
+    code = main(["fuzz", "--seed-range", "5:5"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "empty" in out and "A < B" in out
+
+
+def test_fuzz_rejects_inverted_seed_range(capsys):
+    code = main(["fuzz", "--seed-range", "10:3"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "inverted" in out and "A < B" in out
+
+
+def test_fuzz_accepts_minimal_valid_range(capsys):
+    code = main(["fuzz", "--seed-range", "0:1", "--backends", "world"])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "all 1 seeds clean" in out
+
+
+def test_serve_rejects_bad_port(capsys):
+    code = main(["serve", "--port", "70000"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "--port" in out
+
+
+def test_serve_rejects_nonpositive_caps(capsys):
+    code = main(["serve", "--port", "0", "--max-inflight", "0"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "--max-inflight" in out
+    code = main(["serve", "--port", "0", "--max-pending", "-1"])
+    out = capsys.readouterr().out
+    assert code == 2
+    assert "--max-pending" in out

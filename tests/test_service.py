@@ -1,0 +1,462 @@
+"""Tests: the world-as-a-service gateway (host + HTTP layer).
+
+The contract under test (see :mod:`repro.service`):
+
+* **spec discipline** — world/launch specs reject unknown keys and
+  out-of-range values before any world is built;
+* **gateway ≡ script** — a launch streamed through the gateway into a
+  live world produces the same per-agent outcome and trace digest as
+  the same ``(WorldSpec, LaunchSpec)`` pair run scripted;
+* **admission control** — per-tenant in-flight caps reject with
+  :class:`~repro.service.AdmissionFull` (HTTP 429 + ``Retry-After``)
+  and the world stays consistent: once the blocking agent finishes,
+  the retried launch succeeds and finishes too;
+* **event ordering** — the ``epoch`` events on a subscription carry
+  journal group-commit indices in exactly the journal's commit order;
+* **subscriber isolation** — a mid-stream disconnect cancels only that
+  subscription; the world keeps running and the outcome is identical;
+* **graceful drain** — drain finishes the epoch, flushes the journal
+  tail, emits a final ``drain`` event and ends every stream with the
+  ``None`` sentinel.
+"""
+
+import asyncio
+import json
+import queue
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import UsageError
+from repro.service import (
+    AdmissionFull,
+    Gateway,
+    HostClosed,
+    LaunchSpec,
+    WorldHost,
+    WorldSpec,
+    build_world,
+    resolve_launch,
+)
+
+pytestmark = pytest.mark.filterwarnings("ignore::ResourceWarning")
+
+
+def scripted_run(world_json, launch_json, agent_id):
+    """The scripted twin of one gateway launch (shared build path)."""
+    wspec = WorldSpec.from_json(dict(world_json))
+    lspec = LaunchSpec.from_json(dict(launch_json))
+    world, journal = build_world(wspec)
+    try:
+        resolved = resolve_launch(lspec, wspec, agent_id)
+        world.launch(resolved.agent, at=resolved.at,
+                     method=resolved.method, **resolved.kwargs)
+        world.run()
+        return dict(world.outcomes()), list(world.trace_digests())
+    finally:
+        if hasattr(world, "close"):
+            world.close()
+
+
+def wait_for_agent(host, agent_id, timeout=30.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        snap = host.agent_snapshot(agent_id)
+        if snap["status"] in ("finished", "failed"):
+            return snap
+        time.sleep(0.01)
+    raise AssertionError(f"agent {agent_id} never finished")
+
+
+# ---------------------------------------------------------------------------
+# specs
+
+
+def test_world_spec_rejects_unknown_keys():
+    with pytest.raises(UsageError, match="unknown world-spec key"):
+        WorldSpec.from_json({"backend": "world", "nodez": 4})
+
+
+def test_world_spec_rejects_bad_backend_and_sizes():
+    with pytest.raises(UsageError, match="unknown backend"):
+        WorldSpec.from_json({"backend": "quantum"})
+    with pytest.raises(UsageError, match="nodes"):
+        WorldSpec.from_json({"nodes": 1})
+    with pytest.raises(UsageError, match="journal"):
+        WorldSpec.from_json({"journal": "postgres"})
+
+
+def test_launch_spec_rejects_unknown_keys_and_values():
+    with pytest.raises(UsageError, match="unknown launch-spec key"):
+        LaunchSpec.from_json({"stepz": 5})
+    with pytest.raises(UsageError, match="steps"):
+        LaunchSpec.from_json({"steps": 1})
+    with pytest.raises(UsageError, match="unknown mode"):
+        LaunchSpec.from_json({"mode": "yolo"})
+    with pytest.raises(UsageError, match="unknown protocol"):
+        LaunchSpec.from_json({"protocol": "udp"})
+
+
+# ---------------------------------------------------------------------------
+# host: launch parity, admission, ordering, drain
+
+
+@pytest.mark.parametrize("backend", ["world", "sharded"])
+def test_host_launch_matches_scripted_run(backend):
+    wjson = {"backend": backend, "nodes": 4, "n_shards": 2, "seed": 7}
+    ljson = {"steps": 6, "mode": "optimized", "mixed_fraction": 0.3}
+    host = WorldHost("w-test", WorldSpec.from_json(wjson)).start()
+    try:
+        record = host.launch(LaunchSpec.from_json(ljson))
+        agent = record["agent"]
+        wait_for_agent(host, agent)
+    finally:
+        snap = host.drain()
+    want_out, want_dig = scripted_run(wjson, ljson, agent)
+    assert snap["agents"][agent]["status"] == "finished"
+    assert snap["agents"] == want_out
+    assert snap["trace_digests"] == want_dig
+
+
+def test_host_launch_proc_backend_matches_scripted_run():
+    wjson = {"backend": "proc", "nodes": 4, "n_shards": 2, "seed": 3}
+    ljson = {"steps": 6, "mode": "basic"}
+    host = WorldHost("w-proc", WorldSpec.from_json(wjson)).start()
+    try:
+        record = host.launch(LaunchSpec.from_json(ljson))
+        agent = record["agent"]
+        wait_for_agent(host, agent)
+    finally:
+        snap = host.drain()
+    want_out, want_dig = scripted_run(wjson, ljson, agent)
+    assert snap["agents"] == want_out
+    assert snap["trace_digests"] == want_dig
+
+
+def test_admission_cap_rejects_then_recovers():
+    """429 on overflow; after the blocker finishes, the world is fine."""
+    spec = WorldSpec.from_json({"backend": "world", "nodes": 4, "seed": 0})
+    host = WorldHost("w-adm", spec, max_inflight=1).start()
+    try:
+        # ~200 tour steps keep the blocker in flight for a wall-clock
+        # while (hundreds of epochs), so the second launch reliably
+        # hits the cap rather than racing the stepper.
+        first = host.launch(LaunchSpec(steps=200, agent_id="blocker"))
+        with pytest.raises(AdmissionFull) as excinfo:
+            host.launch(LaunchSpec(steps=4, agent_id="rejected"))
+        assert excinfo.value.retry_after == pytest.approx(1.0)
+        assert "in flight" in str(excinfo.value)
+        wait_for_agent(host, first["agent"])
+        # The rejection left no residue: the retry is admitted and runs
+        # to completion on the same, still-consistent world.
+        retried = host.launch(LaunchSpec(steps=4, agent_id="retried"))
+        outcome = wait_for_agent(host, retried["agent"])
+        assert outcome["status"] == "finished"
+    finally:
+        snap = host.drain()
+    assert "rejected" not in snap["agents"]
+    assert snap["agents"]["blocker"]["status"] == "finished"
+    assert snap["agents"]["retried"]["status"] == "finished"
+
+
+def test_epoch_events_match_journal_commit_order():
+    spec = WorldSpec.from_json({"backend": "sharded", "nodes": 4,
+                                "n_shards": 2, "seed": 5})
+    host = WorldHost("w-ord", spec)
+    sub = host.subscribe()
+    host.start()
+    record = host.launch(LaunchSpec(steps=6))
+    wait_for_agent(host, record["agent"])
+    host.drain()
+    events = []
+    while True:
+        item = sub.get(timeout=5)
+        if item is None:
+            break
+        events.append(item)
+    kinds = [item["event"] for item in events]
+    assert kinds[0] == "world"
+    assert kinds[-1] == "drain"
+    assert "launch" in kinds and "agent" in kinds
+    seqs = [item["seq"] for item in events]
+    assert seqs == sorted(seqs)
+    epochs = [item["data"] for item in events if item["event"] == "epoch"]
+    committed = [entry for kind, entry in host.journal.recover().entries
+                 if kind == "epoch"]
+    # One epoch event per journal group commit, in commit order.
+    assert [e["commit"] for e in epochs] == \
+        [c["commit"] for c in committed] == list(range(len(committed)))
+    assert [e["barrier"] for e in epochs] == \
+        [c["barrier"] for c in committed]
+
+
+def test_disconnect_cancels_only_that_subscription():
+    wjson = {"backend": "world", "nodes": 4, "seed": 9}
+    ljson = {"steps": 8, "mode": "optimized"}
+    spec = WorldSpec.from_json(wjson)
+    host = WorldHost("w-sub", spec)
+    doomed = host.subscribe()
+    keeper = host.subscribe()
+    host.start()
+    record = host.launch(LaunchSpec.from_json(ljson))
+    doomed.get(timeout=5)  # it was live...
+    host.unsubscribe(doomed)  # ...then the client went away mid-stream
+    wait_for_agent(host, record["agent"])
+    snap = host.drain()
+    # The surviving stream saw the run end; the world never noticed.
+    tail = []
+    while True:
+        item = keeper.get(timeout=5)
+        if item is None:
+            break
+        tail.append(item["event"])
+    assert "drain" in tail
+    want_out, want_dig = scripted_run(wjson, ljson, record["agent"])
+    assert snap["agents"] == want_out
+    assert snap["trace_digests"] == want_dig
+
+
+def test_subscribe_after_drain_replays_then_ends():
+    spec = WorldSpec.from_json({"backend": "world", "nodes": 4, "seed": 2})
+    host = WorldHost("w-late", spec).start()
+    record = host.launch(LaunchSpec(steps=4))
+    wait_for_agent(host, record["agent"])
+    host.drain()
+    sub = host.subscribe()
+    events = []
+    while True:
+        item = sub.get(timeout=5)
+        if item is None:
+            break
+        events.append(item["event"])
+    assert events[0] == "world"
+    assert events[-1] == "drain"
+
+
+def test_launch_after_drain_raises_host_closed():
+    spec = WorldSpec.from_json({"backend": "world", "nodes": 4, "seed": 1})
+    host = WorldHost("w-closed", spec).start()
+    host.drain()
+    with pytest.raises(HostClosed):
+        host.launch(LaunchSpec(steps=4))
+    # drain is idempotent
+    assert host.drain()["status"] == "drained"
+
+
+def test_slow_subscriber_drops_events_not_the_world():
+    spec = WorldSpec.from_json({"backend": "world", "nodes": 4, "seed": 4})
+    host = WorldHost("w-slow", spec, sub_depth=2)
+    sub = host.subscribe()  # bounded at 2 and never read until the end
+    host.start()
+    record = host.launch(LaunchSpec(steps=8))
+    wait_for_agent(host, record["agent"])
+    snap = host.drain()
+    assert snap["agents"][record["agent"]]["status"] == "finished"
+    assert sub.dropped > 0  # backpressure became drops, not a stall
+
+
+# ---------------------------------------------------------------------------
+# HTTP layer
+
+
+class GatewayFixture:
+    """A live gateway on a loop thread + blocking HTTP helpers."""
+
+    def __init__(self, **kwargs):
+        self.gateway = Gateway(**kwargs)
+        self.base = None
+        self._ready = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self):
+        async def run():
+            host, port = await self.gateway.start("127.0.0.1", 0)
+            self.base = f"http://{host}:{port}"
+            self._ready.set()
+            await self.gateway.serve_forever()
+
+        self.loop = asyncio.new_event_loop()
+        try:
+            self.loop.run_until_complete(run())
+        finally:
+            self.loop.close()
+
+    def __enter__(self):
+        self._thread.start()
+        assert self._ready.wait(10), "gateway never bound"
+        return self
+
+    def __exit__(self, *exc):
+        future = asyncio.run_coroutine_threadsafe(
+            self.gateway.shutdown(), self.loop)
+        future.result(timeout=60)
+        self._thread.join(timeout=10)
+
+    def request(self, method, path, body=None):
+        data = json.dumps(body).encode() if body is not None else None
+        req = urllib.request.Request(self.base + path, data=data,
+                                     method=method)
+        try:
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return resp.status, dict(resp.headers), \
+                    json.loads(resp.read().decode())
+        except urllib.error.HTTPError as exc:
+            return exc.code, dict(exc.headers), \
+                json.loads(exc.read().decode())
+
+    def sse(self, path, until="end", timeout=30):
+        """Read SSE frames until an event named ``until`` (inclusive)."""
+        out = []
+        with urllib.request.urlopen(self.base + path,
+                                    timeout=timeout) as resp:
+            event = data = None
+            for raw in resp:
+                line = raw.decode().strip()
+                if line.startswith("event:"):
+                    event = line.split(":", 1)[1].strip()
+                elif line.startswith("data:"):
+                    data = json.loads(line.split(":", 1)[1].strip())
+                elif not line and event is not None:
+                    out.append((event, data))
+                    if event == until:
+                        return out
+                    event = data = None
+        return out
+
+
+def test_http_end_to_end_with_sse_and_drain():
+    wjson = {"backend": "sharded", "nodes": 4, "n_shards": 2, "seed": 13}
+    ljson = {"steps": 6, "mode": "optimized"}
+    with GatewayFixture() as gw:
+        status, _, health = gw.request("GET", "/healthz")
+        assert status == 200 and health["ok"]
+        status, _, made = gw.request("POST", "/worlds", wjson)
+        assert status == 201
+        wid = made["world"]
+        status, _, listed = gw.request("GET", "/worlds")
+        assert [w["world"] for w in listed["worlds"]] == [wid]
+        status, _, launched = gw.request(
+            "POST", f"/worlds/{wid}/launch", ljson)
+        assert status == 202
+        agent = launched["agent"]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            status, _, snap = gw.request(
+                "GET", f"/worlds/{wid}/agents/{agent}")
+            assert status == 200
+            if snap["status"] in ("finished", "failed"):
+                break
+            time.sleep(0.02)
+        assert snap["status"] == "finished"
+        status, _, drained = gw.request("DELETE", f"/worlds/{wid}")
+        assert status == 200 and drained["status"] == "drained"
+        # The retained stream replays gap-free after the drain.
+        status, _, made2 = gw.request("POST", "/worlds", wjson)
+        wid2 = made2["world"]
+        gw.request("POST", f"/worlds/{wid2}/launch", ljson)
+        events = gw.sse(f"/worlds/{wid2}/events", until="agent")
+        kinds = [e for e, _ in events]
+        assert kinds[0] == "world" and "launch" in kinds
+        status, _, drained2 = gw.request("DELETE", f"/worlds/{wid2}")
+        assert drained2["agents"] == drained["agents"]
+        assert drained2["trace_digests"] == drained["trace_digests"]
+    want_out, want_dig = scripted_run(wjson, ljson, agent)
+    got = json.loads(json.dumps(drained["agents"], default=repr))
+    want = json.loads(json.dumps(want_out, default=repr))
+    assert got == want
+    assert drained["trace_digests"] == want_dig
+
+
+def test_http_admission_429_carries_retry_after():
+    with GatewayFixture(max_inflight=1, retry_after=2.5) as gw:
+        _, _, made = gw.request(
+            "POST", "/worlds", {"backend": "world", "nodes": 4, "seed": 0})
+        wid = made["world"]
+        # A long blocker (≈1s of epochs) keeps the cap occupied across
+        # the HTTP round trip of the second launch.
+        status, _, first = gw.request(
+            "POST", f"/worlds/{wid}/launch",
+            {"steps": 400, "agent_id": "blocker"})
+        assert status == 202
+        status, headers, err = gw.request(
+            "POST", f"/worlds/{wid}/launch", {"steps": 4})
+        assert status == 429
+        assert headers.get("Retry-After") == "2.5"
+        assert "in flight" in err["error"]
+        # Mid-run drain: the in-flight epoch finishes, the blocker is
+        # reported as-is, nothing hangs.
+        status, _, drained = gw.request("DELETE", f"/worlds/{wid}")
+        assert status == 200
+        assert "blocker" in drained["agents"]
+
+
+def test_http_error_mapping():
+    with GatewayFixture() as gw:
+        status, _, err = gw.request("GET", "/worlds/w99")
+        assert status == 404
+        status, _, err = gw.request("POST", "/worlds",
+                                    {"backend": "quantum"})
+        assert status == 400 and "unknown backend" in err["error"]
+        status, _, err = gw.request("POST", "/worlds", {"nodes": "four"})
+        assert status == 400
+        _, _, made = gw.request("POST", "/worlds",
+                                {"backend": "world", "nodes": 4})
+        wid = made["world"]
+        status, _, err = gw.request(
+            "GET", f"/worlds/{wid}/agents/ghost")
+        assert status == 404 or status == 400
+        status, _, err = gw.request("PATCH", f"/worlds/{wid}")
+        assert status == 405
+        status, _, err = gw.request("GET", "/nonsense")
+        assert status == 404
+
+
+def test_serve_cli_subprocess_sigterm_drains(tmp_path):
+    """`python -m repro serve` end to end: HTTP up, SIGTERM, clean exit."""
+    import os
+    import signal
+    import subprocess
+    import sys
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        filter(None, ["src", env.get("PYTHONPATH")]))
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=env)
+    try:
+        line = proc.stdout.readline()
+        assert "listening on http://" in line, line
+        base = line.strip().rsplit(" ", 1)[-1]
+
+        def request(method, path, body=None):
+            data = json.dumps(body).encode() if body is not None else None
+            req = urllib.request.Request(base + path, data=data,
+                                         method=method)
+            with urllib.request.urlopen(req, timeout=30) as resp:
+                return json.loads(resp.read().decode())
+
+        made = request("POST", "/worlds",
+                       {"backend": "sharded", "nodes": 4, "seed": 21})
+        wid = made["world"]
+        launched = request("POST", f"/worlds/{wid}/launch", {"steps": 5})
+        agent = launched["agent"]
+        deadline = time.monotonic() + 30
+        while time.monotonic() < deadline:
+            snap = request("GET", f"/worlds/{wid}/agents/{agent}")
+            if snap["status"] in ("finished", "failed"):
+                break
+            time.sleep(0.02)
+        assert snap["status"] == "finished"
+        proc.send_signal(signal.SIGTERM)
+        out, _ = proc.communicate(timeout=60)
+        assert proc.returncode == 0, out
+        assert "draining" in out and "drained" in out
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate(timeout=30)

@@ -1,0 +1,188 @@
+"""Tests: the reentrant step seam and live journal attach/detach.
+
+The contract under test (PR 10's world-as-a-service plumbing):
+
+* **step ≡ run** — on every backend, driving a world one barrier at a
+  time through ``step_epoch()`` yields byte-identical results to one
+  ``run()`` call: outcomes, per-node debits, trace digests;
+* **drained is stable** — ``step_epoch()`` on a drained (or empty)
+  world returns ``False`` and is repeatable without side effects;
+* **live attach** — ``attach_journal`` on a *pristine* world captures
+  a resumable journal, exactly as the constructor path would; on an
+  already-populated world it records a ``live_attach`` marker and
+  :func:`~repro.journal.resume.resume_world` refuses the journal
+  (telemetry-only, no prefix);
+* **detach** — ``detach_journal`` group-commits the tail, unhooks
+  every capture hook and stops the journal from growing;
+* **process backend** — the facade refuses live attach outright
+  (capture is baked into the worker spawn config).
+"""
+
+import pytest
+
+from repro.errors import UsageError
+from repro.journal import MemoryJournal, WorldJournal, resume_world
+
+from tests.helpers import (
+    FT_RING,
+    build_ft_ring,
+    launch_ft_tours,
+    ring_debits,
+)
+
+
+def make_empty(backend, seed):
+    """A bare world (no topology yet) — the pristine-attach case."""
+    from repro import Bank, FTParams, ShardedWorld, World
+    from repro.resources.bank import OverdraftPolicy
+
+    ft = FTParams(takeover_timeout=0.05)
+    if backend == "world":
+        world = World(seed=seed, ft_params=ft)
+    else:
+        world = ShardedWorld(n_shards=3, seed=seed, ft_params=ft)
+
+    def build_ring():
+        for name in FT_RING:
+            node = world.add_node(name)
+            bank = Bank("bank")
+            bank.seed_account("a", 1_000,
+                              overdraft=OverdraftPolicy.ALLOWED)
+            bank.seed_account("b", 1_000,
+                              overdraft=OverdraftPolicy.ALLOWED)
+            node.add_resource(bank)
+
+    return world, build_ring
+
+
+def run_stepped(world, max_epochs=10_000):
+    steps = 0
+    while world.step_epoch():
+        steps += 1
+        assert steps < max_epochs, "stepped run never drained"
+    return steps
+
+
+@pytest.mark.parametrize("backend", ["world", "sharded", "proc"])
+def test_step_epoch_matches_run(backend):
+    straight = build_ft_ring(backend, seed=7)
+    straight.enable_trace_digest()
+    launch_ft_tours(straight)
+    straight.run()
+
+    stepped = build_ft_ring(backend, seed=7)
+    stepped.enable_trace_digest()
+    launch_ft_tours(stepped)
+    steps = run_stepped(stepped)
+
+    assert steps > 0
+    assert stepped.outcomes() == straight.outcomes()
+    assert ring_debits(stepped) == ring_debits(straight)
+    assert stepped.trace_digests() == straight.trace_digests()
+    for world in (straight, stepped):
+        if hasattr(world, "close"):
+            world.close()
+
+
+@pytest.mark.parametrize("backend", ["world", "sharded"])
+def test_step_epoch_on_drained_world_is_stable(backend):
+    world = build_ft_ring(backend, seed=3)
+    launch_ft_tours(world)
+    run_stepped(world)
+    outcomes = world.outcomes()
+    # Drained: further steps are no-ops, not errors.
+    assert world.step_epoch() is False
+    assert world.step_epoch() is False
+    assert world.outcomes() == outcomes
+
+
+def test_step_epoch_on_empty_world_returns_false():
+    world = build_ft_ring("world", seed=1)
+    assert world.step_epoch() is False
+
+
+def test_proc_step_epoch_after_close_raises():
+    world = build_ft_ring("proc", seed=2)
+    world.close()
+    with pytest.raises(UsageError, match="closed"):
+        world.step_epoch()
+
+
+# ---------------------------------------------------------------------------
+# live attach / detach
+
+
+@pytest.mark.parametrize("backend", ["world", "sharded"])
+def test_attach_on_pristine_world_is_resumable(backend):
+    backend_store = MemoryJournal()
+    journal = WorldJournal(backend_store)
+    world, build_ring = make_empty(backend, seed=5)
+    # Pristine attach: nothing has happened yet, so the journal sees
+    # the full run prefix — exactly like the constructor path.
+    world.attach_journal(journal)
+    # Hooks must cover the topology added *after* the attach.
+    build_ring()
+    launch_ft_tours(world)
+    world.run()
+    outcomes, debits = world.outcomes(), ring_debits(world)
+    stats = journal.stats()
+    assert stats["commits"] > 1
+    assert stats["kinds"]["launch"] == 3
+    assert stats["kinds"]["add_node"] == 9
+
+    resumed = resume_world(WorldJournal(backend_store))
+    resumed.run()
+    assert resumed.outcomes() == outcomes
+    assert ring_debits(resumed) == debits
+
+
+@pytest.mark.parametrize("backend", ["world", "sharded"])
+def test_attach_on_live_world_is_telemetry_only(backend):
+    journal = WorldJournal(MemoryJournal())
+    world = build_ft_ring(backend, seed=5, alternates=False)
+    # Topology already exists: the journal lacks the run's prefix.
+    world.attach_journal(journal)
+    launch_ft_tours(world)
+    world.run()
+    assert journal.stats()["commits"] > 0
+    config = journal.recover().config
+    assert "live_attach" in config
+    with pytest.raises(UsageError, match="already-running world"):
+        resume_world(journal)
+
+
+@pytest.mark.parametrize("backend", ["world", "sharded"])
+def test_detach_journal_stops_capture(backend):
+    journal = WorldJournal(MemoryJournal())
+    world = build_ft_ring(backend, seed=4, alternates=False)
+    world.attach_journal(journal)
+    launch_ft_tours(world, n_agents=1)
+    world.run()
+    returned = world.detach_journal()
+    assert returned is journal
+    frozen = journal.stats()
+    # A second workload after detach leaves the journal untouched.
+    from tests.helpers import LinearAgent
+
+    agent = LinearAgent("post-detach", [FT_RING[0], FT_RING[1]])
+    world.launch(agent, at=FT_RING[0], method="step")
+    world.run()
+    assert world.outcomes()["post-detach"]["status"] == "finished"
+    assert journal.stats() == frozen
+
+
+def test_attach_twice_refused():
+    journal = WorldJournal(MemoryJournal())
+    world = build_ft_ring("world", seed=1, alternates=False)
+    world.attach_journal(journal)
+    with pytest.raises(UsageError, match="already"):
+        world.attach_journal(WorldJournal(MemoryJournal()))
+
+
+def test_proc_backend_refuses_live_attach():
+    world = build_ft_ring("proc", seed=1)
+    try:
+        with pytest.raises(UsageError, match="spawn config"):
+            world.attach_journal(WorldJournal(MemoryJournal()))
+    finally:
+        world.close()
